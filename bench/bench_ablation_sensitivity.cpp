@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Sensitivity ablations for the design choices DESIGN.md calls out:
+ *  (1) the reconstruction calibration weights (do the paper's anchors
+ *      depend delicately on them?),
+ *  (2) external memory bandwidth (where do the Figure 15 apps go
+ *      memory-bound?),
+ *  (3) per-call overheads (what do short streams really cost?), and
+ *  (4) SRF capacity (rm) -- where the QRD residency crossover lands.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/design.h"
+#include "sim/processor.h"
+#include "workloads/suite.h"
+
+namespace {
+
+void
+weightSensitivity()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    TextTable t;
+    t.header({"weights scaled by", "C=128 area/ALU", "C=128 energy/op",
+              "N=16 energy/op"});
+    for (double s : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+        Params p;
+        p.kCommArea *= s;
+        p.kCommEnergy *= s;
+        p.kIntraEnergy *= s;
+        p.kDistEnergy *= s;
+        CostModel m(p);
+        t.row({TextTable::num(s, 2),
+               TextTable::num(m.areaPerAlu({128, 5}) /
+                                  m.areaPerAlu({8, 5}),
+                              3),
+               TextTable::num(m.energyPerAluOp({128, 5}) /
+                                  m.energyPerAluOp({8, 5}),
+                              3),
+               TextTable::num(m.energyPerAluOp({8, 16}) /
+                                  m.energyPerAluOp({8, 5}),
+                              3)});
+    }
+    std::printf("(1) calibration-weight sensitivity "
+                "(paper anchors: 1.02, 1.07, 1.23)\n\n%s\n",
+                t.toString().c_str());
+}
+
+void
+memoryBandwidthSweep()
+{
+    using namespace sps;
+    using sps::TextTable;
+    TextTable t;
+    t.header({"mem GB/s", "DEPTH speedup", "CONV speedup",
+              "RENDER speedup"});
+    // Baselines at the paper's 16 GB/s.
+    std::map<std::string, int64_t> base;
+    for (double gbs : {4.0, 16.0, 64.0}) {
+        std::vector<std::string> row{TextTable::num(gbs, 0)};
+        for (const char *name : {"DEPTH", "CONV", "RENDER"}) {
+            for (const auto &app : workloads::appSuite()) {
+                if (app.name != name)
+                    continue;
+                auto run = [&](vlsi::MachineSize size) {
+                    sim::SimConfig cfg;
+                    cfg.size = size;
+                    cfg.memConfig.peakWordsPerCycle = gbs / 4.0;
+                    sim::StreamProcessor proc(cfg);
+                    return proc
+                        .run(app.build(size, proc.srf()))
+                        .cycles;
+                };
+                double speedup =
+                    static_cast<double>(run({8, 5})) /
+                    static_cast<double>(run({128, 10}));
+                row.push_back(TextTable::num(speedup, 1) + "x");
+            }
+        }
+        t.row(row);
+    }
+    std::printf("(2) C=128 N=10 app speedup vs memory bandwidth "
+                "(paper point: 16 GB/s)\n\n%s\n",
+                t.toString().c_str());
+}
+
+void
+overheadSweep()
+{
+    using namespace sps;
+    using sps::TextTable;
+    TextTable t;
+    t.header({"host cycles/op", "pipe fill", "FFT1K speedup",
+              "FFT4K speedup"});
+    for (int host : {2, 8, 32}) {
+        for (int fill : {8, 32}) {
+            std::vector<std::string> row{std::to_string(host),
+                                         std::to_string(fill)};
+            for (int points : {1024, 4096}) {
+                auto run = [&](vlsi::MachineSize size) {
+                    sim::SimConfig cfg;
+                    cfg.size = size;
+                    cfg.hostIssueCycles = host;
+                    cfg.ucConfig.pipeFillCycles = fill;
+                    sim::StreamProcessor proc(cfg);
+                    return proc
+                        .run(workloads::buildFftApp(size, proc.srf(),
+                                                    points))
+                        .cycles;
+                };
+                double speedup =
+                    static_cast<double>(run({8, 5})) /
+                    static_cast<double>(run({128, 10}));
+                row.push_back(TextTable::num(speedup, 1) + "x");
+            }
+            t.row(row);
+        }
+    }
+    std::printf("(3) short-stream sensitivity to per-call overheads "
+                "(C=128 N=10 vs C=8 N=5)\n\n%s\n",
+                t.toString().c_str());
+}
+
+void
+srfCapacitySweep()
+{
+    using namespace sps;
+    using sps::TextTable;
+    TextTable t;
+    t.header({"rm (SRF words/ALU/latency-cycle)", "SRF KB @ C=32 N=5",
+              "QRD mem words", "QRD cycles"});
+    for (double rm : {5.0, 10.0, 20.0, 40.0}) {
+        sim::SimConfig cfg;
+        cfg.size = {32, 5};
+        cfg.params.rM = rm;
+        sim::StreamProcessor proc(cfg);
+        auto prog = workloads::buildQrd(cfg.size, proc.srf());
+        auto r = proc.run(prog);
+        t.row({TextTable::num(rm, 0),
+               std::to_string(proc.srf().capacityWords * 4 / 1024),
+               std::to_string(r.memWords),
+               std::to_string(r.cycles)});
+    }
+    std::printf("(4) SRF capacity (rm) and the QRD residency "
+                "crossover at C=32 N=5 (paper rm = 20)\n\n%s\n",
+                t.toString().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    weightSensitivity();
+    memoryBandwidthSweep();
+    overheadSweep();
+    srfCapacitySweep();
+    return 0;
+}

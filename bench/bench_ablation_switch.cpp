@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation (Section 6 future work): non-fully-connected crossbars.
+ * Sweeps crossbar connectivity and shows how sparse switches extend
+ * the area- and energy-efficient range of intracluster scaling, at
+ * the price of extra forwarding latency below 50% connectivity.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/design.h"
+#include "workloads/suite.h"
+
+int
+main()
+{
+    using namespace sps;
+    using sps::TextTable;
+
+    for (double conn : {1.0, 0.75, 0.5, 0.25}) {
+        vlsi::Params p = vlsi::Params::sparseSwitch(conn);
+        vlsi::CostModel model(p);
+        TextTable t;
+        t.header({"N", "area/ALU (norm to N=5 full)", "energy/op",
+                  "t_intra (FO4)"});
+        vlsi::CostModel full;
+        double ref_a = full.areaPerAlu({8, 5});
+        double ref_e = full.energyPerAluOp({8, 5});
+        for (int n : {5, 10, 16, 32, 64}) {
+            vlsi::MachineSize s{8, n};
+            t.row({std::to_string(n),
+                   TextTable::num(model.areaPerAlu(s) / ref_a, 3),
+                   TextTable::num(model.energyPerAluOp(s) / ref_e, 3),
+                   TextTable::num(model.intraDelayFo4(n), 1)});
+        }
+        std::printf("Crossbar connectivity %.2f%s\n\n%s\n", conn,
+                    conn < 0.5 ? "  (+1 forwarding stage)" : "",
+                    t.toString().c_str());
+    }
+
+    // Effect on kernel throughput at the penalized design point.
+    core::StreamProcessorDesign full({8, 16});
+    core::StreamProcessorDesign sparse(
+        {8, 16}, vlsi::Params::sparseSwitch(0.25));
+    std::printf("Kernel throughput at C=8 N=16 (fft): full %.2f vs "
+                "sparse(0.25) %.2f ALU ops/cycle/cluster\n",
+                full.compile(workloads::fftKernel()).aluOpsPerCycle(),
+                sparse.compile(workloads::fftKernel())
+                    .aluOpsPerCycle());
+    return 0;
+}

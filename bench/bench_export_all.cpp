@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Exports the data series behind every figure as CSV files (into the
+ * directory given as argv[1], default "results") so the paper's plots
+ * can be regenerated with any plotting tool.
+ */
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/csv.h"
+#include "core/experiments.h"
+#include "vlsi/sweep.h"
+
+namespace {
+
+std::string g_dir = "results";
+
+std::string
+path(const char *name)
+{
+    return g_dir + "/" + name;
+}
+
+void
+exportIntraInterSweeps()
+{
+    using namespace sps::vlsi;
+    CostModel model;
+    {
+        SweepSeries s =
+            intraclusterSweep(model, 8, defaultIntraRange(), 5);
+        sps::CsvWriter w;
+        w.header({"N", "area_per_alu_norm", "energy_per_op_norm",
+                  "t_intra_fo4", "t_inter_fo4"});
+        auto a = s.normalizedAreaPerAlu();
+        auto e = s.normalizedEnergyPerOp();
+        for (size_t i = 0; i < s.points.size(); ++i) {
+            const auto &pt = s.points[i];
+            w.row({std::to_string(pt.size.alusPerCluster),
+                   std::to_string(a[i]), std::to_string(e[i]),
+                   std::to_string(pt.delay.intraFo4),
+                   std::to_string(pt.delay.interFo4)});
+        }
+        w.writeFile(path("fig06_07_08_intracluster.csv"));
+    }
+    {
+        SweepSeries s =
+            interclusterSweep(model, 5, defaultInterRange(), 8);
+        sps::CsvWriter w;
+        w.header({"C", "area_per_alu_norm", "energy_per_op_norm",
+                  "t_inter_fo4"});
+        auto a = s.normalizedAreaPerAlu();
+        auto e = s.normalizedEnergyPerOp();
+        for (size_t i = 0; i < s.points.size(); ++i) {
+            const auto &pt = s.points[i];
+            w.row({std::to_string(pt.size.clusters),
+                   std::to_string(a[i]), std::to_string(e[i]),
+                   std::to_string(pt.delay.interFo4)});
+        }
+        w.writeFile(path("fig09_10_11_intercluster.csv"));
+    }
+    {
+        sps::CsvWriter w;
+        w.header({"C", "N", "total_alus", "area_per_alu_norm"});
+        double ref = model.areaPerAlu({32, 5});
+        for (int n : {2, 5, 16})
+            for (int c : {8, 16, 32, 64, 128, 256})
+                w.row({std::to_string(c), std::to_string(n),
+                       std::to_string(c * n),
+                       std::to_string(model.areaPerAlu({c, n}) /
+                                      ref)});
+        w.writeFile(path("fig12_combined.csv"));
+    }
+}
+
+void
+exportKernelSpeedups()
+{
+    auto dump = [&](const sps::core::KernelSpeedupData &d,
+                    const char *axis, const char *file) {
+        sps::CsvWriter w;
+        std::vector<std::string> head{"kernel"};
+        for (int x : d.axis)
+            head.push_back(std::string(axis) + std::to_string(x));
+        w.header(head);
+        for (const auto &s : d.series) {
+            std::vector<std::string> row{s.name};
+            for (double v : s.values)
+                row.push_back(std::to_string(v));
+            w.row(row);
+        }
+        w.writeFile(path(file));
+    };
+    dump(sps::core::kernelIntraSpeedups({2, 5, 10, 14}, 8), "N",
+         "fig13_kernel_intra.csv");
+    dump(sps::core::kernelInterSpeedups({8, 16, 32, 64, 128}, 5), "C",
+         "fig14_kernel_inter.csv");
+}
+
+void
+exportTable5()
+{
+    auto t = sps::core::table5PerfPerArea();
+    sps::CsvWriter w;
+    std::vector<std::string> head{"N"};
+    for (int c : t.cValues)
+        head.push_back("C" + std::to_string(c));
+    w.header(head);
+    for (size_t i = 0; i < t.nValues.size(); ++i) {
+        std::vector<std::string> row{std::to_string(t.nValues[i])};
+        for (double v : t.value[i])
+            row.push_back(std::to_string(v));
+        w.row(row);
+    }
+    w.writeFile(path("table5_perf_per_area.csv"));
+}
+
+void
+exportFig15()
+{
+    auto pts = sps::core::appPerformance();
+    sps::CsvWriter w;
+    w.header({"app", "C", "N", "cycles", "speedup", "gops"});
+    for (const auto &pt : pts) {
+        w.row({pt.app, std::to_string(pt.size.clusters),
+               std::to_string(pt.size.alusPerCluster),
+               std::to_string(pt.cycles), std::to_string(pt.speedup),
+               std::to_string(pt.gops)});
+    }
+    w.writeFile(path("fig15_apps.csv"));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2)
+        g_dir = argv[1];
+    std::error_code ec;
+    std::filesystem::create_directories(g_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "cannot create %s: %s\n", g_dir.c_str(),
+                     ec.message().c_str());
+        return 1;
+    }
+    exportIntraInterSweeps();
+    exportKernelSpeedups();
+    exportTable5();
+    exportFig15();
+    std::printf("wrote figure data CSVs to %s/\n", g_dir.c_str());
+    return 0;
+}

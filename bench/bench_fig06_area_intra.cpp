@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 6: area per ALU under intracluster scaling (C = 8),
+ * normalized to N = 5, with the per-component breakdown the paper
+ * stacks (SRF / clusters / microcontroller / intercluster switch).
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    SweepSeries s =
+        intraclusterSweep(model, 8, defaultIntraRange(), 5);
+    double ref = s.points[s.refIndex].areaPerAlu;
+
+    TextTable t;
+    t.header({"N", "area/ALU (norm)", "SRF", "clusters", "uc",
+              "inter-switch"});
+    for (const auto &pt : s.points) {
+        double alus = pt.size.totalAlus();
+        t.row({std::to_string(pt.size.alusPerCluster),
+               TextTable::num(pt.areaPerAlu / ref, 3),
+               TextTable::num(pt.area.srf / alus / ref, 3),
+               TextTable::num(pt.area.clusters / alus / ref, 3),
+               TextTable::num(pt.area.microcontroller / alus / ref, 3),
+               TextTable::num(
+                   pt.area.interclusterSwitch / alus / ref, 3)});
+    }
+    std::printf("Figure 6: area per ALU, intracluster scaling "
+                "(C=8, normalized to N=5)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

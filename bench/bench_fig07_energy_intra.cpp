@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 7: energy per ALU operation under intracluster scaling
+ * (C = 8), normalized to N = 5, with the component breakdown.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    SweepSeries s =
+        intraclusterSweep(model, 8, defaultIntraRange(), 5);
+    double ref = s.points[s.refIndex].energyPerAluOp;
+
+    TextTable t;
+    t.header({"N", "energy/op (norm)", "SRF", "clusters", "uc",
+              "inter-comm"});
+    for (const auto &pt : s.points) {
+        double alus = pt.size.totalAlus();
+        t.row({std::to_string(pt.size.alusPerCluster),
+               TextTable::num(pt.energyPerAluOp / ref, 3),
+               TextTable::num(pt.energy.srf / alus / ref, 3),
+               TextTable::num(pt.energy.clusters / alus / ref, 3),
+               TextTable::num(
+                   pt.energy.microcontroller / alus / ref, 3),
+               TextTable::num(
+                   pt.energy.interclusterComm / alus / ref, 3)});
+    }
+    std::printf("Figure 7: energy per ALU op, intracluster scaling "
+                "(C=8, normalized to N=5)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 8: intracluster and intercluster switch traversal delay
+ * (FO4) under intracluster scaling at C = 8. The 45 FO4 cycle and its
+ * half-cycle intracluster budget are annotated, as are the extra
+ * pipeline stages the Section 5 experiments charge.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    TextTable t;
+    t.header({"N", "intra (FO4)", "inter (FO4)", "intra stages",
+              "COMM cycles"});
+    for (int n : defaultIntraRange()) {
+        MachineSize size{8, n};
+        t.row({std::to_string(n),
+               TextTable::num(model.intraDelayFo4(n), 1),
+               TextTable::num(model.interDelayFo4(size), 1),
+               std::to_string(model.intraPipeStages(n)),
+               std::to_string(model.interCommCycles(size))});
+    }
+    std::printf("Figure 8: switch delays, intracluster scaling (C=8; "
+                "clock = 45 FO4, intra budget = 22.5 FO4)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

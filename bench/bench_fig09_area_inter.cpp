@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 9: area per ALU under intercluster scaling (N = 5),
+ * normalized to C = 8, with the component breakdown.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    SweepSeries s =
+        interclusterSweep(model, 5, defaultInterRange(), 8);
+    double ref = s.points[s.refIndex].areaPerAlu;
+
+    TextTable t;
+    t.header({"C", "area/ALU (norm)", "SRF", "clusters", "uc",
+              "inter-switch"});
+    for (const auto &pt : s.points) {
+        double alus = pt.size.totalAlus();
+        t.row({std::to_string(pt.size.clusters),
+               TextTable::num(pt.areaPerAlu / ref, 3),
+               TextTable::num(pt.area.srf / alus / ref, 3),
+               TextTable::num(pt.area.clusters / alus / ref, 3),
+               TextTable::num(pt.area.microcontroller / alus / ref, 3),
+               TextTable::num(
+                   pt.area.interclusterSwitch / alus / ref, 3)});
+    }
+    std::printf("Figure 9: area per ALU, intercluster scaling "
+                "(N=5, normalized to C=8)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

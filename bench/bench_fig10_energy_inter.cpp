@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 10: energy per ALU operation under intercluster scaling
+ * (N = 5), normalized to C = 8.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    SweepSeries s =
+        interclusterSweep(model, 5, defaultInterRange(), 8);
+    double ref = s.points[s.refIndex].energyPerAluOp;
+
+    TextTable t;
+    t.header({"C", "energy/op (norm)", "SRF", "clusters", "uc",
+              "inter-comm"});
+    for (const auto &pt : s.points) {
+        double alus = pt.size.totalAlus();
+        t.row({std::to_string(pt.size.clusters),
+               TextTable::num(pt.energyPerAluOp / ref, 3),
+               TextTable::num(pt.energy.srf / alus / ref, 3),
+               TextTable::num(pt.energy.clusters / alus / ref, 3),
+               TextTable::num(
+                   pt.energy.microcontroller / alus / ref, 3),
+               TextTable::num(
+                   pt.energy.interclusterComm / alus / ref, 3)});
+    }
+    std::printf("Figure 10: energy per ALU op, intercluster scaling "
+                "(N=5, normalized to C=8)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

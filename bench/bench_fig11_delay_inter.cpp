@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 11: switch delays under intercluster scaling (N = 5).
+ * Intracluster delay stays constant; intercluster delay grows with C
+ * but pipelines into whole cycles.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    TextTable t;
+    t.header({"C", "intra (FO4)", "inter (FO4)", "COMM cycles"});
+    for (int c : defaultInterRange()) {
+        MachineSize size{c, 5};
+        t.row({std::to_string(c),
+               TextTable::num(model.intraDelayFo4(5), 1),
+               TextTable::num(model.interDelayFo4(size), 1),
+               std::to_string(model.interCommCycles(size))});
+    }
+    std::printf("Figure 11: switch delays, intercluster scaling "
+                "(N=5; clock = 45 FO4)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

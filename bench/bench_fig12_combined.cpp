@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 12: area per ALU under combined scaling for N in {2, 5, 16}
+ * against total ALU count, normalized to the C=32 N=5 point.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/sweep.h"
+
+int
+main()
+{
+    using namespace sps::vlsi;
+    using sps::TextTable;
+    CostModel model;
+    MachineSize ref{32, 5};
+    double ref_area = model.areaPerAlu(ref);
+
+    TextTable t;
+    t.header({"C", "total ALUs (N=2)", "N=2", "total ALUs (N=5)",
+              "N=5", "total ALUs (N=16)", "N=16"});
+    for (int c : {8, 16, 32, 64, 128, 256}) {
+        auto cell = [&](int n) {
+            return TextTable::num(
+                model.areaPerAlu(MachineSize{c, n}) / ref_area, 3);
+        };
+        t.row({std::to_string(c), std::to_string(c * 2), cell(2),
+               std::to_string(c * 5), cell(5), std::to_string(c * 16),
+               cell(16)});
+    }
+    std::printf("Figure 12: area per ALU, combined scaling "
+                "(normalized to C=32 N=5)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 13: kernel inner-loop speedup under intracluster scaling
+ * (C = 8, N in {2, 5, 10, 14}), relative to C=8 N=5, from static
+ * analysis of compiled kernels.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiments.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    auto data = sps::core::kernelIntraSpeedups({2, 5, 10, 14}, 8);
+    TextTable t;
+    std::vector<std::string> head{"Kernel"};
+    for (int n : data.axis)
+        head.push_back("N=" + std::to_string(n));
+    t.header(head);
+    for (const auto &series : data.series) {
+        std::vector<std::string> row{series.name};
+        for (double v : series.values)
+            row.push_back(TextTable::num(v, 2));
+        t.row(row);
+    }
+    std::printf("Figure 13: intracluster kernel speedup "
+                "(C=8, vs C=8 N=5)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

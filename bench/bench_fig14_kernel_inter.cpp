@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 14: kernel inner-loop speedup under intercluster scaling
+ * (N = 5, C in {8..128}), relative to C=8 N=5.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiments.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    auto data =
+        sps::core::kernelInterSpeedups({8, 16, 32, 64, 128}, 5);
+    TextTable t;
+    std::vector<std::string> head{"Kernel"};
+    for (int c : data.axis)
+        head.push_back("C=" + std::to_string(c));
+    t.header(head);
+    for (const auto &series : data.series) {
+        std::vector<std::string> row{series.name};
+        for (double v : series.values)
+            row.push_back(TextTable::num(v, 2));
+        t.row(row);
+    }
+    std::printf("Figure 14: intercluster kernel speedup "
+                "(N=5, vs C=8 N=5)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 15: application performance across the (C, N) grid on the
+ * cycle-accurate stream-level simulator -- speedup over the C=8 N=5
+ * machine per configuration, with sustained GOPS annotated at the
+ * corner points, plus the harmonic-mean row.
+ */
+#include <cstdio>
+#include <map>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/experiments.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    std::vector<int> cs{8, 16, 32, 64, 128};
+    std::vector<int> ns{2, 5, 10, 14};
+    auto points = sps::core::appPerformance(cs, ns);
+
+    std::map<std::string, std::map<std::pair<int, int>,
+                                   sps::core::AppPoint>> by_app;
+    for (const auto &pt : points)
+        by_app[pt.app][{pt.size.alusPerCluster, pt.size.clusters}] =
+            pt;
+
+    const char *apps[] = {"RENDER", "DEPTH", "CONV",
+                          "QRD",    "FFT1K", "FFT4K"};
+    for (int n : ns) {
+        TextTable t;
+        std::vector<std::string> head{"App (N=" + std::to_string(n) +
+                                      ")"};
+        for (int c : cs)
+            head.push_back("C=" + std::to_string(c));
+        t.header(head);
+        std::vector<std::vector<double>> cols(cs.size());
+        for (const char *app : apps) {
+            std::vector<std::string> row{app};
+            for (size_t i = 0; i < cs.size(); ++i) {
+                const auto &pt = by_app[app][{n, cs[i]}];
+                row.push_back(TextTable::num(pt.speedup, 2));
+                cols[i].push_back(pt.speedup);
+            }
+            t.row(row);
+        }
+        std::vector<std::string> hm{"HARMONIC MEAN"};
+        for (auto &col : cols)
+            hm.push_back(TextTable::num(sps::harmonicMean(col), 2));
+        t.row(hm);
+        std::printf("%s\n", t.toString().c_str());
+    }
+
+    // GOPS annotations at the paper's corner points.
+    TextTable g;
+    g.header({"App", "GOPS @ C=8 N=5", "GOPS @ C=128 N=10"});
+    for (const char *app : apps) {
+        g.row({app,
+               TextTable::num(by_app[app][{5, 8}].gops, 1),
+               TextTable::num(by_app[app][{10, 128}].gops, 1)});
+    }
+    std::printf("Figure 15: application speedups over C=8 N=5 "
+                "(tables above) and sustained GOPS:\n\n%s\n",
+                g.toString().c_str());
+    return 0;
+}

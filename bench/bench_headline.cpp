@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The abstract's headline comparison: the 640-ALU C=128 N=5 machine
+ * (and the 1280-ALU C=128 N=10 machine) against the 40-ALU C=8 N=5
+ * baseline -- kernel and application speedups, sustained kernel GOPS,
+ * and per-ALU area/energy degradations -- next to the published
+ * numbers.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/design.h"
+#include "core/experiments.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    sps::core::Headline h = sps::core::headlineNumbers(true);
+
+    TextTable t;
+    t.header({"Metric", "measured", "paper"});
+    t.row({"640-ALU kernel speedup (HM)",
+           TextTable::num(h.kernelSpeedup640, 1) + "x", "15.3x"});
+    t.row({"640-ALU app speedup (HM)",
+           TextTable::num(h.appSpeedup640, 1) + "x", "8.0x"});
+    t.row({"640-ALU kernel GOPS (mean)",
+           TextTable::num(h.kernelGops640, 0), ">300"});
+    t.row({"640-ALU area/ALU degradation",
+           TextTable::num(100 * h.areaPerAluDegradation640, 1) + "%",
+           "2%"});
+    t.row({"640-ALU energy/op degradation",
+           TextTable::num(100 * h.energyPerOpDegradation640, 1) + "%",
+           "7%"});
+    t.row({"1280-ALU kernel speedup (HM)",
+           TextTable::num(h.kernelSpeedup1280, 1) + "x", "27.9x"});
+    t.row({"1280-ALU app speedup (HM)",
+           TextTable::num(h.appSpeedup1280, 1) + "x", "10.4x"});
+
+    sps::core::StreamProcessorDesign big({128, 10});
+    t.row({"1280-ALU peak GOPS (subword x2)",
+           TextTable::num(2 * big.peakGops(), 0), ">1000"});
+    t.row({"1280-ALU power (W)",
+           TextTable::num(big.powerWatts(), 1), "<10"});
+
+    std::printf("Headline: scaled machines vs the 40-ALU baseline\n\n"
+                "%s\n",
+                t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the reproduction stack itself:
+ * cost-model evaluation, kernel compilation (modulo scheduling),
+ * functional interpretation, and stream-level simulation throughput.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/design.h"
+#include "interp/interpreter.h"
+#include "vlsi/cost_model.h"
+#include "workloads/suite.h"
+
+namespace {
+
+void
+BM_CostModelFullEvaluation(benchmark::State &state)
+{
+    sps::vlsi::CostModel model;
+    sps::vlsi::MachineSize size{static_cast<int>(state.range(0)), 5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.area(size).total());
+        benchmark::DoNotOptimize(model.energy(size).total());
+        benchmark::DoNotOptimize(model.interDelayFo4(size));
+    }
+}
+BENCHMARK(BM_CostModelFullEvaluation)->Arg(8)->Arg(128);
+
+void
+BM_CompileKernel(benchmark::State &state)
+{
+    sps::sched::MachineModel m = sps::sched::MachineModel::forSize(
+        {8, static_cast<int>(state.range(0))});
+    const auto &k = sps::workloads::fftKernel();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sps::sched::compileKernel(k, m));
+}
+BENCHMARK(BM_CompileKernel)->Arg(2)->Arg(5)->Arg(14);
+
+void
+BM_InterpretConvolve(benchmark::State &state)
+{
+    std::vector<int32_t> px(8 * 1024, 7);
+    auto in = sps::interp::StreamData::fromInts(px, 8);
+    for (auto _ : state) {
+        auto r = sps::interp::runKernel(
+            sps::workloads::convolveKernel(),
+            static_cast<int>(state.range(0)), {in});
+        benchmark::DoNotOptimize(r.outputs[0].words.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_InterpretConvolve)->Arg(8)->Arg(64);
+
+void
+BM_SimulateConvApp(benchmark::State &state)
+{
+    sps::core::StreamProcessorDesign d(
+        {static_cast<int>(state.range(0)), 5});
+    for (auto _ : state) {
+        auto proc = d.makeProcessor();
+        auto prog =
+            sps::workloads::buildConvApp(d.size(), proc.srf());
+        benchmark::DoNotOptimize(proc.run(prog).cycles);
+    }
+}
+BENCHMARK(BM_SimulateConvApp)->Arg(8)->Arg(128);
+
+void
+BM_SimulateQrd(benchmark::State &state)
+{
+    sps::core::StreamProcessorDesign d(
+        {static_cast<int>(state.range(0)), 5});
+    for (auto _ : state) {
+        auto proc = d.makeProcessor();
+        auto prog = sps::workloads::buildQrd(d.size(), proc.srf());
+        benchmark::DoNotOptimize(proc.run(prog).cycles);
+    }
+}
+BENCHMARK(BM_SimulateQrd)->Arg(8);
+
+} // namespace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 1: the model parameter set (printed for provenance; every
+ * other bench derives from these values).
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "vlsi/params.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    sps::vlsi::Params p = sps::vlsi::Params::imagine();
+    TextTable t;
+    t.header({"Param", "Value", "Description"});
+    auto row = [&](const char *name, double v, const char *desc,
+                   int prec = 1) {
+        t.row({name, TextTable::num(v, prec), desc});
+    };
+    row("ASRAM", p.aSram, "area of 1 SRAM bit (grids)");
+    row("ASB", p.aSb, "area per SB width (grids)");
+    row("wALU", p.wAlu, "ALU datapath width (tracks)");
+    row("wLRF", p.wLrf, "width of 2 LRFs (tracks)");
+    row("wSP", p.wSp, "scratchpad datapath width (tracks)");
+    row("h", p.h, "datapath height (tracks)", 0);
+    row("v0", p.v0, "wire velocity (tracks/FO4)", 0);
+    row("tcyc", p.tCyc, "FO4s per clock", 0);
+    row("tmux", p.tMux, "2:1 mux delay (FO4)", 0);
+    row("EALU", p.eAlu, "ALU op energy (Ew)", 0);
+    row("ESRAM", p.eSram, "SRAM access energy per bit (Ew)");
+    row("ESB", p.eSb, "SB access energy per bit (Ew)", 0);
+    row("ELRF", p.eLrf, "LRF access energy (Ew)", 0);
+    row("ESP", p.eSp, "SP access energy (Ew)", 0);
+    row("T", p.tMem, "memory latency (cycles)", 0);
+    row("b", p.b, "data width (bits)", 0);
+    row("GSRF", p.gSrf, "SRF bank width per N (words)", 2);
+    row("GSB", p.gSb, "SB accesses per ALU op", 2);
+    row("GCOMM", p.gComm, "COMM units per N", 2);
+    row("GSP", p.gSp, "SP units per N", 2);
+    row("I0", p.i0, "initial VLIW width (bits)", 0);
+    row("IN", p.iN, "VLIW width per FU (bits)", 0);
+    row("LC", p.lC, "initial cluster SBs", 0);
+    row("LO", p.lO, "non-cluster SBs", 0);
+    row("LN", p.lN, "SBs per N", 2);
+    row("rm", p.rM, "SRF words per ALU per latency cycle", 0);
+    row("ruc", p.rUc, "microcode instructions", 0);
+    std::printf("Table 1: model parameters (Imagine-measured)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

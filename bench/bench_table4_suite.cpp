@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 4: the kernel and application suite, with the data class and
+ * reconstructed descriptions.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    TextTable t;
+    t.header({"Kernel/App", "Data", "Description"});
+    auto dc = [](const sps::kernel::Kernel &k) {
+        return k.dataClass == sps::kernel::DataClass::Half16 ? "16b"
+                                                             : "FP/32b";
+    };
+    using namespace sps::workloads;
+    t.row({"Blocksad", dc(blocksadKernel()),
+           "sum-of-absolute-differences for image processing"});
+    t.row({"Convolve", dc(convolveKernel()),
+           "convolution filter for image processing"});
+    t.row({"Update", dc(updateKernel()), "matrix block update for QRD"});
+    t.row({"FFT", dc(fftKernel()), "radix-4 fast Fourier transform"});
+    t.row({"Noise", dc(noiseKernel()),
+           "Perlin noise for a procedural marble shader"});
+    t.row({"Irast", dc(irastKernel()), "triangle span rasterizer"});
+    for (const auto &app : appSuite())
+        t.row({app.name, "-", app.description});
+    std::printf("Table 4: kernels and applications\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 5: kernel inner-loop performance per unit area (harmonic mean
+ * over the six kernels; 1.0 = a machine that is pure ALU area running
+ * one op per ALU per cycle).
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiments.h"
+
+int
+main()
+{
+    using sps::TextTable;
+    auto data = sps::core::table5PerfPerArea({2, 5, 10, 14},
+                                             {8, 16, 32, 64, 128});
+    TextTable t;
+    std::vector<std::string> head{"N \\ C"};
+    for (int c : data.cValues)
+        head.push_back(std::to_string(c));
+    t.header(head);
+    for (size_t i = 0; i < data.nValues.size(); ++i) {
+        std::vector<std::string> row{
+            std::to_string(data.nValues[i])};
+        for (double v : data.value[i])
+            row.push_back(TextTable::num(v, 3));
+        t.row(row);
+    }
+    std::printf("Table 5: kernel performance per unit area "
+                "(harmonic mean over kernels)\n\n%s\n",
+                t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Design-space exploration: sweep the (C, N) grid, print area /
+ * power / peak-rate Pareto information, and pick the best machine
+ * under an area and power budget -- the workflow the paper's Section
+ * 4 analysis supports.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/scaling_study.h"
+
+int
+main()
+{
+    using namespace sps;
+    using sps::TextTable;
+
+    auto grid = core::designGrid({8, 16, 32, 64, 128},
+                                 {2, 5, 10, 16});
+    auto points = core::evaluateDesigns(grid);
+
+    TextTable t;
+    t.header({"C", "N", "ALUs", "mm^2", "W", "peak GOPS",
+              "area/ALU vs C8N5", "COMM lat"});
+    core::StreamProcessorDesign base({8, 5});
+    for (const auto &pt : points) {
+        t.row({std::to_string(pt.size.clusters),
+               std::to_string(pt.size.alusPerCluster),
+               std::to_string(pt.size.totalAlus()),
+               TextTable::num(pt.areaMm2, 1),
+               TextTable::num(pt.powerWatts, 2),
+               TextTable::num(pt.peakGops, 0),
+               TextTable::num(pt.areaPerAlu / base.areaPerAlu(), 3),
+               std::to_string(pt.commLatencyCycles)});
+    }
+    std::printf("Design space at 45nm:\n\n%s\n", t.toString().c_str());
+
+    for (double area : {50.0, 150.0}) {
+        bool found = false;
+        core::DesignPoint best =
+            core::bestUnderBudget(points, area, 10.0, found);
+        if (found) {
+            std::printf("Best under %.0f mm^2 / 10 W: C=%d N=%d "
+                        "(%.0f peak GOPS, %.1f mm^2, %.2f W)\n",
+                        area, best.size.clusters,
+                        best.size.alusPerCluster, best.peakGops,
+                        best.areaMm2, best.powerWatts);
+        } else {
+            std::printf("No design fits %.0f mm^2 / 10 W\n", area);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace sps {
+
+void
+CsvWriter::header(std::vector<std::string> cells)
+{
+    SPS_ASSERT(!cells.empty(), "empty CSV header");
+    header_ = std::move(cells);
+}
+
+void
+CsvWriter::row(std::vector<std::string> cells)
+{
+    SPS_ASSERT(cells.size() == header_.size(),
+               "CSV row width %zu != header width %zu", cells.size(),
+               header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::toString() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << escape(cells[i]);
+            if (i + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << toString();
+    return static_cast<bool>(f);
+}
+
+} // namespace sps

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal CSV writer used to export the experiment data series behind
+ * each figure for external plotting.
+ */
+#ifndef SPS_COMMON_CSV_H
+#define SPS_COMMON_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace sps {
+
+/** Accumulates rows and renders/writes RFC-4180-style CSV. */
+class CsvWriter
+{
+  public:
+    /** Set the header row; fixes the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (must match the header width). */
+    void row(std::vector<std::string> cells);
+
+    /** Render the document. */
+    std::string toString() const;
+
+    /** Write to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Escape one cell (quotes cells containing , " or newline). */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sps
+
+#endif // SPS_COMMON_CSV_H

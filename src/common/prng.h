@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used by the synthetic
+ * workload data generators. xoshiro-style; identical streams across
+ * platforms for reproducible tests.
+ */
+#ifndef SPS_COMMON_PRNG_H
+#define SPS_COMMON_PRNG_H
+
+#include <cstdint>
+
+namespace sps {
+
+/** SplitMix64/xorshift-based deterministic PRNG. */
+class Prng
+{
+  public:
+    explicit Prng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed)
+    {
+        // Avoid the all-zero state.
+        if (state_ == 0)
+            state_ = 1;
+    }
+
+    /** Next 64 random bits. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, bound). */
+    uint32_t
+    below(uint32_t bound)
+    {
+        return static_cast<uint32_t>(next() % bound);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace sps
+
+#endif // SPS_COMMON_PRNG_H

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace sps {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    SPS_ASSERT(!cells.empty(), "empty table header");
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    SPS_ASSERT(cells.size() == header_.size(),
+               "row width %zu != header width %zu", cells.size(),
+               header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i)
+        width[i] = header_[i].size();
+    for (const auto &r : rows_)
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(width[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+} // namespace sps

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table formatting used by the benchmark harnesses to print
+ * paper-style rows and series.
+ */
+#ifndef SPS_COMMON_TABLE_H
+#define SPS_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sps {
+
+/**
+ * A simple column-aligned text table. Add a header once, then rows of the
+ * same width; toString() renders with column alignment and a rule under
+ * the header.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row; also fixes the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render the table. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sps
+
+#endif // SPS_COMMON_TABLE_H

@@ -1,0 +1,206 @@
+#include "core/experiments.h"
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "workloads/suite.h"
+
+namespace sps::core {
+
+namespace {
+
+/** Machine-wide inner-loop ALU throughput of a kernel. */
+double
+kernelPerf(const workloads::KernelEntry &entry, vlsi::MachineSize size)
+{
+    // QRD's housegen aside, the suite kernels are machine-independent
+    // graphs; compile for this size and scale by the cluster count.
+    StreamProcessorDesign d(size);
+    return d.kernelOpsPerCycle(*entry.kernel);
+}
+
+KernelSpeedupData
+kernelSpeedups(const std::vector<vlsi::MachineSize> &sizes,
+               const std::vector<int> &axis)
+{
+    KernelSpeedupData out;
+    out.axis = axis;
+    auto suite = workloads::kernelSuite();
+    std::vector<std::vector<double>> speedups(
+        suite.size(), std::vector<double>(sizes.size(), 0.0));
+    for (size_t k = 0; k < suite.size(); ++k) {
+        double base = kernelPerf(suite[k], kBaseline);
+        for (size_t i = 0; i < sizes.size(); ++i)
+            speedups[k][i] = kernelPerf(suite[k], sizes[i]) / base;
+    }
+    for (size_t k = 0; k < suite.size(); ++k)
+        out.series.push_back(SpeedupSeries{suite[k].name, speedups[k]});
+    std::vector<double> hm(sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        std::vector<double> col;
+        col.reserve(suite.size());
+        for (size_t k = 0; k < suite.size(); ++k)
+            col.push_back(speedups[k][i]);
+        hm[i] = harmonicMean(col);
+    }
+    out.series.push_back(SpeedupSeries{"harmonic mean", hm});
+    return out;
+}
+
+} // namespace
+
+KernelSpeedupData
+kernelIntraSpeedups(const std::vector<int> &n_values, int c)
+{
+    std::vector<vlsi::MachineSize> sizes;
+    for (int n : n_values)
+        sizes.push_back(vlsi::MachineSize{c, n});
+    return kernelSpeedups(sizes, n_values);
+}
+
+KernelSpeedupData
+kernelInterSpeedups(const std::vector<int> &c_values, int n)
+{
+    std::vector<vlsi::MachineSize> sizes;
+    for (int c : c_values)
+        sizes.push_back(vlsi::MachineSize{c, n});
+    return kernelSpeedups(sizes, c_values);
+}
+
+PerfPerAreaData
+table5PerfPerArea(const std::vector<int> &n_values,
+                  const std::vector<int> &c_values)
+{
+    PerfPerAreaData out;
+    out.nValues = n_values;
+    out.cValues = c_values;
+    auto suite = workloads::kernelSuite();
+    vlsi::Params p = vlsi::Params::imagine();
+    const double alu_area = p.wAlu * p.h;
+    for (int n : n_values) {
+        std::vector<double> row;
+        for (int c : c_values) {
+            vlsi::MachineSize size{c, n};
+            StreamProcessorDesign d(size);
+            double area_alus = d.area().total() / alu_area;
+            std::vector<double> per_kernel;
+            for (const auto &entry : suite) {
+                double ops = d.kernelOpsPerCycle(*entry.kernel);
+                per_kernel.push_back(ops / area_alus);
+            }
+            row.push_back(harmonicMean(per_kernel));
+        }
+        out.value.push_back(std::move(row));
+    }
+    return out;
+}
+
+AppPoint
+runApp(const std::string &app_name, vlsi::MachineSize size)
+{
+    for (const auto &app : workloads::appSuite()) {
+        if (app.name != app_name)
+            continue;
+        StreamProcessorDesign d(size);
+        sim::StreamProcessor proc = d.makeProcessor();
+        stream::StreamProgram prog = app.build(size, proc.srf());
+        sim::SimResult res = proc.run(prog);
+
+        StreamProcessorDesign base(kBaseline);
+        sim::StreamProcessor bproc = base.makeProcessor();
+        stream::StreamProgram bprog = app.build(kBaseline, bproc.srf());
+        sim::SimResult bres = bproc.run(bprog);
+
+        AppPoint pt;
+        pt.app = app_name;
+        pt.size = size;
+        pt.cycles = res.cycles;
+        pt.speedup = static_cast<double>(bres.cycles) /
+                     static_cast<double>(res.cycles);
+        pt.gops = res.gops(d.tech().clockGHz());
+        return pt;
+    }
+    fatal("unknown application %s", app_name.c_str());
+}
+
+std::vector<AppPoint>
+appPerformance(const std::vector<int> &c_values,
+               const std::vector<int> &n_values)
+{
+    std::vector<AppPoint> out;
+    auto apps = workloads::appSuite();
+
+    for (const auto &app : apps) {
+        // Baseline run once per app.
+        StreamProcessorDesign base(kBaseline);
+        sim::StreamProcessor bproc = base.makeProcessor();
+        stream::StreamProgram bprog =
+            app.build(kBaseline, bproc.srf());
+        sim::SimResult bres = bproc.run(bprog);
+
+        for (int n : n_values) {
+            for (int c : c_values) {
+                vlsi::MachineSize size{c, n};
+                StreamProcessorDesign d(size);
+                sim::StreamProcessor proc = d.makeProcessor();
+                stream::StreamProgram prog = app.build(size, proc.srf());
+                sim::SimResult res = proc.run(prog);
+                AppPoint pt;
+                pt.app = app.name;
+                pt.size = size;
+                pt.cycles = res.cycles;
+                pt.speedup = static_cast<double>(bres.cycles) /
+                             static_cast<double>(res.cycles);
+                pt.gops = res.gops(d.tech().clockGHz());
+                out.push_back(pt);
+            }
+        }
+    }
+    return out;
+}
+
+Headline
+headlineNumbers(bool include_apps)
+{
+    Headline h;
+    vlsi::MachineSize big640{128, 5};
+    vlsi::MachineSize big1280{128, 10};
+    vlsi::CostModel model;
+
+    h.areaPerAluDegradation640 =
+        model.areaPerAlu(big640) / model.areaPerAlu(kBaseline) - 1.0;
+    h.energyPerOpDegradation640 =
+        model.energyPerAluOp(big640) / model.energyPerAluOp(kBaseline) -
+        1.0;
+
+    auto suite = workloads::kernelSuite();
+    std::vector<double> sp640, sp1280, gops640;
+    StreamProcessorDesign d640(big640);
+    for (const auto &entry : suite) {
+        double base = kernelPerf(entry, kBaseline);
+        sp640.push_back(kernelPerf(entry, big640) / base);
+        sp1280.push_back(kernelPerf(entry, big1280) / base);
+        sched::CompiledKernel ck = d640.compile(*entry.kernel);
+        double subword = ck.aluOpsPerIteration > 0
+                             ? ck.gopsOpsPerIteration /
+                                   ck.aluOpsPerIteration
+                             : 1.0;
+        gops640.push_back(ck.aluOpsPerCycle() * subword *
+                          big640.clusters * d640.tech().clockGHz());
+    }
+    h.kernelSpeedup640 = harmonicMean(sp640);
+    h.kernelSpeedup1280 = harmonicMean(sp1280);
+    h.kernelGops640 = arithmeticMean(gops640);
+
+    if (include_apps) {
+        std::vector<double> a640, a1280;
+        for (const auto &app : workloads::appSuite()) {
+            a640.push_back(runApp(app.name, big640).speedup);
+            a1280.push_back(runApp(app.name, big1280).speedup);
+        }
+        h.appSpeedup640 = harmonicMean(a640);
+        h.appSpeedup1280 = harmonicMean(a1280);
+    }
+    return h;
+}
+
+} // namespace sps::core

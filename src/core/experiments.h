@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment runners: the data series behind every performance table
+ * and figure in the paper's evaluation (Figures 13-15, Table 5, plus
+ * the headline comparisons). The bench binaries format these; the
+ * integration tests assert their shapes.
+ */
+#ifndef SPS_CORE_EXPERIMENTS_H
+#define SPS_CORE_EXPERIMENTS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/design.h"
+#include "sim/stats.h"
+
+namespace sps::core {
+
+/** The reference machine all speedups are measured against. */
+constexpr vlsi::MachineSize kBaseline{8, 5};
+
+/** One kernel's speedup series over an axis of machine sizes. */
+struct SpeedupSeries
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Kernel inner-loop speedups along one scaling axis. */
+struct KernelSpeedupData
+{
+    /** Axis values (N for intracluster, C for intercluster). */
+    std::vector<int> axis;
+    /** Per-kernel series plus a final "harmonic mean" series. */
+    std::vector<SpeedupSeries> series;
+};
+
+/** Figure 13: intracluster kernel speedups (C fixed). */
+KernelSpeedupData kernelIntraSpeedups(
+    const std::vector<int> &n_values = {2, 5, 10, 14}, int c = 8);
+
+/** Figure 14: intercluster kernel speedups (N fixed). */
+KernelSpeedupData kernelInterSpeedups(
+    const std::vector<int> &c_values = {8, 16, 32, 64, 128}, int n = 5);
+
+/** Table 5: kernel performance per unit area. */
+struct PerfPerAreaData
+{
+    std::vector<int> nValues;
+    std::vector<int> cValues;
+    /** value[n][c]: harmonic-mean GOPS per ALU-equivalent of area. */
+    std::vector<std::vector<double>> value;
+};
+
+PerfPerAreaData
+table5PerfPerArea(const std::vector<int> &n_values = {2, 5, 10, 14},
+                  const std::vector<int> &c_values = {8, 16, 32, 64,
+                                                      128});
+
+/** One application measurement at one machine size. */
+struct AppPoint
+{
+    std::string app;
+    vlsi::MachineSize size;
+    int64_t cycles = 0;
+    double speedup = 0.0; ///< vs the C=8 N=5 baseline
+    double gops = 0.0;    ///< sustained at the 45nm 1 GHz clock
+};
+
+/** Figure 15: application performance across the (C, N) grid. */
+std::vector<AppPoint>
+appPerformance(const std::vector<int> &c_values = {8, 16, 32, 64, 128},
+               const std::vector<int> &n_values = {2, 5, 10, 14});
+
+/** Run one app at one size (helper for tests and examples). */
+AppPoint runApp(const std::string &app_name, vlsi::MachineSize size);
+
+/** The paper's headline comparison (Abstract / Section 6). */
+struct Headline
+{
+    /** C=128 N=5 (640 ALUs) vs C=8 N=5 (40 ALUs). */
+    double kernelSpeedup640 = 0.0;
+    double appSpeedup640 = 0.0;
+    double areaPerAluDegradation640 = 0.0;   // fraction, e.g. 0.02
+    double energyPerOpDegradation640 = 0.0;  // fraction, e.g. 0.07
+    double kernelGops640 = 0.0;
+    /** C=128 N=10 (1280 ALUs) vs C=8 N=5. */
+    double kernelSpeedup1280 = 0.0;
+    double appSpeedup1280 = 0.0;
+};
+
+/**
+ * Compute the headline numbers; pass false to skip the (slower)
+ * application simulations.
+ */
+Headline headlineNumbers(bool include_apps = true);
+
+} // namespace sps::core
+
+#endif // SPS_CORE_EXPERIMENTS_H

@@ -1,0 +1,53 @@
+#include "core/multiproc.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sps::core {
+
+std::vector<MultiprocPoint>
+multiprocStudy(vlsi::MachineSize total, int kernels,
+               const vlsi::CostModel &model,
+               double interproc_efficiency)
+{
+    SPS_ASSERT(kernels >= 1, "need at least one kernel stage");
+    std::vector<MultiprocPoint> out;
+    for (int m = 1; m <= total.clusters; m *= 2) {
+        if (total.clusters % m != 0)
+            break;
+        vlsi::MachineSize each{total.clusters / m,
+                               total.alusPerCluster};
+        MultiprocPoint pt;
+        pt.processors = m;
+        pt.each = each;
+        // Chip cost: M copies of the smaller machine. The shared
+        // stream controller / memory system stay constant factors, as
+        // in the paper's accounting.
+        pt.areaPerAlu = m * model.area(each).total() /
+                        (total.clusters * total.alusPerCluster);
+        pt.energyPerAluOp = m * model.energy(each).total() /
+                            (total.clusters * total.alusPerCluster);
+        pt.commLatency = model.interCommCycles(each);
+
+        // Task pipeline: each processor owns ceil(kernels/M) stages.
+        // With fewer stages than processors, the extra processors
+        // idle; inter-processor producer-consumer traffic pays the
+        // efficiency factor once per processor boundary crossed.
+        int used = std::min(m, kernels);
+        int stages_per_proc = (kernels + used - 1) / used;
+        // Relative throughput: the single machine performs `kernels`
+        // stages serially at full width (throughput 1/kernels per
+        // dataset); the multiprocessor performs stages_per_proc
+        // serially at 1/m width.
+        double single = 1.0 / kernels;
+        double multi = 1.0 / (stages_per_proc * m);
+        if (m > 1)
+            multi *= interproc_efficiency;
+        pt.pipelineThroughput = multi / single;
+        out.push_back(pt);
+    }
+    return out;
+}
+
+} // namespace sps::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's second future-work question (Section 6): how do the two
+ * scaling techniques compare against "multiple stream processors on a
+ * single chip simultaneously executing different kernels of one
+ * stream program"?
+ *
+ * This study models a chip of M independent stream processors, each
+ * with C/M clusters and its own microcontroller, SRF banks, and
+ * (smaller) intercluster switch. VLSI costs come straight from the
+ * cost model; performance uses a task-pipeline model where an
+ * application's kernels are spread across processors, limited by
+ * pipeline balance and inter-processor transfers through memory.
+ */
+#ifndef SPS_CORE_MULTIPROC_H
+#define SPS_CORE_MULTIPROC_H
+
+#include <vector>
+
+#include "vlsi/cost_model.h"
+
+namespace sps::core {
+
+/** One multiprocessor partitioning of a fixed ALU budget. */
+struct MultiprocPoint
+{
+    /** Processors on the chip. */
+    int processors = 1;
+    /** Size of each processor. */
+    vlsi::MachineSize each;
+    /** Chip-wide area per ALU (grids). */
+    double areaPerAlu = 0.0;
+    /** Chip-wide energy per ALU operation (Ew). */
+    double energyPerAluOp = 0.0;
+    /** Intercluster COMM latency inside one processor (cycles). */
+    int commLatency = 0;
+    /**
+     * Throughput of a kernel pipeline with `kernels` balanced stages
+     * mapped onto the processors, relative to the single-processor
+     * machine running the stages back to back (1.0 = equal).
+     */
+    double pipelineThroughput = 0.0;
+};
+
+/**
+ * Evaluate splitting a C-cluster, N-ALU machine into M = 1, 2, 4, ...
+ * processors (M divides C), for an application with `kernels`
+ * balanced kernel stages.
+ *
+ * The single processor runs all stages time-multiplexed at full SIMD
+ * width. M processors each run kernels/M stages on C/M clusters;
+ * producer-consumer streams between processors lose the SRF and move
+ * at `interproc_efficiency` of on-chip rate, modeled as a throughput
+ * factor.
+ */
+std::vector<MultiprocPoint>
+multiprocStudy(vlsi::MachineSize total, int kernels,
+               const vlsi::CostModel &model,
+               double interproc_efficiency = 0.85);
+
+} // namespace sps::core
+
+#endif // SPS_CORE_MULTIPROC_H

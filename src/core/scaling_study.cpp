@@ -1,0 +1,54 @@
+#include "core/scaling_study.h"
+
+namespace sps::core {
+
+std::vector<DesignPoint>
+evaluateDesigns(const std::vector<vlsi::MachineSize> &sizes,
+                vlsi::Params params, vlsi::Technology tech)
+{
+    std::vector<DesignPoint> out;
+    out.reserve(sizes.size());
+    for (const auto &size : sizes) {
+        StreamProcessorDesign d(size, params, tech);
+        DesignPoint pt;
+        pt.size = size;
+        pt.areaMm2 = d.areaMm2();
+        pt.powerWatts = d.powerWatts();
+        pt.peakGops = d.peakGops();
+        pt.areaPerAlu = d.areaPerAlu();
+        pt.energyPerAluOp = d.energyPerAluOp();
+        pt.commLatencyCycles = d.costModel().interCommCycles(size);
+        out.push_back(pt);
+    }
+    return out;
+}
+
+std::vector<vlsi::MachineSize>
+designGrid(const std::vector<int> &c_values,
+           const std::vector<int> &n_values)
+{
+    std::vector<vlsi::MachineSize> out;
+    for (int c : c_values)
+        for (int n : n_values)
+            out.push_back(vlsi::MachineSize{c, n});
+    return out;
+}
+
+DesignPoint
+bestUnderBudget(const std::vector<DesignPoint> &points, double area_mm2,
+                double power_watts, bool &found)
+{
+    found = false;
+    DesignPoint best;
+    for (const auto &pt : points) {
+        if (pt.areaMm2 > area_mm2 || pt.powerWatts > power_watts)
+            continue;
+        if (!found || pt.peakGops > best.peakGops) {
+            best = pt;
+            found = true;
+        }
+    }
+    return best;
+}
+
+} // namespace sps::core

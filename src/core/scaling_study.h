@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Design-space exploration over (C, N): absolute area, power, and
+ * peak/sustained rate per design point, plus a helper that picks the
+ * best design under area and power budgets. Used by the design_space
+ * example and the combined-scaling bench (Figure 12).
+ */
+#ifndef SPS_CORE_SCALING_STUDY_H
+#define SPS_CORE_SCALING_STUDY_H
+
+#include <vector>
+
+#include "core/design.h"
+
+namespace sps::core {
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    vlsi::MachineSize size;
+    double areaMm2 = 0.0;
+    double powerWatts = 0.0;
+    double peakGops = 0.0;
+    double areaPerAlu = 0.0;
+    double energyPerAluOp = 0.0;
+    int commLatencyCycles = 0;
+};
+
+/** Evaluate a list of sizes. */
+std::vector<DesignPoint>
+evaluateDesigns(const std::vector<vlsi::MachineSize> &sizes,
+                vlsi::Params params = vlsi::Params::imagine(),
+                vlsi::Technology tech = vlsi::Technology::fortyFiveNm());
+
+/** The cross product of C and N ranges. */
+std::vector<vlsi::MachineSize>
+designGrid(const std::vector<int> &c_values,
+           const std::vector<int> &n_values);
+
+/**
+ * Highest peak-GOPS design meeting the area and power budgets;
+ * returns an empty optional-style flag via `found`.
+ */
+DesignPoint bestUnderBudget(const std::vector<DesignPoint> &points,
+                            double area_mm2, double power_watts,
+                            bool &found);
+
+} // namespace sps::core
+
+#endif // SPS_CORE_SCALING_STUDY_H

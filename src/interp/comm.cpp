@@ -1,0 +1,21 @@
+#include "interp/comm.h"
+
+#include "common/log.h"
+
+namespace sps::interp {
+
+void
+commExchange(const std::vector<isa::Word> &sent, int c,
+             const std::function<int(int)> &src_of,
+             const std::function<void(int, isa::Word)> &deliver)
+{
+    SPS_ASSERT(static_cast<int>(sent.size()) >= c, "short send vector");
+    for (int cl = 0; cl < c; ++cl) {
+        int src = src_of(cl) % c;
+        if (src < 0)
+            src += c;
+        deliver(cl, sent[static_cast<size_t>(src)]);
+    }
+}
+
+} // namespace sps::interp

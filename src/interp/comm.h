@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Intercluster communication exchange: the COMM unit's data movement
+ * across the intercluster switch. Each cluster names a source cluster
+ * (any permutation, broadcast, or gather pattern is legal) and
+ * receives the named cluster's value.
+ */
+#ifndef SPS_INTERP_COMM_H
+#define SPS_INTERP_COMM_H
+
+#include <functional>
+#include <vector>
+
+#include "isa/value.h"
+
+namespace sps::interp {
+
+/**
+ * Deliver one intercluster exchange.
+ *
+ * @param sent value each source cluster drives onto its row bus
+ * @param c cluster count
+ * @param src_of source cluster index requested by each cluster
+ *        (wrapped into [0, c))
+ * @param deliver sink called with (cluster, received value)
+ */
+void commExchange(const std::vector<isa::Word> &sent, int c,
+                  const std::function<int(int)> &src_of,
+                  const std::function<void(int, isa::Word)> &deliver);
+
+} // namespace sps::interp
+
+#endif // SPS_INTERP_COMM_H

@@ -1,0 +1,34 @@
+#include "interp/cond_stream.h"
+
+namespace sps::interp {
+
+void
+condReadStep(const StreamData &in, int64_t &cursor, int c,
+             const std::function<bool(int)> &pred,
+             const std::function<void(int, isa::Word)> &deliver)
+{
+    for (int cl = 0; cl < c; ++cl) {
+        if (!pred(cl)) {
+            deliver(cl, isa::Word{});
+            continue;
+        }
+        isa::Word w{};
+        if (cursor < static_cast<int64_t>(in.words.size()))
+            w = in.words[static_cast<size_t>(cursor)];
+        ++cursor;
+        deliver(cl, w);
+    }
+}
+
+void
+condWriteStep(StreamData &out, int c,
+              const std::function<bool(int)> &pred,
+              const std::function<isa::Word(int)> &value)
+{
+    for (int cl = 0; cl < c; ++cl) {
+        if (pred(cl))
+            out.words.push_back(value(cl));
+    }
+}
+
+} // namespace sps::interp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Conditional stream access (Kapasi et al., MICRO-33): data-dependent
+ * stream rates implemented as data routing. A conditional write
+ * compacts the values of predicated-on clusters into the output in
+ * cluster order; a conditional read expands the next stream elements
+ * to exactly the predicated-on clusters, in cluster order.
+ */
+#ifndef SPS_INTERP_COND_STREAM_H
+#define SPS_INTERP_COND_STREAM_H
+
+#include <cstdint>
+#include <functional>
+
+#include "interp/interpreter.h"
+
+namespace sps::interp {
+
+/**
+ * One conditional-read step across all clusters. Clusters whose
+ * predicate is false receive a zero word; reads past the end of the
+ * stream also deliver zero (kernels guard with their own counts).
+ */
+void condReadStep(const StreamData &in, int64_t &cursor, int c,
+                  const std::function<bool(int)> &pred,
+                  const std::function<void(int, isa::Word)> &deliver);
+
+/** One conditional-write step: append predicated clusters' values. */
+void condWriteStep(StreamData &out, int c,
+                   const std::function<bool(int)> &pred,
+                   const std::function<isa::Word(int)> &value);
+
+} // namespace sps::interp
+
+#endif // SPS_INTERP_COND_STREAM_H

@@ -1,0 +1,39 @@
+#include "isa/fu_mix.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sps::isa {
+
+FuMix
+mixFor(int n)
+{
+    SPS_ASSERT(n >= 1, "cluster needs at least 1 ALU, got %d", n);
+    FuMix m;
+    if (n == 1) {
+        // Degenerate single-ALU cluster: the lone unit serves as the
+        // adder; multiply-capable kernels are not schedulable at N=1
+        // and the machine model reports that explicitly.
+        m.adders = 1;
+        return m;
+    }
+    // Imagine's 3:2:1 adder:multiplier:DSQ ratio for N=6, generalized:
+    // a DSQ unit per six ALUs (none below six -- small clusters run
+    // divide/sqrt iteratively on a multiplier), and a 3:2 adder to
+    // multiplier split of the remainder with at least one of each.
+    m.dsq = (n >= 6) ? std::max(1, n / 6) : 0;
+    int rest = n - m.dsq;
+    m.adders = (rest * 3 + 2) / 5;
+    m.multipliers = rest - m.adders;
+    if (m.multipliers < 1) {
+        m.multipliers = 1;
+        m.adders = rest - 1;
+    }
+    SPS_ASSERT(m.adders >= 1 && m.multipliers >= 1 && m.total() == n,
+               "FU mix %d+%d+%d != N=%d", m.adders, m.multipliers, m.dsq,
+               n);
+    return m;
+}
+
+} // namespace sps::isa

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Functional-unit mix policy: how the N ALUs of a cluster are divided
+ * among adders, multipliers, and divide/square-root units. Imagine's
+ * N = 6 cluster used 3 adders, 2 multipliers, and 1 DSQ unit; the
+ * policy generalizes that ratio to any N.
+ */
+#ifndef SPS_ISA_FU_MIX_H
+#define SPS_ISA_FU_MIX_H
+
+namespace sps::isa {
+
+/** The ALU composition of a cluster. */
+struct FuMix
+{
+    int adders = 0;
+    int multipliers = 0;
+    int dsq = 0;
+
+    int total() const { return adders + multipliers + dsq; }
+};
+
+/**
+ * The mix used for N ALUs per cluster. Always provides at least one
+ * adder and one multiplier; clusters with fewer than six ALUs have no
+ * dedicated DSQ unit and execute divide/square-root iteratively on a
+ * multiplier (at an issue-interval penalty; see sched::MachineModel).
+ */
+FuMix mixFor(int n);
+
+} // namespace sps::isa
+
+#endif // SPS_ISA_FU_MIX_H

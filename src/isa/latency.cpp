@@ -1,0 +1,47 @@
+#include "isa/latency.h"
+
+namespace sps::isa {
+
+OpTiming
+baseTiming(Opcode op)
+{
+    // Imagine-derived latencies at the 45 FO4 cycle: simple integer
+    // operations 2 cycles, pipelined FP add/multiply 4 cycles, the
+    // iterative divide/square-root unit 16 cycles with an issue slot
+    // every 8, scratchpad 2, streambuffer read 3 (including half a
+    // cycle of intracluster switch traversal), write 1 (fire and
+    // forget), COMM 2 baseline (grown by the delay model).
+    switch (fuClassOf(op)) {
+      case FuClass::Adder:
+        switch (op) {
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMin:
+          case Opcode::FMax:
+          case Opcode::FCmpEq:
+          case Opcode::FCmpLt:
+          case Opcode::FCmpLe:
+          case Opcode::FToI:
+          case Opcode::IToF:
+          case Opcode::FFloor:
+            return {4, 1};
+          default:
+            return {2, 1};
+        }
+      case FuClass::Multiplier:
+        return {4, 1};
+      case FuClass::Dsq:
+        return {16, 8};
+      case FuClass::Scratchpad:
+        return {2, 1};
+      case FuClass::Comm:
+        return {2, 1};
+      case FuClass::SbPort:
+        return (op == Opcode::SbWrite) ? OpTiming{1, 1} : OpTiming{3, 1};
+      case FuClass::None:
+        return {0, 0};
+    }
+    return {1, 1};
+}
+
+} // namespace sps::isa

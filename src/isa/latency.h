@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Baseline operation latencies, taken from the Imagine stream processor
+ * (Section 5: "Functional unit latencies were taken from latencies in
+ * the Imagine stream processor"). Machine-size-dependent adjustments
+ * (extra intracluster pipeline stages, intercluster COMM latency) are
+ * applied by sched::MachineModel on top of these baselines.
+ */
+#ifndef SPS_ISA_LATENCY_H
+#define SPS_ISA_LATENCY_H
+
+#include "isa/opcode.h"
+
+namespace sps::isa {
+
+/** Latency / occupancy of one operation. */
+struct OpTiming
+{
+    /** Cycles from issue until the result may be consumed. */
+    int latency = 1;
+    /**
+     * Cycles the functional unit is occupied before accepting another
+     * operation. 1 for fully-pipelined units; the iterative DSQ unit
+     * is not fully pipelined.
+     */
+    int issueInterval = 1;
+};
+
+/** Baseline (Imagine) timing of an opcode. */
+OpTiming baseTiming(Opcode op);
+
+} // namespace sps::isa
+
+#endif // SPS_ISA_LATENCY_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The kernel operation set. Kernels (the paper's KernelC programs) are
+ * dataflow graphs of these operations, executed in SIMD across C
+ * clusters and scheduled as VLIW across the functional units of one
+ * cluster.
+ */
+#ifndef SPS_ISA_OPCODE_H
+#define SPS_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace sps::isa {
+
+/**
+ * Operation codes. Grouped by the functional-unit class that executes
+ * them (see FuClass / fuClassOf()).
+ */
+enum class Opcode : uint8_t {
+    // Adder-class ALU operations (integer).
+    IAdd, ISub, IAnd, IOr, IXor, IShl, IShr, IAbs, IMin, IMax,
+    ICmpEq, ICmpLt, ICmpLe, Select,
+    // Adder-class ALU operations (floating point / conversion).
+    FAdd, FSub, FAbs, FMin, FMax, FNeg, FCmpEq, FCmpLt, FCmpLe,
+    FToI, IToF, FFloor,
+    // Multiplier-class operations.
+    IMul, FMul,
+    // Divide/square-root class operations.
+    FDiv, FSqrt, FRsqrt,
+    // Scratchpad operations (small per-cluster indexed memory).
+    SpRead, SpWrite,
+    // Intercluster communication: value from another cluster.
+    CommPerm,
+    // Streambuffer (SRF) accesses, one word each.
+    SbRead, SbWrite,
+    // Conditional stream accesses (routed through the COMM units).
+    SbCondRead, SbCondWrite,
+    // Pseudo-operations that consume no functional unit.
+    ConstInt, ConstFloat, LoopIndex, ClusterId, NumClusters, Phi,
+
+    NumOpcodes,
+};
+
+/** Functional-unit classes present in an arithmetic cluster. */
+enum class FuClass : uint8_t {
+    Adder,      ///< integer/FP add, logic, compare, select
+    Multiplier, ///< integer/FP multiply
+    Dsq,        ///< divide / square root
+    Scratchpad, ///< SP indexed access
+    Comm,       ///< intercluster switch port
+    SbPort,     ///< streambuffer (SRF) port
+    None,       ///< pseudo-ops: consume no issue slot
+};
+
+/** The functional-unit class that executes an opcode. */
+FuClass fuClassOf(Opcode op);
+
+/** True for operations counted as "ALU operations" in the paper. */
+bool isAluOp(Opcode op);
+
+/** True for SRF (streambuffer) accesses, conditional or not. */
+bool isSrfAccess(Opcode op);
+
+/** True for scratchpad accesses. */
+bool isSpAccess(Opcode op);
+
+/** True for intercluster communications (COMM or conditional stream). */
+bool isCommOp(Opcode op);
+
+/** Number of value operands the opcode consumes. */
+int arity(Opcode op);
+
+/** Mnemonic for debug printing. */
+std::string_view mnemonic(Opcode op);
+
+} // namespace sps::isa
+
+#endif // SPS_ISA_OPCODE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The architecture's 32-bit data word. Kernels operate on words that are
+ * reinterpreted as signed integers or IEEE floats depending on the
+ * opcode, exactly like a real register file.
+ */
+#ifndef SPS_ISA_VALUE_H
+#define SPS_ISA_VALUE_H
+
+#include <bit>
+#include <cstdint>
+
+namespace sps::isa {
+
+/** One 32-bit machine word. */
+struct Word
+{
+    uint32_t bits = 0;
+
+    Word() = default;
+
+    static Word
+    fromInt(int32_t v)
+    {
+        Word w;
+        w.bits = static_cast<uint32_t>(v);
+        return w;
+    }
+
+    static Word
+    fromFloat(float v)
+    {
+        Word w;
+        w.bits = std::bit_cast<uint32_t>(v);
+        return w;
+    }
+
+    int32_t asInt() const { return static_cast<int32_t>(bits); }
+    float asFloat() const { return std::bit_cast<float>(bits); }
+
+    bool operator==(const Word &o) const { return bits == o.bits; }
+};
+
+} // namespace sps::isa
+
+#endif // SPS_ISA_VALUE_H

@@ -1,0 +1,302 @@
+#include "kernel/builder.h"
+
+#include "common/log.h"
+#include "kernel/validate.h"
+
+namespace sps::kernel {
+
+using isa::Opcode;
+using isa::Word;
+
+KernelBuilder::KernelBuilder(std::string name, DataClass dc)
+{
+    k_.name = std::move(name);
+    k_.dataClass = dc;
+}
+
+int
+KernelBuilder::inStream(const std::string &name, int record_words,
+                        bool conditional)
+{
+    SPS_ASSERT(record_words >= 1, "record must have at least one word");
+    k_.streams.push_back(
+        StreamPort{name, PortDir::In, record_words, conditional});
+    lastStreamOp_.push_back(kNoValue);
+    return static_cast<int>(k_.streams.size()) - 1;
+}
+
+int
+KernelBuilder::outStream(const std::string &name, int record_words,
+                         bool conditional)
+{
+    SPS_ASSERT(record_words >= 1, "record must have at least one word");
+    k_.streams.push_back(
+        StreamPort{name, PortDir::Out, record_words, conditional});
+    lastStreamOp_.push_back(kNoValue);
+    return static_cast<int>(k_.streams.size()) - 1;
+}
+
+void
+KernelBuilder::lengthDriver(int stream)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(k_.streams.size()),
+               "bad stream index %d", stream);
+    SPS_ASSERT(k_.streams[stream].dir == PortDir::In,
+               "length driver must be an input stream");
+    k_.lengthDriver = stream;
+}
+
+void
+KernelBuilder::scratchpad(int words)
+{
+    SPS_ASSERT(words >= 0, "negative scratchpad size");
+    k_.scratchpadWords = words;
+}
+
+ValueId
+KernelBuilder::emit(Opcode code, std::vector<ValueId> args)
+{
+    SPS_ASSERT(!built_, "builder already finalized");
+    SPS_ASSERT(static_cast<int>(args.size()) == isa::arity(code),
+               "%s expects %d args, got %zu",
+               std::string(isa::mnemonic(code)).c_str(),
+               isa::arity(code), args.size());
+    for (ValueId a : args)
+        SPS_ASSERT(a >= 0 && a < static_cast<ValueId>(k_.ops.size()),
+                   "operand %d not yet defined", a);
+    Op op;
+    op.code = code;
+    op.args = std::move(args);
+    k_.ops.push_back(std::move(op));
+    return static_cast<ValueId>(k_.ops.size()) - 1;
+}
+
+void
+KernelBuilder::orderSideEffect(ValueId id, int stream_or_sp)
+{
+    Op &op = k_.ops[static_cast<size_t>(id)];
+    if (stream_or_sp < 0) {
+        // Scratchpad: serialize against the previous SP access.
+        if (lastSpOp_ != kNoValue)
+            op.orderAfter.push_back(lastSpOp_);
+        lastSpOp_ = id;
+    } else {
+        if (lastStreamOp_[static_cast<size_t>(stream_or_sp)] != kNoValue)
+            op.orderAfter.push_back(
+                lastStreamOp_[static_cast<size_t>(stream_or_sp)]);
+        lastStreamOp_[static_cast<size_t>(stream_or_sp)] = id;
+    }
+}
+
+ValueId
+KernelBuilder::constI(int32_t v)
+{
+    ValueId id = emit(Opcode::ConstInt, {});
+    k_.ops.back().imm = Word::fromInt(v);
+    return id;
+}
+
+ValueId
+KernelBuilder::constF(float v)
+{
+    ValueId id = emit(Opcode::ConstFloat, {});
+    k_.ops.back().imm = Word::fromFloat(v);
+    return id;
+}
+
+ValueId KernelBuilder::loopIndex() { return emit(Opcode::LoopIndex, {}); }
+ValueId KernelBuilder::clusterId() { return emit(Opcode::ClusterId, {}); }
+ValueId
+KernelBuilder::numClusters()
+{
+    return emit(Opcode::NumClusters, {});
+}
+
+ValueId KernelBuilder::iadd(ValueId a, ValueId b)
+{ return emit(Opcode::IAdd, {a, b}); }
+ValueId KernelBuilder::isub(ValueId a, ValueId b)
+{ return emit(Opcode::ISub, {a, b}); }
+ValueId KernelBuilder::imul(ValueId a, ValueId b)
+{ return emit(Opcode::IMul, {a, b}); }
+ValueId KernelBuilder::iand(ValueId a, ValueId b)
+{ return emit(Opcode::IAnd, {a, b}); }
+ValueId KernelBuilder::ior(ValueId a, ValueId b)
+{ return emit(Opcode::IOr, {a, b}); }
+ValueId KernelBuilder::ixor(ValueId a, ValueId b)
+{ return emit(Opcode::IXor, {a, b}); }
+ValueId KernelBuilder::ishl(ValueId a, ValueId b)
+{ return emit(Opcode::IShl, {a, b}); }
+ValueId KernelBuilder::ishr(ValueId a, ValueId b)
+{ return emit(Opcode::IShr, {a, b}); }
+ValueId KernelBuilder::iabs(ValueId a) { return emit(Opcode::IAbs, {a}); }
+ValueId KernelBuilder::imin(ValueId a, ValueId b)
+{ return emit(Opcode::IMin, {a, b}); }
+ValueId KernelBuilder::imax(ValueId a, ValueId b)
+{ return emit(Opcode::IMax, {a, b}); }
+ValueId KernelBuilder::icmpEq(ValueId a, ValueId b)
+{ return emit(Opcode::ICmpEq, {a, b}); }
+ValueId KernelBuilder::icmpLt(ValueId a, ValueId b)
+{ return emit(Opcode::ICmpLt, {a, b}); }
+ValueId KernelBuilder::icmpLe(ValueId a, ValueId b)
+{ return emit(Opcode::ICmpLe, {a, b}); }
+ValueId KernelBuilder::select(ValueId c, ValueId a, ValueId b)
+{ return emit(Opcode::Select, {c, a, b}); }
+
+ValueId KernelBuilder::fadd(ValueId a, ValueId b)
+{ return emit(Opcode::FAdd, {a, b}); }
+ValueId KernelBuilder::fsub(ValueId a, ValueId b)
+{ return emit(Opcode::FSub, {a, b}); }
+ValueId KernelBuilder::fmul(ValueId a, ValueId b)
+{ return emit(Opcode::FMul, {a, b}); }
+ValueId KernelBuilder::fdiv(ValueId a, ValueId b)
+{ return emit(Opcode::FDiv, {a, b}); }
+ValueId KernelBuilder::fsqrt(ValueId a)
+{ return emit(Opcode::FSqrt, {a}); }
+ValueId KernelBuilder::frsqrt(ValueId a)
+{ return emit(Opcode::FRsqrt, {a}); }
+ValueId KernelBuilder::fabsOp(ValueId a)
+{ return emit(Opcode::FAbs, {a}); }
+ValueId KernelBuilder::fneg(ValueId a) { return emit(Opcode::FNeg, {a}); }
+ValueId KernelBuilder::fmin(ValueId a, ValueId b)
+{ return emit(Opcode::FMin, {a, b}); }
+ValueId KernelBuilder::fmax(ValueId a, ValueId b)
+{ return emit(Opcode::FMax, {a, b}); }
+ValueId KernelBuilder::fcmpEq(ValueId a, ValueId b)
+{ return emit(Opcode::FCmpEq, {a, b}); }
+ValueId KernelBuilder::fcmpLt(ValueId a, ValueId b)
+{ return emit(Opcode::FCmpLt, {a, b}); }
+ValueId KernelBuilder::fcmpLe(ValueId a, ValueId b)
+{ return emit(Opcode::FCmpLe, {a, b}); }
+ValueId KernelBuilder::ftoi(ValueId a) { return emit(Opcode::FToI, {a}); }
+ValueId KernelBuilder::itof(ValueId a) { return emit(Opcode::IToF, {a}); }
+ValueId KernelBuilder::ffloor(ValueId a)
+{ return emit(Opcode::FFloor, {a}); }
+
+ValueId
+KernelBuilder::sbRead(int stream, int field)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(k_.streams.size()),
+               "bad stream index %d", stream);
+    SPS_ASSERT(k_.streams[stream].dir == PortDir::In,
+               "sbRead of output stream %s",
+               k_.streams[stream].name.c_str());
+    SPS_ASSERT(field >= 0 && field < k_.streams[stream].recordWords,
+               "field %d out of record (%d words)", field,
+               k_.streams[stream].recordWords);
+    ValueId id = emit(Opcode::SbRead, {});
+    k_.ops.back().stream = stream;
+    k_.ops.back().field = field;
+    orderSideEffect(id, stream);
+    return id;
+}
+
+void
+KernelBuilder::sbWrite(int stream, ValueId value, int field)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(k_.streams.size()),
+               "bad stream index %d", stream);
+    SPS_ASSERT(k_.streams[stream].dir == PortDir::Out,
+               "sbWrite of input stream %s",
+               k_.streams[stream].name.c_str());
+    SPS_ASSERT(field >= 0 && field < k_.streams[stream].recordWords,
+               "field %d out of record (%d words)", field,
+               k_.streams[stream].recordWords);
+    ValueId id = emit(Opcode::SbWrite, {value});
+    k_.ops.back().stream = stream;
+    k_.ops.back().field = field;
+    orderSideEffect(id, stream);
+}
+
+ValueId
+KernelBuilder::condRead(int stream, ValueId pred)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(k_.streams.size()),
+               "bad stream index %d", stream);
+    SPS_ASSERT(k_.streams[stream].dir == PortDir::In &&
+                   k_.streams[stream].conditional,
+               "condRead needs a conditional input stream");
+    ValueId id = emit(Opcode::SbCondRead, {pred});
+    k_.ops.back().stream = stream;
+    orderSideEffect(id, stream);
+    return id;
+}
+
+void
+KernelBuilder::condWrite(int stream, ValueId value, ValueId pred)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(k_.streams.size()),
+               "bad stream index %d", stream);
+    SPS_ASSERT(k_.streams[stream].dir == PortDir::Out &&
+                   k_.streams[stream].conditional,
+               "condWrite needs a conditional output stream");
+    ValueId id = emit(Opcode::SbCondWrite, {value, pred});
+    k_.ops.back().stream = stream;
+    orderSideEffect(id, stream);
+}
+
+ValueId
+KernelBuilder::spRead(ValueId addr)
+{
+    ValueId id = emit(Opcode::SpRead, {addr});
+    orderSideEffect(id, -1);
+    return id;
+}
+
+void
+KernelBuilder::spWrite(ValueId addr, ValueId value)
+{
+    ValueId id = emit(Opcode::SpWrite, {addr, value});
+    orderSideEffect(id, -1);
+}
+
+ValueId
+KernelBuilder::comm(ValueId value, ValueId src_cluster)
+{
+    return emit(Opcode::CommPerm, {value, src_cluster});
+}
+
+ValueId
+KernelBuilder::phi(Word init, int distance)
+{
+    SPS_ASSERT(!built_, "builder already finalized");
+    SPS_ASSERT(distance >= 1, "phi distance must be >= 1");
+    // Bypass emit(): the source operand is a placeholder until
+    // setPhiSource() fills it in.
+    Op op;
+    op.code = Opcode::Phi;
+    op.args = {kNoValue};
+    op.distance = distance;
+    op.init = init;
+    k_.ops.push_back(std::move(op));
+    return static_cast<ValueId>(k_.ops.size()) - 1;
+}
+
+void
+KernelBuilder::setPhiSource(ValueId phi_id, ValueId src)
+{
+    SPS_ASSERT(phi_id >= 0 &&
+                   phi_id < static_cast<ValueId>(k_.ops.size()),
+               "bad phi id");
+    Op &op = k_.ops[static_cast<size_t>(phi_id)];
+    SPS_ASSERT(op.code == Opcode::Phi, "setPhiSource on non-phi");
+    SPS_ASSERT(op.args[0] == kNoValue, "phi source already set");
+    SPS_ASSERT(src >= 0 && src < static_cast<ValueId>(k_.ops.size()),
+               "bad phi source");
+    op.args[0] = src;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    SPS_ASSERT(!built_, "build() called twice");
+    built_ = true;
+    validateKernel(k_);
+    return std::move(k_);
+}
+
+} // namespace sps::kernel

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * KernelC-like embedded builder API for constructing kernel dataflow
+ * graphs. Mirrors how Imagine kernels were written: stream reads,
+ * arithmetic on values, intercluster communication, scratchpad access,
+ * conditional stream I/O, and loop-carried accumulators.
+ *
+ * Example (sum of absolute differences of two word streams):
+ * @code
+ *   KernelBuilder b("sad");
+ *   int a = b.inStream("a");
+ *   int c = b.inStream("b");
+ *   int out = b.outStream("sad");
+ *   auto x = b.sbRead(a);
+ *   auto y = b.sbRead(c);
+ *   b.sbWrite(out, b.iabs(b.isub(x, y)));
+ *   Kernel k = b.build();
+ * @endcode
+ */
+#ifndef SPS_KERNEL_BUILDER_H
+#define SPS_KERNEL_BUILDER_H
+
+#include <string>
+
+#include "kernel/ir.h"
+
+namespace sps::kernel {
+
+/** Fluent builder for Kernel graphs; see file comment for an example. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name,
+                           DataClass dc = DataClass::Word32);
+
+    // --- Signature ---
+
+    /** Declare an input stream; returns its stream index. */
+    int inStream(const std::string &name, int record_words = 1,
+                 bool conditional = false);
+    /** Declare an output stream; returns its stream index. */
+    int outStream(const std::string &name, int record_words = 1,
+                  bool conditional = false);
+    /** Choose which input stream drives the iteration count. */
+    void lengthDriver(int stream);
+    /** Reserve per-cluster scratchpad capacity (words). */
+    void scratchpad(int words);
+
+    // --- Leaf values ---
+
+    ValueId constI(int32_t v);
+    ValueId constF(float v);
+    ValueId loopIndex();
+    ValueId clusterId();
+    ValueId numClusters();
+
+    // --- Integer arithmetic ---
+
+    ValueId iadd(ValueId a, ValueId b);
+    ValueId isub(ValueId a, ValueId b);
+    ValueId imul(ValueId a, ValueId b);
+    ValueId iand(ValueId a, ValueId b);
+    ValueId ior(ValueId a, ValueId b);
+    ValueId ixor(ValueId a, ValueId b);
+    ValueId ishl(ValueId a, ValueId b);
+    ValueId ishr(ValueId a, ValueId b);
+    ValueId iabs(ValueId a);
+    ValueId imin(ValueId a, ValueId b);
+    ValueId imax(ValueId a, ValueId b);
+    ValueId icmpEq(ValueId a, ValueId b);
+    ValueId icmpLt(ValueId a, ValueId b);
+    ValueId icmpLe(ValueId a, ValueId b);
+    /** c ? a : b (c is an integer predicate). */
+    ValueId select(ValueId c, ValueId a, ValueId b);
+
+    // --- Floating point ---
+
+    ValueId fadd(ValueId a, ValueId b);
+    ValueId fsub(ValueId a, ValueId b);
+    ValueId fmul(ValueId a, ValueId b);
+    ValueId fdiv(ValueId a, ValueId b);
+    ValueId fsqrt(ValueId a);
+    ValueId frsqrt(ValueId a);
+    ValueId fabsOp(ValueId a);
+    ValueId fneg(ValueId a);
+    ValueId fmin(ValueId a, ValueId b);
+    ValueId fmax(ValueId a, ValueId b);
+    ValueId fcmpEq(ValueId a, ValueId b);
+    ValueId fcmpLt(ValueId a, ValueId b);
+    ValueId fcmpLe(ValueId a, ValueId b);
+    ValueId ftoi(ValueId a);
+    ValueId itof(ValueId a);
+    ValueId ffloor(ValueId a);
+
+    // --- Streams ---
+
+    /** Read word `field` of this iteration's record from a stream. */
+    ValueId sbRead(int stream, int field = 0);
+    /** Append/overwrite word `field` of this iteration's output record. */
+    void sbWrite(int stream, ValueId value, int field = 0);
+    /** Conditional read: clusters with pred != 0 consume an element. */
+    ValueId condRead(int stream, ValueId pred);
+    /** Conditional write: clusters with pred != 0 append their value. */
+    void condWrite(int stream, ValueId value, ValueId pred);
+
+    // --- Scratchpad / COMM ---
+
+    ValueId spRead(ValueId addr);
+    void spWrite(ValueId addr, ValueId value);
+    /**
+     * Intercluster communication: each cluster receives `value` as
+     * computed by the cluster whose index is `src_cluster` (evaluated
+     * locally, wrapped modulo C).
+     */
+    ValueId comm(ValueId value, ValueId src_cluster);
+
+    // --- Recurrences ---
+
+    /**
+     * Create a loop-carried value. Reads `init` for the first
+     * `distance` iterations, then the value its source had `distance`
+     * iterations ago. The source must be set with setPhiSource before
+     * build().
+     */
+    ValueId phi(isa::Word init, int distance = 1);
+    void setPhiSource(ValueId phi_id, ValueId src);
+
+    /** Finalize: validates the graph and returns the kernel. */
+    Kernel build();
+
+  private:
+    ValueId emit(isa::Opcode code, std::vector<ValueId> args);
+    void orderSideEffect(ValueId id, int stream_or_sp);
+
+    Kernel k_;
+    ValueId lastSpOp_ = kNoValue;
+    std::vector<ValueId> lastStreamOp_; // per stream
+    bool built_ = false;
+};
+
+} // namespace sps::kernel
+
+#endif // SPS_KERNEL_BUILDER_H

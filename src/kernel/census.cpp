@@ -1,0 +1,30 @@
+#include "kernel/census.h"
+
+namespace sps::kernel {
+
+Census
+takeCensus(const Kernel &k)
+{
+    Census c;
+    for (const Op &op : k.ops) {
+        if (isa::isAluOp(op.code))
+            ++c.aluOps;
+        if (isa::isSrfAccess(op.code))
+            ++c.srfAccesses;
+        if (isa::isCommOp(op.code))
+            ++c.comms;
+        if (isa::isSpAccess(op.code))
+            ++c.spAccesses;
+    }
+    return c;
+}
+
+double
+gopsOpsPerIteration(const Kernel &k)
+{
+    Census c = takeCensus(k);
+    double factor = (k.dataClass == DataClass::Half16) ? 2.0 : 1.0;
+    return factor * c.aluOps;
+}
+
+} // namespace sps::kernel

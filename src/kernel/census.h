@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kernel inner-loop characteristics (the paper's Table 2): operations
+ * per loop iteration broken down into ALU operations, SRF accesses,
+ * intercluster communications, and scratchpad accesses, with the
+ * per-ALU-op ratios the paper prints in parentheses.
+ */
+#ifndef SPS_KERNEL_CENSUS_H
+#define SPS_KERNEL_CENSUS_H
+
+#include "kernel/ir.h"
+
+namespace sps::kernel {
+
+/** Inner-loop operation counts for one kernel. */
+struct Census
+{
+    int aluOps = 0;
+    int srfAccesses = 0;
+    int comms = 0;
+    int spAccesses = 0;
+
+    double srfPerAlu() const { return ratio(srfAccesses); }
+    double commPerAlu() const { return ratio(comms); }
+    double spPerAlu() const { return ratio(spAccesses); }
+
+  private:
+    double
+    ratio(int n) const
+    {
+        return aluOps > 0 ? static_cast<double>(n) / aluOps : 0.0;
+    }
+};
+
+/** Count one iteration's operations by the paper's categories. */
+Census takeCensus(const Kernel &k);
+
+/**
+ * Operations counted for GOPS reporting: ALU operations, doubled for
+ * 16-bit kernels which execute two subword operations per instruction
+ * (as on Imagine).
+ */
+double gopsOpsPerIteration(const Kernel &k);
+
+} // namespace sps::kernel
+
+#endif // SPS_KERNEL_CENSUS_H

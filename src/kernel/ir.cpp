@@ -1,0 +1,25 @@
+#include "kernel/ir.h"
+
+namespace sps::kernel {
+
+int
+Kernel::inputCount() const
+{
+    int n = 0;
+    for (const auto &s : streams)
+        if (s.dir == PortDir::In)
+            ++n;
+    return n;
+}
+
+int
+Kernel::outputCount() const
+{
+    int n = 0;
+    for (const auto &s : streams)
+        if (s.dir == PortDir::Out)
+            ++n;
+    return n;
+}
+
+} // namespace sps::kernel

@@ -1,0 +1,87 @@
+#include "kernel/validate.h"
+
+#include "common/log.h"
+
+namespace sps::kernel {
+
+using isa::Opcode;
+
+void
+validateKernel(const Kernel &k)
+{
+    SPS_ASSERT(!k.name.empty(), "kernel has no name");
+    SPS_ASSERT(!k.streams.empty(), "kernel %s has no streams",
+               k.name.c_str());
+    SPS_ASSERT(k.inputCount() >= 1, "kernel %s has no input streams",
+               k.name.c_str());
+    SPS_ASSERT(k.lengthDriver >= 0 &&
+                   k.lengthDriver < static_cast<int>(k.streams.size()) &&
+                   k.streams[k.lengthDriver].dir == PortDir::In,
+               "kernel %s: bad length driver", k.name.c_str());
+
+    const auto nops = static_cast<ValueId>(k.ops.size());
+    for (ValueId i = 0; i < nops; ++i) {
+        const Op &op = k.op(i);
+        SPS_ASSERT(static_cast<int>(op.args.size()) ==
+                       isa::arity(op.code),
+                   "kernel %s op %d (%s): bad arity", k.name.c_str(), i,
+                   std::string(isa::mnemonic(op.code)).c_str());
+        for (ValueId a : op.args) {
+            SPS_ASSERT(a >= 0 && a < nops,
+                       "kernel %s op %d: undefined operand %d",
+                       k.name.c_str(), i, a);
+            if (op.code != Opcode::Phi) {
+                SPS_ASSERT(a < i || k.op(a).code == Opcode::Phi,
+                           "kernel %s op %d: forward use of %d",
+                           k.name.c_str(), i, a);
+            }
+        }
+        if (op.code == Opcode::Phi) {
+            SPS_ASSERT(op.distance >= 1,
+                       "kernel %s op %d: phi distance < 1",
+                       k.name.c_str(), i);
+        }
+        if (isa::isSrfAccess(op.code)) {
+            SPS_ASSERT(op.stream >= 0 &&
+                           op.stream <
+                               static_cast<int>(k.streams.size()),
+                       "kernel %s op %d: bad stream", k.name.c_str(), i);
+            const StreamPort &port = k.streams[op.stream];
+            SPS_ASSERT(op.field >= 0 && op.field < port.recordWords,
+                       "kernel %s op %d: field out of record",
+                       k.name.c_str(), i);
+        }
+        for (ValueId t : op.orderAfter)
+            SPS_ASSERT(t >= 0 && t < i,
+                       "kernel %s op %d: bad token edge %d",
+                       k.name.c_str(), i, t);
+    }
+
+    // Same-iteration acyclicity (phi back edges excluded).
+    topoOrder(k);
+}
+
+std::vector<ValueId>
+topoOrder(const Kernel &k)
+{
+    // Ops are created in def-before-use order for everything except phi
+    // back edges, so creation order is already topological for the
+    // same-iteration graph. Verify that invariant instead of sorting.
+    const auto nops = static_cast<ValueId>(k.ops.size());
+    std::vector<ValueId> order;
+    order.reserve(static_cast<size_t>(nops));
+    for (ValueId i = 0; i < nops; ++i) {
+        const Op &op = k.op(i);
+        if (op.code != Opcode::Phi) {
+            for (ValueId a : op.args) {
+                SPS_ASSERT(a < i || k.op(a).code == Opcode::Phi,
+                           "kernel %s: op %d breaks topological order",
+                           k.name.c_str(), i);
+            }
+        }
+        order.push_back(i);
+    }
+    return order;
+}
+
+} // namespace sps::kernel

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Structural validation of kernel graphs: SSA well-formedness, phi
+ * completeness, stream/field bounds, and acyclicity of the
+ * same-iteration dependence graph (cycles may only pass through phi
+ * back edges).
+ */
+#ifndef SPS_KERNEL_VALIDATE_H
+#define SPS_KERNEL_VALIDATE_H
+
+#include "kernel/ir.h"
+
+namespace sps::kernel {
+
+/** Panics with a diagnostic if the kernel is malformed. */
+void validateKernel(const Kernel &k);
+
+/**
+ * Topological order of the same-iteration dependence graph (phi ops
+ * have no same-iteration inputs). Panics on a same-iteration cycle.
+ */
+std::vector<ValueId> topoOrder(const Kernel &k);
+
+} // namespace sps::kernel
+
+#endif // SPS_KERNEL_VALIDATE_H

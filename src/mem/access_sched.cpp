@@ -1,0 +1,39 @@
+#include "mem/access_sched.h"
+
+#include <cstddef>
+
+namespace sps::mem {
+
+using std::size_t;
+
+int64_t
+AccessScheduler::run(const std::vector<MemRequest> &requests)
+{
+    int64_t cycles = 0;
+    size_t next = 0;
+    std::deque<MemRequest> window;
+    auto fill = [&] {
+        while (static_cast<int>(window.size()) < window_ &&
+               next < requests.size())
+            window.push_back(requests[next++]);
+    };
+    fill();
+    while (!window.empty()) {
+        // First-ready: oldest row hit, else oldest request.
+        size_t pick = 0;
+        for (size_t i = 0; i < window.size(); ++i) {
+            if (channel_.isRowHit(window[i])) {
+                pick = i;
+                break;
+            }
+        }
+        cycles += channel_.service(window[pick]);
+        window.erase(window.begin() +
+                     static_cast<std::deque<MemRequest>::difference_type>(
+                         pick));
+        fill();
+    }
+    return cycles;
+}
+
+} // namespace sps::mem

@@ -1,0 +1,57 @@
+#include "mem/dram.h"
+
+#include "common/log.h"
+
+namespace sps::mem {
+
+DramChannel::DramChannel(DramTiming timing) : timing_(timing)
+{
+    SPS_ASSERT(timing_.banks >= 1 && timing_.rowWords >= 1,
+               "bad DRAM geometry");
+    openRow_.assign(static_cast<size_t>(timing_.banks), -1);
+}
+
+int
+DramChannel::bankOf(int64_t word_addr) const
+{
+    // Banks are interleaved at row granularity so sequential streams
+    // walk banks round-robin, letting activates overlap.
+    return static_cast<int>((word_addr / timing_.rowWords) %
+                            timing_.banks);
+}
+
+int64_t
+DramChannel::rowOf(int64_t word_addr) const
+{
+    return word_addr / (static_cast<int64_t>(timing_.rowWords) *
+                        timing_.banks);
+}
+
+bool
+DramChannel::isRowHit(const MemRequest &req) const
+{
+    int bank = bankOf(req.wordAddr);
+    return openRow_[static_cast<size_t>(bank)] == rowOf(req.wordAddr);
+}
+
+int
+DramChannel::service(const MemRequest &req)
+{
+    int bank = bankOf(req.wordAddr);
+    int64_t row = rowOf(req.wordAddr);
+    auto &open = openRow_[static_cast<size_t>(bank)];
+    int cycles = timing_.tCol;
+    if (open != row) {
+        cycles += (open >= 0 ? timing_.tPre : 0) + timing_.tRas;
+        open = row;
+    }
+    return cycles;
+}
+
+void
+DramChannel::reset()
+{
+    openRow_.assign(static_cast<size_t>(timing_.banks), -1);
+}
+
+} // namespace sps::mem

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A small DRAM channel model in the spirit of the Rambus channels the
+ * paper assumes (Section 5: eight channels, 16 GB/s total): per-bank
+ * row buffers with activate/precharge/column timing. Used by the
+ * access scheduler to derive sustained bandwidth for stream transfers.
+ */
+#ifndef SPS_MEM_DRAM_H
+#define SPS_MEM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sps::mem {
+
+/** Timing parameters of one DRAM channel (cycles at the core clock). */
+struct DramTiming
+{
+    /** Cycles to activate a row (RAS). */
+    int tRas = 8;
+    /** Cycles to precharge a bank. */
+    int tPre = 6;
+    /** Cycles per column (word) access once the row is open. */
+    int tCol = 1;
+    /** Banks per channel. */
+    int banks = 8;
+    /** Words per row. */
+    int rowWords = 512;
+};
+
+/** One memory request: a word address (word granularity). */
+struct MemRequest
+{
+    int64_t wordAddr = 0;
+    bool write = false;
+};
+
+/**
+ * One DRAM channel: tracks open rows per bank and charges timing for
+ * a request stream presented in service order.
+ */
+class DramChannel
+{
+  public:
+    explicit DramChannel(DramTiming timing = DramTiming{});
+
+    const DramTiming &timing() const { return timing_; }
+
+    int bankOf(int64_t word_addr) const;
+    int64_t rowOf(int64_t word_addr) const;
+
+    /** True if the request hits the currently open row of its bank. */
+    bool isRowHit(const MemRequest &req) const;
+
+    /**
+     * Service one request now; returns the cycles the channel's data
+     * pins are busy (row hits cost tCol; misses add precharge and
+     * activate time).
+     */
+    int service(const MemRequest &req);
+
+    /** Close all rows (e.g. between independent transfers). */
+    void reset();
+
+  private:
+    DramTiming timing_;
+    std::vector<int64_t> openRow_; // -1 = closed
+};
+
+} // namespace sps::mem
+
+#endif // SPS_MEM_DRAM_H

@@ -1,0 +1,66 @@
+#include "mem/stream_mem.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+
+namespace sps::mem {
+
+namespace {
+/** Words beyond which a transfer is extrapolated from a prefix. */
+constexpr int64_t kSimCap = 8192;
+} // namespace
+
+StreamMemSystem::StreamMemSystem(StreamMemConfig cfg) : cfg_(cfg)
+{
+    SPS_ASSERT(cfg_.channels >= 1, "need at least one channel");
+    SPS_ASSERT(cfg_.peakWordsPerCycle > 0, "bad peak bandwidth");
+    // Column access time so that all channels together sustain the
+    // configured aggregate peak on row hits.
+    double tcol = cfg_.channels / cfg_.peakWordsPerCycle;
+    cfg_.timing.tCol = std::max(1, static_cast<int>(tcol + 0.5));
+}
+
+TransferResult
+StreamMemSystem::transfer(int64_t words, int64_t stride) const
+{
+    TransferResult r;
+    if (words <= 0)
+        return r;
+    SPS_ASSERT(stride >= 1, "bad stride %lld",
+               static_cast<long long>(stride));
+
+    int64_t sim_words = std::min(words, kSimCap);
+    // Word-interleave the transfer across channels.
+    std::vector<std::vector<MemRequest>> per_channel(
+        static_cast<size_t>(cfg_.channels));
+    for (int64_t i = 0; i < sim_words; ++i) {
+        MemRequest req;
+        req.wordAddr = (i * stride) / cfg_.channels;
+        per_channel[static_cast<size_t>(i % cfg_.channels)].push_back(
+            req);
+    }
+    int64_t busy = 0;
+    for (auto &reqs : per_channel) {
+        DramChannel chan(cfg_.timing);
+        AccessScheduler sched(chan);
+        busy = std::max(busy, sched.run(reqs));
+    }
+    // Extrapolate if capped.
+    if (sim_words < words)
+        busy = busy * words / sim_words;
+    r.busyCycles = busy;
+    r.cycles = busy + cfg_.latencyCycles;
+    r.wordsPerCycle =
+        static_cast<double>(words) / static_cast<double>(r.cycles);
+    return r;
+}
+
+int64_t
+StreamMemSystem::transferCycles(int64_t words) const
+{
+    return transfer(words, 1).cycles;
+}
+
+} // namespace sps::mem

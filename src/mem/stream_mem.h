@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The streaming memory system: stream loads and stores between
+ * external DRAM and the SRF. Word-interleaves each transfer across the
+ * channels, runs the per-channel access scheduler, and reports the
+ * transfer's duration and bandwidth. Configured for the paper's 2007
+ * technology point (eight channels, 16 GB/s, 55-cycle latency) or the
+ * Imagine-era defaults.
+ */
+#ifndef SPS_MEM_STREAM_MEM_H
+#define SPS_MEM_STREAM_MEM_H
+
+#include <cstdint>
+
+#include "mem/access_sched.h"
+#include "mem/dram.h"
+
+namespace sps::mem {
+
+/** Configuration of the streaming memory system. */
+struct StreamMemConfig
+{
+    int channels = 8;
+    /** Aggregate peak bandwidth in words per processor cycle. */
+    double peakWordsPerCycle = 4.0;
+    /** Access latency in cycles (Table 1's T). */
+    int latencyCycles = 55;
+    /** Per-channel DRAM timing template (tCol derived from peak). */
+    DramTiming timing = DramTiming{};
+
+    /** The paper's 45nm / 2007 configuration: 16 GB/s at 1 GHz. */
+    static StreamMemConfig fortyFiveNm() { return StreamMemConfig{}; }
+};
+
+/** Result of one stream transfer. */
+struct TransferResult
+{
+    int64_t cycles = 0;        ///< total duration including latency
+    int64_t busyCycles = 0;    ///< pin-limited portion
+    double wordsPerCycle = 0;  ///< achieved bandwidth
+};
+
+/**
+ * Streaming memory system model. Stateless between transfers (each
+ * stream transfer opens its own rows).
+ */
+class StreamMemSystem
+{
+  public:
+    explicit StreamMemSystem(StreamMemConfig cfg = StreamMemConfig{});
+
+    const StreamMemConfig &config() const { return cfg_; }
+
+    /**
+     * Duration of transferring `words` words with the given word
+     * stride (1 = dense). Transfers larger than the simulation cap are
+     * extrapolated linearly from a simulated prefix.
+     */
+    TransferResult transfer(int64_t words, int64_t stride = 1) const;
+
+    /** Shorthand: cycles for a dense transfer. */
+    int64_t transferCycles(int64_t words) const;
+
+  private:
+    StreamMemConfig cfg_;
+};
+
+} // namespace sps::mem
+
+#endif // SPS_MEM_STREAM_MEM_H

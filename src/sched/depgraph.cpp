@@ -1,0 +1,110 @@
+#include "sched/depgraph.h"
+
+#include "common/log.h"
+
+namespace sps::sched {
+
+using isa::FuClass;
+using isa::Opcode;
+using kernel::Kernel;
+using kernel::kNoValue;
+using kernel::ValueId;
+
+namespace {
+
+/** A resolved dependence source: real node plus accumulated distance. */
+struct Source
+{
+    int node;
+    int distance;
+};
+
+/**
+ * Resolve a value id to its real producing node, walking through phi
+ * nodes and accumulating their distances. Constants and other pseudo
+ * leaves resolve to nothing (always available).
+ */
+void
+resolve(const Kernel &k, const std::vector<int> &node_of, ValueId v,
+        int dist, std::vector<Source> &out, int depth = 0)
+{
+    SPS_ASSERT(depth < 64, "phi chain too deep (cycle of phis?)");
+    const kernel::Op &op = k.op(v);
+    if (op.code == Opcode::Phi) {
+        SPS_ASSERT(op.args[0] != kNoValue,
+                   "kernel %s: phi %d has no source", k.name.c_str(), v);
+        resolve(k, node_of, op.args[0], dist + op.distance, out,
+                depth + 1);
+        return;
+    }
+    int n = node_of[static_cast<size_t>(v)];
+    if (n >= 0)
+        out.push_back(Source{n, dist});
+    // else: pseudo leaf (constant, loop index, ...), no dependence.
+}
+
+} // namespace
+
+DepGraph
+buildDepGraph(const Kernel &k, const MachineModel &m)
+{
+    DepGraph g;
+    std::vector<int> node_of(k.ops.size(), -1);
+
+    for (size_t i = 0; i < k.ops.size(); ++i) {
+        const kernel::Op &op = k.ops[i];
+        FuClass cls = m.issueClass(op.code);
+        if (cls == FuClass::None)
+            continue;
+        SPS_ASSERT(m.unitCount(cls) >= 1,
+                   "kernel %s not executable: no unit for %s",
+                   k.name.c_str(),
+                   std::string(isa::mnemonic(op.code)).c_str());
+        isa::OpTiming t = m.timing(op.code);
+        DepNode node;
+        node.code = op.code;
+        node.kernelOp = static_cast<ValueId>(i);
+        node.latency = t.latency;
+        node.issueInterval = t.issueInterval;
+        node.cls = cls;
+        node_of[i] = g.nodeCount();
+        g.nodes.push_back(node);
+    }
+
+    auto add_edge = [&](int from, int to, int lat, int dist) {
+        g.edges.push_back(DepEdge{from, to, lat, dist});
+    };
+
+    for (size_t i = 0; i < k.ops.size(); ++i) {
+        const kernel::Op &op = k.ops[i];
+        int to = node_of[i];
+        if (to < 0)
+            continue;
+        std::vector<Source> sources;
+        for (ValueId a : op.args)
+            resolve(k, node_of, a, 0, sources);
+        for (const Source &s : sources)
+            add_edge(s.node, to, g.nodes[s.node].latency, s.distance);
+        for (ValueId t : op.orderAfter) {
+            int from = node_of[static_cast<size_t>(t)];
+            if (from < 0)
+                continue;
+            // Serializing token: a scratchpad read after a write must
+            // wait for the write to land; other tokens just force
+            // issue order.
+            bool wr_rd = k.op(t).code == Opcode::SpWrite &&
+                         op.code == Opcode::SpRead;
+            add_edge(from, to, wr_rd ? g.nodes[from].latency : 1, 0);
+        }
+    }
+
+    g.succ.assign(g.nodes.size(), {});
+    g.pred.assign(g.nodes.size(), {});
+    for (size_t e = 0; e < g.edges.size(); ++e) {
+        g.succ[g.edges[e].from].push_back(static_cast<int>(e));
+        g.pred[g.edges[e].to].push_back(static_cast<int>(e));
+    }
+    return g;
+}
+
+} // namespace sps::sched

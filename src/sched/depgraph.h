@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The scheduler's dependence graph. Built from a kernel's dataflow
+ * graph: pseudo-operations (constants, indices) are free and elided;
+ * phi nodes are eliminated by turning each (source -> phi -> user)
+ * chain into a direct loop-carried edge with the phi's distance; token
+ * edges serialize side effects.
+ */
+#ifndef SPS_SCHED_DEPGRAPH_H
+#define SPS_SCHED_DEPGRAPH_H
+
+#include <vector>
+
+#include "kernel/ir.h"
+#include "sched/machine.h"
+
+namespace sps::sched {
+
+/** One dependence: to must issue >= lat cycles after from, distance
+ *  iterations later. */
+struct DepEdge
+{
+    int from = 0;
+    int to = 0;
+    int latency = 0;
+    int distance = 0;
+};
+
+/** A schedulable node: one kernel operation that occupies a unit. */
+struct DepNode
+{
+    isa::Opcode code = isa::Opcode::IAdd;
+    kernel::ValueId kernelOp = kernel::kNoValue;
+    int latency = 1;
+    int issueInterval = 1;
+    isa::FuClass cls = isa::FuClass::Adder;
+};
+
+/** The full graph with forward/backward adjacency. */
+struct DepGraph
+{
+    std::vector<DepNode> nodes;
+    std::vector<DepEdge> edges;
+    std::vector<std::vector<int>> succ; // edge indices by from-node
+    std::vector<std::vector<int>> pred; // edge indices by to-node
+
+    int nodeCount() const { return static_cast<int>(nodes.size()); }
+};
+
+/** Build the dependence graph of a kernel for a machine. */
+DepGraph buildDepGraph(const kernel::Kernel &k, const MachineModel &m);
+
+} // namespace sps::sched
+
+#endif // SPS_SCHED_DEPGRAPH_H

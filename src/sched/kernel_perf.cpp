@@ -1,0 +1,97 @@
+#include "sched/kernel_perf.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "sched/depgraph.h"
+#include "sched/list_sched.h"
+#include "sched/unroll.h"
+
+namespace sps::sched {
+
+namespace {
+int64_t
+pipelinedCycles(int64_t iterations, int ii, int stages, int length)
+{
+    int64_t tail = std::max<int64_t>(
+        0, length - static_cast<int64_t>(stages) * ii);
+    return (iterations + stages - 1) * static_cast<int64_t>(ii) + tail;
+}
+} // namespace
+
+int64_t
+CompiledKernel::loopCycles(int64_t iterations) const
+{
+    if (iterations <= 0)
+        return 0;
+    int64_t unrolled = (iterations + unroll - 1) / unroll;
+    // Candidates: the throughput-optimal unrolled pipeline, the
+    // no-unroll pipeline (cheaper priming on short calls), and plain
+    // straight-line issue.
+    int64_t best = pipelinedCycles(unrolled, ii, stages, length);
+    best = std::min(best,
+                    pipelinedCycles(iterations, ii1, stages1, length1));
+    best = std::min(best, iterations * static_cast<int64_t>(listLength));
+    return best;
+}
+
+CompiledKernel
+compileKernel(const kernel::Kernel &k, const MachineModel &m,
+              const CompileOptions &opts)
+{
+    SPS_ASSERT(m.canExecute(k),
+               "kernel %s cannot execute on C=%d N=%d", k.name.c_str(),
+               m.size().clusters, m.size().alusPerCluster);
+    kernel::Census census = kernel::takeCensus(k);
+
+    CompiledKernel best;
+    bool have_best = false;
+    int ii1 = 1, stages1 = 1, length1 = 1, list_len = 1;
+    for (int u : opts.unrollFactors) {
+        if (u < 1 ||
+            static_cast<int>(k.ops.size()) * u > opts.maxOps)
+            continue;
+        kernel::Kernel body = unrollKernel(k, u);
+        DepGraph g = buildDepGraph(body, m);
+        ModuloSchedule s = moduloSchedule(g, m);
+
+        if (u == 1) {
+            ii1 = s.ii;
+            stages1 = s.stages;
+            length1 = s.length;
+            ListSchedule ls = listSchedule(g, m);
+            list_len = std::max(1, ls.length);
+        }
+
+        CompiledKernel c;
+        c.unroll = u;
+        c.ii = s.ii;
+        c.stages = s.stages;
+        c.length = s.length;
+        c.aluOpsPerIteration = census.aluOps;
+        c.gopsOpsPerIteration = kernel::gopsOpsPerIteration(k);
+        if (!have_best ||
+            c.aluOpsPerCycle() > best.aluOpsPerCycle() + 1e-9) {
+            best = c;
+            have_best = true;
+        }
+    }
+    SPS_ASSERT(have_best, "no feasible unroll factor for %s",
+               k.name.c_str());
+    // The u=1 variant backs short calls; unrollFactors always
+    // includes 1 in practice, but fall back to the winner if not.
+    if (ii1 == 1 && stages1 == 1 && length1 == 1 && list_len == 1 &&
+        best.unroll != 1) {
+        ii1 = best.ii;
+        stages1 = best.stages;
+        length1 = best.length;
+        list_len = best.length;
+    }
+    best.ii1 = ii1;
+    best.stages1 = stages1;
+    best.length1 = length1;
+    best.listLength = list_len;
+    return best;
+}
+
+} // namespace sps::sched

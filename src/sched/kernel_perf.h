@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The kernel inner-loop performance model: compile a kernel for a
+ * machine (choosing an unroll factor and modulo schedule) and report
+ * the static-analysis metrics the paper uses for Figures 13-14 and
+ * Table 5, plus the call-time parameters the application simulator
+ * charges per kernel invocation.
+ */
+#ifndef SPS_SCHED_KERNEL_PERF_H
+#define SPS_SCHED_KERNEL_PERF_H
+
+#include "kernel/census.h"
+#include "kernel/ir.h"
+#include "sched/machine.h"
+#include "sched/modulo.h"
+
+namespace sps::sched {
+
+/** A compiled kernel: schedule metrics for one machine size. */
+struct CompiledKernel
+{
+    /** Chosen unroll factor. */
+    int unroll = 1;
+    /** Initiation interval of the unrolled loop (cycles). */
+    int ii = 1;
+    /** Software pipeline stages. */
+    int stages = 1;
+    /** Schedule length of one unrolled iteration. */
+    int length = 1;
+    /** Straight-line schedule length (no software pipelining). */
+    int listLength = 1;
+    /** Unrolled=1 variant, used for short calls where the unrolled
+     *  pipeline's priming overhead dominates. */
+    int ii1 = 1;
+    int stages1 = 1;
+    int length1 = 1;
+    /** ALU operations of the *original* body, per original iteration. */
+    int aluOpsPerIteration = 0;
+    /** GOPS-counted operations per original iteration (subword-aware). */
+    double gopsOpsPerIteration = 0.0;
+
+    /**
+     * Inner-loop throughput in ALU operations per cycle per cluster:
+     * unroll * aluOpsPerIteration / ii.
+     */
+    double
+    aluOpsPerCycle() const
+    {
+        return static_cast<double>(unroll) * aluOpsPerIteration / ii;
+    }
+
+    /**
+     * Cycles to run `iterations` loop iterations (per cluster element
+     * batches) in steady software-pipelined execution, including the
+     * pipeline priming and draining overhead. Short calls fall back to
+     * the straight-line schedule when that is cheaper.
+     */
+    int64_t loopCycles(int64_t iterations) const;
+};
+
+/** Options for kernel compilation. */
+struct CompileOptions
+{
+    /** Unroll factors to try. */
+    std::vector<int> unrollFactors = {1, 2, 4};
+    /** Skip unrolls that would exceed this many scheduled ops. */
+    int maxOps = 4096;
+};
+
+/**
+ * Compile `k` for machine `m`: pick the unroll factor with the best
+ * per-original-iteration throughput (ties go to the smaller factor).
+ */
+CompiledKernel compileKernel(const kernel::Kernel &k,
+                             const MachineModel &m,
+                             const CompileOptions &opts = {});
+
+} // namespace sps::sched
+
+#endif // SPS_SCHED_KERNEL_PERF_H

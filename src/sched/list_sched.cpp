@@ -1,0 +1,103 @@
+#include "sched/list_sched.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace sps::sched {
+
+using isa::FuClass;
+
+ListSchedule
+listSchedule(const DepGraph &g, const MachineModel &m)
+{
+    const int n = g.nodeCount();
+    ListSchedule out;
+    out.issueCycle.assign(static_cast<size_t>(n), -1);
+    if (n == 0)
+        return out;
+
+    // Critical-path priorities over the same-iteration subgraph.
+    std::vector<int64_t> height(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i)
+        height[i] = g.nodes[i].latency;
+    for (int iter = 0; iter < n; ++iter) {
+        bool changed = false;
+        for (const DepEdge &e : g.edges) {
+            if (e.distance != 0)
+                continue;
+            int64_t cand = height[e.to] + e.latency;
+            if (cand > height[e.from]) {
+                height[e.from] = cand;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    std::vector<int> remaining_preds(static_cast<size_t>(n), 0);
+    for (const DepEdge &e : g.edges)
+        if (e.distance == 0)
+            ++remaining_preds[e.to];
+
+    // busyUntil[cls][unit]: next free cycle of each unit instance.
+    std::map<FuClass, std::vector<int>> busy;
+    for (int i = 0; i < n; ++i) {
+        FuClass cls = g.nodes[i].cls;
+        if (!busy.count(cls))
+            busy[cls].assign(
+                static_cast<size_t>(m.unitCount(cls)), 0);
+    }
+
+    std::vector<int> ready_at(static_cast<size_t>(n), 0);
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (height[a] != height[b])
+            return height[a] > height[b];
+        return a < b;
+    });
+
+    int placed = 0;
+    std::vector<bool> done(static_cast<size_t>(n), false);
+    while (placed < n) {
+        // Pick the highest-priority ready node.
+        int v = -1;
+        for (int cand : order) {
+            if (!done[cand] && remaining_preds[cand] == 0) {
+                v = cand;
+                break;
+            }
+        }
+        SPS_ASSERT(v >= 0, "list scheduler deadlock (dependence cycle)");
+        auto &units = busy[g.nodes[v].cls];
+        // Earliest unit whose availability works.
+        int best_unit = 0;
+        for (size_t u = 1; u < units.size(); ++u)
+            if (units[u] < units[best_unit])
+                best_unit = static_cast<int>(u);
+        int t = std::max(ready_at[v], units[static_cast<size_t>(
+                                          best_unit)]);
+        out.issueCycle[static_cast<size_t>(v)] = t;
+        units[static_cast<size_t>(best_unit)] =
+            t + g.nodes[v].issueInterval;
+        out.length =
+            std::max(out.length, t + g.nodes[v].latency);
+        done[v] = true;
+        ++placed;
+        for (int e : g.succ[v]) {
+            const DepEdge &edge = g.edges[static_cast<size_t>(e)];
+            if (edge.distance != 0)
+                continue;
+            ready_at[edge.to] = std::max(ready_at[edge.to],
+                                         t + edge.latency);
+            --remaining_preds[edge.to];
+        }
+    }
+    return out;
+}
+
+} // namespace sps::sched

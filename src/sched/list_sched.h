@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Resource-constrained list scheduling of one loop body as straight-
+ * line code (loop-carried edges become iteration-sequential). Used to
+ * model kernel calls too short to benefit from software pipelining.
+ */
+#ifndef SPS_SCHED_LIST_SCHED_H
+#define SPS_SCHED_LIST_SCHED_H
+
+#include "sched/depgraph.h"
+
+namespace sps::sched {
+
+/** Result of list scheduling: cycle of each node plus total length. */
+struct ListSchedule
+{
+    int length = 0;
+    std::vector<int> issueCycle;
+};
+
+/**
+ * Greedy latency-weighted list schedule of the same-iteration graph
+ * (loop-carried edges are dropped; the caller serializes iterations).
+ */
+ListSchedule listSchedule(const DepGraph &g, const MachineModel &m);
+
+} // namespace sps::sched
+
+#endif // SPS_SCHED_LIST_SCHED_H

@@ -1,0 +1,98 @@
+#include "sched/schedule_dump.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace sps::sched {
+
+using isa::FuClass;
+
+namespace {
+
+const char *
+className(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::Adder: return "ADD";
+      case FuClass::Multiplier: return "MUL";
+      case FuClass::Dsq: return "DSQ";
+      case FuClass::Scratchpad: return "SP";
+      case FuClass::Comm: return "COMM";
+      case FuClass::SbPort: return "SB";
+      case FuClass::None: return "-";
+    }
+    return "?";
+}
+
+constexpr FuClass kClasses[] = {FuClass::Adder, FuClass::Multiplier,
+                                FuClass::Dsq, FuClass::Scratchpad,
+                                FuClass::Comm, FuClass::SbPort};
+
+} // namespace
+
+std::vector<ClassUtilization>
+scheduleUtilization(const DepGraph &g, const ModuloSchedule &s,
+                    const MachineModel &m)
+{
+    SPS_ASSERT(s.ok, "utilization of failed schedule");
+    std::map<FuClass, int> used;
+    for (const DepNode &n : g.nodes)
+        used[n.cls] += n.issueInterval;
+    std::vector<ClassUtilization> out;
+    for (FuClass cls : kClasses) {
+        int units = m.unitCount(cls);
+        if (units == 0 && used[cls] == 0)
+            continue;
+        ClassUtilization u;
+        u.cls = cls;
+        u.slotsUsed = used[cls];
+        u.slotsAvailable = units * s.ii;
+        out.push_back(u);
+    }
+    return out;
+}
+
+std::string
+dumpSchedule(const DepGraph &g, const ModuloSchedule &s,
+             const MachineModel &m)
+{
+    SPS_ASSERT(s.ok, "dump of failed schedule");
+    std::ostringstream os;
+    os << "II=" << s.ii << " stages=" << s.stages
+       << " length=" << s.length << "\n";
+
+    // Issue table: one line per cycle of the kernel body, ops grouped
+    // by class.
+    int max_cycle = 0;
+    for (int t : s.issueCycle)
+        max_cycle = std::max(max_cycle, t);
+    for (int t = 0; t <= max_cycle; ++t) {
+        os << "  c" << t;
+        if (t % s.ii == 0 && t > 0)
+            os << " (stage " << t / s.ii << ")";
+        os << ":";
+        bool any = false;
+        for (int i = 0; i < g.nodeCount(); ++i) {
+            if (s.issueCycle[i] != t)
+                continue;
+            os << " " << isa::mnemonic(g.nodes[i].code) << "@"
+               << className(g.nodes[i].cls);
+            any = true;
+        }
+        if (!any)
+            os << " .";
+        os << "\n";
+    }
+
+    os << "utilization:";
+    for (const auto &u : scheduleUtilization(g, s, m)) {
+        os << " " << className(u.cls) << "="
+           << static_cast<int>(100 * u.fraction() + 0.5) << "%";
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace sps::sched

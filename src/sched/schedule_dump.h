@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Human-readable rendering of a modulo schedule: the kernel's VLIW
+ * issue table (cycle x functional unit class), annotated with II,
+ * stage count, and per-class utilization. Intended for debugging
+ * kernels and for the examples' output.
+ */
+#ifndef SPS_SCHED_SCHEDULE_DUMP_H
+#define SPS_SCHED_SCHEDULE_DUMP_H
+
+#include <string>
+
+#include "sched/depgraph.h"
+#include "sched/modulo.h"
+
+namespace sps::sched {
+
+/** Render one iteration's issue table plus summary lines. */
+std::string dumpSchedule(const DepGraph &g, const ModuloSchedule &s,
+                         const MachineModel &m);
+
+/** Per-class issue-slot utilization of the steady-state loop. */
+struct ClassUtilization
+{
+    isa::FuClass cls;
+    int slotsUsed = 0;
+    int slotsAvailable = 0;
+
+    double
+    fraction() const
+    {
+        return slotsAvailable > 0
+                   ? static_cast<double>(slotsUsed) / slotsAvailable
+                   : 0.0;
+    }
+};
+
+/** Utilization per functional-unit class at the schedule's II. */
+std::vector<ClassUtilization>
+scheduleUtilization(const DepGraph &g, const ModuloSchedule &s,
+                    const MachineModel &m);
+
+} // namespace sps::sched
+
+#endif // SPS_SCHED_SCHEDULE_DUMP_H

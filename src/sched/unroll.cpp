@@ -1,0 +1,142 @@
+#include "sched/unroll.h"
+
+#include "common/log.h"
+#include "kernel/validate.h"
+
+namespace sps::sched {
+
+using kernel::Kernel;
+using kernel::kNoValue;
+using kernel::Op;
+using kernel::ValueId;
+using isa::Opcode;
+
+Kernel
+unrollKernel(const Kernel &k, int factor)
+{
+    SPS_ASSERT(factor >= 1, "unroll factor must be >= 1");
+    if (factor == 1)
+        return k;
+
+    Kernel out;
+    out.name = k.name + "_x" + std::to_string(factor);
+    out.dataClass = k.dataClass;
+    out.streams = k.streams;
+    out.lengthDriver = k.lengthDriver;
+    out.scratchpadWords = k.scratchpadWords;
+
+    const auto nops = static_cast<ValueId>(k.ops.size());
+    // map[j][i]: id of replica j of original op i.
+    std::vector<std::vector<ValueId>> map(
+        static_cast<size_t>(factor),
+        std::vector<ValueId>(static_cast<size_t>(nops), kNoValue));
+
+    // Phis whose source must be fixed up after all replicas exist:
+    // (new phi id, original source id, source replica).
+    struct PhiFixup
+    {
+        ValueId phi;
+        ValueId src;
+        int replica;
+    };
+    std::vector<PhiFixup> fixups;
+
+    for (int j = 0; j < factor; ++j) {
+        for (ValueId i = 0; i < nops; ++i) {
+            const Op &op = k.op(i);
+            Op copy = op;
+            copy.args.clear();
+            copy.orderAfter.clear();
+
+            if (op.code == Opcode::Phi) {
+                SPS_ASSERT(op.args[0] != kNoValue,
+                           "unroll: phi without source");
+                int d = op.distance;
+                if (j - d >= 0) {
+                    // Same unrolled iteration: forward directly to the
+                    // earlier replica of the source; the phi vanishes.
+                    map[static_cast<size_t>(j)][static_cast<size_t>(i)] =
+                        map[static_cast<size_t>(j - d)]
+                           [static_cast<size_t>(op.args[0])];
+                    continue;
+                }
+                int src_replica =
+                    ((j - d) % factor + factor) % factor;
+                int new_dist = (d - j + factor - 1) / factor;
+                copy.distance = new_dist;
+                copy.args.push_back(kNoValue);
+                out.ops.push_back(copy);
+                ValueId nid = static_cast<ValueId>(out.ops.size()) - 1;
+                map[static_cast<size_t>(j)][static_cast<size_t>(i)] = nid;
+                fixups.push_back(PhiFixup{nid, op.args[0], src_replica});
+                continue;
+            }
+
+            for (ValueId a : op.args) {
+                ValueId na =
+                    map[static_cast<size_t>(j)][static_cast<size_t>(a)];
+                SPS_ASSERT(na != kNoValue, "unroll: unmapped operand");
+                copy.args.push_back(na);
+            }
+            for (ValueId t : op.orderAfter) {
+                ValueId nt =
+                    map[static_cast<size_t>(j)][static_cast<size_t>(t)];
+                if (nt != kNoValue)
+                    copy.orderAfter.push_back(nt);
+            }
+            out.ops.push_back(copy);
+            map[static_cast<size_t>(j)][static_cast<size_t>(i)] =
+                static_cast<ValueId>(out.ops.size()) - 1;
+        }
+
+        // Thread side-effect chains from replica j-1 into replica j:
+        // the first SP / per-stream op of this replica must follow the
+        // last one of the previous replica.
+        if (j > 0) {
+            ValueId prev_sp = kNoValue, first_sp = kNoValue;
+            std::vector<ValueId> prev_stream(k.streams.size(), kNoValue);
+            std::vector<ValueId> first_stream(k.streams.size(), kNoValue);
+            for (ValueId i = 0; i < nops; ++i) {
+                const Op &op = k.op(i);
+                ValueId pid =
+                    map[static_cast<size_t>(j - 1)][static_cast<size_t>(i)];
+                ValueId cid =
+                    map[static_cast<size_t>(j)][static_cast<size_t>(i)];
+                if (isa::isSpAccess(op.code)) {
+                    if (pid != kNoValue)
+                        prev_sp = pid;
+                    if (cid != kNoValue && first_sp == kNoValue)
+                        first_sp = cid;
+                }
+                if (isa::isSrfAccess(op.code)) {
+                    auto s = static_cast<size_t>(op.stream);
+                    if (pid != kNoValue)
+                        prev_stream[s] = pid;
+                    if (cid != kNoValue && first_stream[s] == kNoValue)
+                        first_stream[s] = cid;
+                }
+            }
+            if (first_sp != kNoValue && prev_sp != kNoValue)
+                out.ops[static_cast<size_t>(first_sp)]
+                    .orderAfter.push_back(prev_sp);
+            for (size_t s = 0; s < k.streams.size(); ++s) {
+                if (first_stream[s] != kNoValue &&
+                    prev_stream[s] != kNoValue)
+                    out.ops[static_cast<size_t>(first_stream[s])]
+                        .orderAfter.push_back(prev_stream[s]);
+            }
+        }
+    }
+
+    for (const PhiFixup &f : fixups) {
+        ValueId src = map[static_cast<size_t>(f.replica)]
+                         [static_cast<size_t>(f.src)];
+        SPS_ASSERT(src != kNoValue, "unroll: unmapped phi source");
+        out.ops[static_cast<size_t>(f.phi)].args[0] = src;
+    }
+
+    kernel::validateKernel(out);
+    return out;
+}
+
+} // namespace sps::sched

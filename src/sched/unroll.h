@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Loop unrolling of kernel bodies. The paper notes that "more loop
+ * unrolling is often used with higher N to provide more ILP"; the
+ * kernel performance model tries several unroll factors and keeps the
+ * best initiation interval per original iteration.
+ */
+#ifndef SPS_SCHED_UNROLL_H
+#define SPS_SCHED_UNROLL_H
+
+#include "kernel/ir.h"
+
+namespace sps::sched {
+
+/**
+ * Replicate the kernel body `factor` times. Loop-carried values are
+ * rewired: a phi of distance d in replica j reads replica (j - d) of
+ * its source directly when j >= d, and otherwise becomes a phi of
+ * distance ceil((d - j) / factor) on replica ((j - d) mod factor).
+ * Side-effect token chains are threaded across replicas.
+ *
+ * Unrolled kernels are *scheduling artifacts*: stream accesses keep
+ * their original record addressing, so they are compiled (to measure
+ * resource usage and II) but never functionally interpreted.
+ */
+kernel::Kernel unrollKernel(const kernel::Kernel &k, int factor);
+
+} // namespace sps::sched
+
+#endif // SPS_SCHED_UNROLL_H

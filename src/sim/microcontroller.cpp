@@ -1,0 +1,26 @@
+#include "sim/microcontroller.h"
+
+namespace sps::sim {
+
+int64_t
+Microcontroller::callCycles(const std::string &kernel_name,
+                            const sched::CompiledKernel &ck,
+                            int64_t records)
+{
+    int64_t cycles = cfg_.pipeFillCycles;
+    if (!resident_[kernel_name]) {
+        // First use: load the kernel's VLIW instructions. The schedule
+        // occupies roughly ii * stages instruction slots (the unrolled
+        // software-pipelined body) plus prologue/epilogue of similar
+        // size.
+        int64_t instructions =
+            2LL * ck.ii * ck.stages + ck.listLength;
+        cycles += instructions * cfg_.loadCyclesPerInstruction;
+        resident_[kernel_name] = true;
+    }
+    int64_t iterations = (records + clusters_ - 1) / clusters_;
+    cycles += ck.loopCycles(iterations);
+    return cycles;
+}
+
+} // namespace sps::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Microcontroller timing model: cycles charged for one kernel call.
+ * Covers the per-call overheads the paper attributes short-stream
+ * slowdowns to (Section 5.3): microcontroller and cluster pipeline
+ * fill, software-pipelining priming, and loop prologue/epilogue, plus
+ * a one-time microcode load per kernel.
+ */
+#ifndef SPS_SIM_MICROCONTROLLER_H
+#define SPS_SIM_MICROCONTROLLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sched/kernel_perf.h"
+
+namespace sps::sim {
+
+/** Fixed per-call overheads. */
+struct UcConfig
+{
+    /** Microcontroller + cluster pipeline fill per kernel call. */
+    int pipeFillCycles = 8;
+    /**
+     * Cycles per VLIW instruction when loading microcode. Zero by
+     * default: kernels are loaded before they are used (Section
+     * 3.1.2), overlapping earlier execution. Set nonzero to study
+     * cold-start behaviour.
+     */
+    int loadCyclesPerInstruction = 0;
+};
+
+/**
+ * Kernel-call timing: tracks which kernels are already resident in
+ * microcode storage.
+ */
+class Microcontroller
+{
+  public:
+    explicit Microcontroller(UcConfig cfg, int clusters)
+        : cfg_(cfg), clusters_(clusters)
+    {}
+
+    /**
+     * Cycles for one call of a compiled kernel over `records` stream
+     * records. Includes the first-use microcode load.
+     */
+    int64_t callCycles(const std::string &kernel_name,
+                       const sched::CompiledKernel &ck, int64_t records);
+
+    /** Forget resident kernels (new program). */
+    void reset() { resident_.clear(); }
+
+  private:
+    UcConfig cfg_;
+    int clusters_;
+    std::map<std::string, bool> resident_;
+};
+
+} // namespace sps::sim
+
+#endif // SPS_SIM_MICROCONTROLLER_H

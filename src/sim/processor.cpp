@@ -1,0 +1,47 @@
+#include "sim/processor.h"
+
+#include "common/log.h"
+#include "sim/stream_controller.h"
+
+namespace sps::sim {
+
+StreamProcessor::StreamProcessor(SimConfig cfg)
+    : cfg_(cfg),
+      costModel_(cfg.params),
+      machine_(cfg.size, costModel_),
+      srf_(srf::SrfModel::forMachine(cfg.size, cfg.params)),
+      memSys_(cfg.memConfig)
+{}
+
+StreamProcessor::~StreamProcessor() = default;
+
+const sched::CompiledKernel &
+StreamProcessor::compile(const kernel::Kernel &k)
+{
+    auto it = compiled_.find(k.name);
+    if (it != compiled_.end())
+        return it->second;
+    auto [ins, ok] =
+        compiled_.emplace(k.name, sched::compileKernel(k, machine_));
+    SPS_ASSERT(ok, "duplicate kernel compilation");
+    return ins->second;
+}
+
+SimResult
+StreamProcessor::run(const stream::StreamProgram &prog)
+{
+    ControllerConfig ctrl;
+    ctrl.clusters = cfg_.size.clusters;
+    ctrl.hostIssueCycles = cfg_.hostIssueCycles;
+    ctrl.scoreboardDepth = cfg_.scoreboardDepth;
+
+    Microcontroller uc(cfg_.ucConfig, cfg_.size.clusters);
+    srf::Allocator alloc(srf_.capacityWords);
+    return executeProgram(
+        prog, ctrl, memSys_, uc, alloc,
+        [this](const kernel::Kernel &k) -> const sched::CompiledKernel & {
+            return compile(k);
+        });
+}
+
+} // namespace sps::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The stream processor simulator facade: configuration plus the run()
+ * entry point. Mirrors the paper's methodology: kernel inner-loop
+ * timing comes from static analysis of compiled kernels
+ * (sched::compileKernel) and application time from cycle-accurate
+ * stream-level execution with a scoreboard, a streaming memory
+ * system, a finite-bandwidth host interface, and SRF capacity
+ * accounting.
+ */
+#ifndef SPS_SIM_PROCESSOR_H
+#define SPS_SIM_PROCESSOR_H
+
+#include <map>
+#include <memory>
+
+#include "mem/stream_mem.h"
+#include "sched/kernel_perf.h"
+#include "sim/microcontroller.h"
+#include "sim/stats.h"
+#include "srf/srf.h"
+#include "stream/program.h"
+#include "vlsi/cost_model.h"
+#include "vlsi/tech.h"
+
+namespace sps::sim {
+
+/** Full simulator configuration. */
+struct SimConfig
+{
+    vlsi::MachineSize size{8, 5};
+    vlsi::Params params = vlsi::Params::imagine();
+    vlsi::Technology tech = vlsi::Technology::fortyFiveNm();
+    mem::StreamMemConfig memConfig = mem::StreamMemConfig::fortyFiveNm();
+    UcConfig ucConfig;
+    /** Cycles the host channel needs per stream instruction. */
+    int hostIssueCycles = 8;
+    /** Stream controller scoreboard entries. */
+    int scoreboardDepth = 16;
+};
+
+/**
+ * A configured stream processor: compiles kernels on first use and
+ * executes stream programs.
+ */
+class StreamProcessor
+{
+  public:
+    explicit StreamProcessor(SimConfig cfg);
+    ~StreamProcessor();
+
+    const SimConfig &config() const { return cfg_; }
+    const srf::SrfModel &srf() const { return srf_; }
+    const sched::MachineModel &machine() const { return machine_; }
+
+    /** Compile (and cache) a kernel for this machine. */
+    const sched::CompiledKernel &compile(const kernel::Kernel &k);
+
+    /** Execute a stream program; returns timing and statistics. */
+    SimResult run(const stream::StreamProgram &prog);
+
+  private:
+    SimConfig cfg_;
+    vlsi::CostModel costModel_;
+    sched::MachineModel machine_;
+    srf::SrfModel srf_;
+    mem::StreamMemSystem memSys_;
+    std::map<std::string, sched::CompiledKernel> compiled_;
+};
+
+} // namespace sps::sim
+
+#endif // SPS_SIM_PROCESSOR_H

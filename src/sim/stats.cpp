@@ -1,0 +1,4 @@
+#include "sim/stats.h"
+
+// SimResult is a plain aggregate with inline accessors; this file
+// anchors the header in the sps_sim library.

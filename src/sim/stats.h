@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Execution statistics of one simulated stream program.
+ */
+#ifndef SPS_SIM_STATS_H
+#define SPS_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sps::sim {
+
+/** Start/end cycle of one stream-level operation. */
+struct OpInterval
+{
+    int64_t start = 0;
+    int64_t end = 0;
+    std::string label;
+};
+
+/** Results of one simulation. */
+struct SimResult
+{
+    /** Total execution time (cycles). */
+    int64_t cycles = 0;
+    /** ALU operations executed (per-instruction count). */
+    int64_t aluOps = 0;
+    /** GOPS-counted operations (subword-aware). */
+    double gopsOps = 0.0;
+    /** Words moved to/from external memory. */
+    int64_t memWords = 0;
+    /** Cycles the memory system was busy. */
+    int64_t memBusy = 0;
+    /** Cycles the microcontroller (kernel execution) was busy. */
+    int64_t ucBusy = 0;
+    /** Peak SRF occupancy (words). */
+    int64_t srfHighWater = 0;
+    /** Per-op execution intervals, in program order. */
+    std::vector<OpInterval> timeline;
+
+    /** Sustained GOPS at a clock frequency in GHz. */
+    double
+    gops(double clock_ghz) const
+    {
+        return cycles > 0 ? gopsOps / cycles * clock_ghz : 0.0;
+    }
+
+    double
+    memBusyFraction() const
+    {
+        return cycles > 0 ? static_cast<double>(memBusy) / cycles : 0.0;
+    }
+
+    double
+    ucBusyFraction() const
+    {
+        return cycles > 0 ? static_cast<double>(ucBusy) / cycles : 0.0;
+    }
+};
+
+} // namespace sps::sim
+
+#endif // SPS_SIM_STATS_H

@@ -1,0 +1,133 @@
+#include "sim/stream_controller.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/log.h"
+
+namespace sps::sim {
+
+using stream::OpKind;
+using stream::StreamOp;
+
+SimResult
+executeProgram(const stream::StreamProgram &prog,
+               const ControllerConfig &cfg,
+               const mem::StreamMemSystem &mem_sys, Microcontroller &uc,
+               srf::Allocator &alloc, const CompileFn &compile)
+{
+    stream::ProgramDeps deps = stream::analyzeDeps(prog);
+    const auto &ops = prog.ops();
+    const auto &streams = prog.streams();
+
+    SimResult result;
+    result.timeline.reserve(ops.size());
+    std::vector<int64_t> complete(ops.size(), 0);
+
+    int64_t issue_time = 0;
+    int64_t mem_free = 0;
+    int64_t uc_free = 0;
+    bool warned_overflow = false;
+
+    // Completion times of in-flight ops, for the finite scoreboard.
+    std::priority_queue<int64_t, std::vector<int64_t>,
+                        std::greater<int64_t>>
+        in_flight;
+
+    auto ensure_resident = [&](int s) {
+        if (alloc.resident(s))
+            return;
+        int64_t words = streams[static_cast<size_t>(s)].words();
+        if (!alloc.allocate(s, words)) {
+            if (!warned_overflow) {
+                warn("program %s: SRF overflow allocating %s "
+                     "(%lld words, %lld used / %lld capacity); "
+                     "forcing allocation",
+                     prog.name().c_str(),
+                     streams[static_cast<size_t>(s)].name.c_str(),
+                     static_cast<long long>(words),
+                     static_cast<long long>(alloc.used()),
+                     static_cast<long long>(alloc.capacity()));
+                warned_overflow = true;
+            }
+            alloc.forceAllocate(s, words);
+        }
+    };
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const StreamOp &op = ops[i];
+
+        // Host issue: serialized stream instructions over the finite
+        // host channel, stalling when the scoreboard is full.
+        while (static_cast<int>(in_flight.size()) >=
+               cfg.scoreboardDepth) {
+            issue_time = std::max(issue_time, in_flight.top());
+            in_flight.pop();
+        }
+        issue_time += cfg.hostIssueCycles;
+
+        int64_t ready = issue_time;
+        for (int d : deps.deps[i])
+            ready = std::max(ready, complete[static_cast<size_t>(d)]);
+
+        int64_t start = 0, end = 0;
+        switch (op.kind) {
+          case OpKind::Load: {
+            ensure_resident(op.stream);
+            int64_t words =
+                streams[static_cast<size_t>(op.stream)].memWords();
+            mem::TransferResult tr = mem_sys.transfer(words);
+            start = std::max(ready, mem_free);
+            end = start + tr.cycles;
+            // Pins busy for the bandwidth-limited portion; the fixed
+            // latency of the next transfer can overlap.
+            mem_free = start + tr.busyCycles;
+            result.memBusy += tr.busyCycles;
+            result.memWords += words;
+            break;
+          }
+          case OpKind::Store: {
+            int64_t words =
+                streams[static_cast<size_t>(op.stream)].memWords();
+            mem::TransferResult tr = mem_sys.transfer(words);
+            start = std::max(ready, mem_free);
+            end = start + tr.cycles;
+            mem_free = start + tr.busyCycles;
+            result.memBusy += tr.busyCycles;
+            result.memWords += words;
+            break;
+          }
+          case OpKind::Kernel: {
+            // Outputs materialize in the SRF.
+            for (int s : deps.writes[i])
+                ensure_resident(s);
+            for (int s : deps.reads[i])
+                ensure_resident(s);
+            const sched::CompiledKernel &ck = compile(*op.k);
+            int64_t dur = uc.callCycles(op.k->name, ck, op.records);
+            start = std::max(ready, uc_free);
+            end = start + dur;
+            uc_free = end;
+            result.ucBusy += dur;
+            result.aluOps += ck.aluOpsPerIteration * op.records;
+            result.gopsOps += ck.gopsOpsPerIteration *
+                              static_cast<double>(op.records);
+            break;
+          }
+        }
+
+        complete[i] = end;
+        in_flight.push(end);
+        result.timeline.push_back(OpInterval{start, end, op.label});
+        result.cycles = std::max(result.cycles, end);
+        result.srfHighWater =
+            std::max(result.srfHighWater, alloc.highWater());
+
+        // Streams dead after this op release their SRF space.
+        for (int s : deps.lastUseOf[i])
+            alloc.release(s);
+    }
+    return result;
+}
+
+} // namespace sps::sim

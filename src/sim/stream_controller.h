@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The stream controller: issues stream-level operations in program
+ * order through a finite scoreboard, resolving dependences and
+ * resource conflicts (memory system, microcontroller), and tracking
+ * SRF residency. This is the engine behind StreamProcessor::run().
+ */
+#ifndef SPS_SIM_STREAM_CONTROLLER_H
+#define SPS_SIM_STREAM_CONTROLLER_H
+
+#include <functional>
+
+#include "mem/stream_mem.h"
+#include "sim/microcontroller.h"
+#include "sim/stats.h"
+#include "srf/allocator.h"
+#include "stream/deps.h"
+#include "stream/program.h"
+
+namespace sps::sim {
+
+/** Callback type: compiled-kernel lookup provided by the processor. */
+using CompileFn =
+    std::function<const sched::CompiledKernel &(const kernel::Kernel &)>;
+
+/** Scoreboard execution parameters. */
+struct ControllerConfig
+{
+    int clusters = 8;
+    int hostIssueCycles = 16;
+    int scoreboardDepth = 16;
+};
+
+/**
+ * Execute a program against the given memory system, microcontroller
+ * model, and SRF allocator. Returns timing and statistics.
+ */
+SimResult executeProgram(const stream::StreamProgram &prog,
+                         const ControllerConfig &cfg,
+                         const mem::StreamMemSystem &mem_sys,
+                         Microcontroller &uc, srf::Allocator &alloc,
+                         const CompileFn &compile);
+
+} // namespace sps::sim
+
+#endif // SPS_SIM_STREAM_CONTROLLER_H

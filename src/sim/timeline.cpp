@@ -1,0 +1,64 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace sps::sim {
+
+std::string
+renderTimeline(const SimResult &result, int width, int max_rows)
+{
+    SPS_ASSERT(width >= 8, "timeline too narrow");
+    std::ostringstream os;
+    if (result.timeline.empty() || result.cycles <= 0) {
+        os << "(empty timeline)\n";
+        return os.str();
+    }
+    double scale =
+        static_cast<double>(width) / static_cast<double>(result.cycles);
+
+    size_t rows = result.timeline.size();
+    size_t head = rows, skip_from = rows, skip_to = rows;
+    if (static_cast<int>(rows) > max_rows) {
+        head = static_cast<size_t>(max_rows) / 2;
+        skip_from = head;
+        skip_to = rows - head;
+    }
+
+    size_t label_w = 0;
+    for (const auto &iv : result.timeline)
+        label_w = std::max(label_w, iv.label.size());
+    label_w = std::min<size_t>(label_w, 24);
+
+    for (size_t i = 0; i < rows; ++i) {
+        if (i == skip_from) {
+            os << "  ... " << (skip_to - skip_from)
+               << " ops elided ...\n";
+        }
+        if (i >= skip_from && i < skip_to)
+            continue;
+        const OpInterval &iv = result.timeline[i];
+        std::string label = iv.label.substr(0, label_w);
+        os << label << std::string(label_w - label.size() + 1, ' ')
+           << '|';
+        int start =
+            static_cast<int>(static_cast<double>(iv.start) * scale);
+        int end =
+            static_cast<int>(static_cast<double>(iv.end) * scale);
+        end = std::max(end, start + 1);
+        start = std::min(start, width);
+        end = std::min(end, width);
+        os << std::string(static_cast<size_t>(start), ' ')
+           << std::string(static_cast<size_t>(end - start), '#')
+           << std::string(static_cast<size_t>(width - end), ' ')
+           << "|\n";
+    }
+    os << std::string(label_w + 1, ' ') << "0"
+       << std::string(static_cast<size_t>(width - 1), ' ')
+       << result.cycles << " cycles\n";
+    return os.str();
+}
+
+} // namespace sps::sim

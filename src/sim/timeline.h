@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Text Gantt rendering of a simulation's stream-operation timeline:
+ * one row per stream-level op, bars scaled to the run length,
+ * annotated with the op kind. Makes load/kernel overlap (and the lack
+ * of it) visible at a glance.
+ */
+#ifndef SPS_SIM_TIMELINE_H
+#define SPS_SIM_TIMELINE_H
+
+#include <string>
+
+#include "sim/stats.h"
+
+namespace sps::sim {
+
+/**
+ * Render the result's timeline as text.
+ *
+ * @param result a finished simulation
+ * @param width bar area width in characters
+ * @param max_rows rows rendered before eliding the middle
+ */
+std::string renderTimeline(const SimResult &result, int width = 64,
+                           int max_rows = 40);
+
+} // namespace sps::sim
+
+#endif // SPS_SIM_TIMELINE_H

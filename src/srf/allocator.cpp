@@ -1,0 +1,50 @@
+#include "srf/allocator.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sps::srf {
+
+bool
+Allocator::allocate(int64_t stream_id, int64_t words)
+{
+    SPS_ASSERT(words >= 0, "negative allocation");
+    SPS_ASSERT(!live_.count(stream_id), "stream %lld already resident",
+               static_cast<long long>(stream_id));
+    if (used_ + words > capacity_)
+        return false;
+    live_[stream_id] = words;
+    used_ += words;
+    highWater_ = std::max(highWater_, used_);
+    return true;
+}
+
+void
+Allocator::forceAllocate(int64_t stream_id, int64_t words)
+{
+    SPS_ASSERT(words >= 0, "negative allocation");
+    SPS_ASSERT(!live_.count(stream_id), "stream %lld already resident",
+               static_cast<long long>(stream_id));
+    live_[stream_id] = words;
+    used_ += words;
+    highWater_ = std::max(highWater_, used_);
+}
+
+void
+Allocator::release(int64_t stream_id)
+{
+    auto it = live_.find(stream_id);
+    if (it == live_.end())
+        return;
+    used_ -= it->second;
+    live_.erase(it);
+}
+
+bool
+Allocator::resident(int64_t stream_id) const
+{
+    return live_.count(stream_id) > 0;
+}
+
+} // namespace sps::srf

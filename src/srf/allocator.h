@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SRF space allocator: tracks which streams are resident in the SRF
+ * during application execution. The strip-miner sizes batches so that
+ * the working set fits; the allocator enforces that invariant at
+ * simulation time and reports high-water occupancy.
+ */
+#ifndef SPS_SRF_ALLOCATOR_H
+#define SPS_SRF_ALLOCATOR_H
+
+#include <cstdint>
+#include <map>
+
+#include "srf/srf.h"
+
+namespace sps::srf {
+
+/** First-fit-free bump allocator over SRF capacity. */
+class Allocator
+{
+  public:
+    explicit Allocator(int64_t capacity_words)
+        : capacity_(capacity_words)
+    {}
+
+    int64_t capacity() const { return capacity_; }
+    int64_t used() const { return used_; }
+    int64_t highWater() const { return highWater_; }
+
+    /** True if `words` more would fit right now. */
+    bool fits(int64_t words) const { return used_ + words <= capacity_; }
+
+    /**
+     * Reserve space for a stream; returns false (without side effects)
+     * when the stream does not fit.
+     */
+    bool allocate(int64_t stream_id, int64_t words);
+
+    /**
+     * Reserve space even when over capacity (the simulator uses this
+     * to keep running after warning about an overflow; highWater()
+     * then exceeds capacity()).
+     */
+    void forceAllocate(int64_t stream_id, int64_t words);
+
+    /** Release a stream's space. No-op if it was never allocated. */
+    void release(int64_t stream_id);
+
+    /** True if the stream currently holds SRF space. */
+    bool resident(int64_t stream_id) const;
+
+  private:
+    int64_t capacity_;
+    int64_t used_ = 0;
+    int64_t highWater_ = 0;
+    std::map<int64_t, int64_t> live_;
+};
+
+} // namespace sps::srf
+
+#endif // SPS_SRF_ALLOCATOR_H

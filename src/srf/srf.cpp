@@ -1,0 +1,26 @@
+#include "srf/srf.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace sps::srf {
+
+SrfModel
+SrfModel::forMachine(vlsi::MachineSize size, const vlsi::Params &p)
+{
+    SrfModel m;
+    int n = size.alusPerCluster;
+    m.bankWords = static_cast<int64_t>(
+        std::llround(p.rM * p.tMem * n));
+    m.capacityWords = m.bankWords * size.clusters;
+    m.blockWords = std::max(
+        1, static_cast<int>(std::lround(p.gSrf * n)));
+    // Each bank's block port supplies GSRF*N words per cycle.
+    m.peakWordsPerCycle =
+        static_cast<double>(m.blockWords) * size.clusters;
+    SPS_ASSERT(m.capacityWords > 0, "empty SRF");
+    return m;
+}
+
+} // namespace sps::srf

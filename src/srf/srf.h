@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Stream register file capacity and bandwidth model. The SRF is a
+ * banked, single-ported SRAM of rm * T * N * C words (Table 3); its
+ * many logical ports are realized by the streambuffers.
+ */
+#ifndef SPS_SRF_SRF_H
+#define SPS_SRF_SRF_H
+
+#include <cstdint>
+
+#include "vlsi/cost_model.h"
+
+namespace sps::srf {
+
+/** Static description of one machine's SRF. */
+struct SrfModel
+{
+    /** Total capacity (words). */
+    int64_t capacityWords = 0;
+    /** Words per bank (one bank per cluster). */
+    int64_t bankWords = 0;
+    /** Block size of one streambuffer fetch (words, per bank). */
+    int blockWords = 0;
+    /** Peak SRF bandwidth, words per cycle (one block port per bank). */
+    double peakWordsPerCycle = 0.0;
+
+    /** Build from a machine size and the cost-model parameters. */
+    static SrfModel forMachine(vlsi::MachineSize size,
+                               const vlsi::Params &p);
+};
+
+} // namespace sps::srf
+
+#endif // SPS_SRF_SRF_H

@@ -1,0 +1,16 @@
+#include "srf/streambuffer.h"
+
+namespace sps::srf {
+
+bool
+sbBandwidthOk(const SrfModel &srf, int active_sbs,
+              double words_per_cycle_per_bank)
+{
+    if (active_sbs <= 0)
+        return true;
+    // The bank port delivers blockWords per cycle, shared round-robin.
+    double port_rate = static_cast<double>(srf.blockWords);
+    return words_per_cycle_per_bank <= port_rate + 1e-9;
+}
+
+} // namespace sps::srf

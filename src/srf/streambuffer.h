@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Streambuffer model: each SB double-buffers two SRF blocks per bank
+ * and converts the SRF's single wide port into many sequential logical
+ * ports. Exposes the bandwidth / occupancy arithmetic used by tests
+ * and by the stream-level simulator's sanity checks.
+ */
+#ifndef SPS_SRF_STREAMBUFFER_H
+#define SPS_SRF_STREAMBUFFER_H
+
+#include "srf/srf.h"
+
+namespace sps::srf {
+
+/** One streambuffer's static configuration. */
+struct StreamBuffer
+{
+    /** Block width per bank (words). */
+    int blockWords = 1;
+    /** Double-buffered capacity per bank (words). */
+    int capacityWords() const { return 2 * blockWords; }
+
+    /**
+     * Peak sustainable rate of this SB in words per cycle per bank,
+     * given that a block refill occupies the SRF port for one cycle
+     * out of every `active_sbs` port grants.
+     */
+    double
+    sustainableRate(int active_sbs) const
+    {
+        if (active_sbs <= 0)
+            return static_cast<double>(blockWords);
+        return static_cast<double>(blockWords) / active_sbs;
+    }
+};
+
+/**
+ * Whether a kernel's per-iteration stream demand is sustainable: the
+ * single SRF port round-robins among `active_sbs` buffers, each
+ * delivering blockWords per grant.
+ */
+bool sbBandwidthOk(const SrfModel &srf, int active_sbs,
+                   double words_per_cycle_per_bank);
+
+} // namespace sps::srf
+
+#endif // SPS_SRF_STREAMBUFFER_H

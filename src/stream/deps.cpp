@@ -1,0 +1,81 @@
+#include "stream/deps.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+
+namespace sps::stream {
+
+ProgramDeps
+analyzeDeps(const StreamProgram &prog)
+{
+    const auto &ops = prog.ops();
+    const int n_streams = static_cast<int>(prog.streams().size());
+    ProgramDeps out;
+    out.deps.resize(ops.size());
+    out.lastUseOf.resize(ops.size());
+    out.reads.resize(ops.size());
+    out.writes.resize(ops.size());
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const StreamOp &op = ops[i];
+        switch (op.kind) {
+          case OpKind::Load:
+            out.writes[i].push_back(op.stream);
+            break;
+          case OpKind::Store:
+            out.reads[i].push_back(op.stream);
+            break;
+          case OpKind::Kernel:
+            for (size_t p = 0; p < op.args.size(); ++p) {
+                if (op.k->streams[p].dir == kernel::PortDir::In)
+                    out.reads[i].push_back(op.args[p]);
+                else
+                    out.writes[i].push_back(op.args[p]);
+            }
+            break;
+        }
+    }
+
+    std::vector<int> last_writer(static_cast<size_t>(n_streams), -1);
+    std::vector<std::vector<int>> readers_since(
+        static_cast<size_t>(n_streams));
+    for (size_t i = 0; i < ops.size(); ++i) {
+        std::set<int> d;
+        for (int s : out.reads[i]) {
+            if (last_writer[static_cast<size_t>(s)] >= 0)
+                d.insert(last_writer[static_cast<size_t>(s)]);
+            readers_since[static_cast<size_t>(s)].push_back(
+                static_cast<int>(i));
+        }
+        for (int s : out.writes[i]) {
+            if (last_writer[static_cast<size_t>(s)] >= 0)
+                d.insert(last_writer[static_cast<size_t>(s)]);
+            for (int r : readers_since[static_cast<size_t>(s)])
+                d.insert(r);
+            last_writer[static_cast<size_t>(s)] = static_cast<int>(i);
+            readers_since[static_cast<size_t>(s)].clear();
+        }
+        d.erase(static_cast<int>(i));
+        out.deps[i].assign(d.begin(), d.end());
+    }
+
+    // Last use per stream.
+    std::vector<int> last_use(static_cast<size_t>(n_streams), -1);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        for (int s : out.reads[i])
+            last_use[static_cast<size_t>(s)] = static_cast<int>(i);
+        for (int s : out.writes[i])
+            last_use[static_cast<size_t>(s)] = static_cast<int>(i);
+    }
+    for (int s = 0; s < n_streams; ++s) {
+        if (last_use[static_cast<size_t>(s)] >= 0)
+            out.lastUseOf[static_cast<size_t>(
+                              last_use[static_cast<size_t>(s)])]
+                .push_back(s);
+    }
+    return out;
+}
+
+} // namespace sps::stream

@@ -1,0 +1,89 @@
+#include "stream/program.h"
+
+#include "common/log.h"
+
+namespace sps::stream {
+
+int
+StreamProgram::declareStream(const std::string &name, int record_words,
+                             int64_t records, bool memory_backed,
+                             bool packed16)
+{
+    SPS_ASSERT(record_words >= 1 && records >= 0,
+               "bad stream declaration %s", name.c_str());
+    streams_.push_back(StreamInfo{name, record_words, records,
+                                  memory_backed, packed16});
+    return static_cast<int>(streams_.size()) - 1;
+}
+
+void
+StreamProgram::load(int stream)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(streams_.size()),
+               "bad stream id %d", stream);
+    SPS_ASSERT(streams_[stream].memoryBacked,
+               "load of non-memory stream %s",
+               streams_[stream].name.c_str());
+    StreamOp op;
+    op.kind = OpKind::Load;
+    op.stream = stream;
+    op.records = streams_[stream].records;
+    op.label = "load " + streams_[stream].name;
+    ops_.push_back(std::move(op));
+}
+
+void
+StreamProgram::store(int stream)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(streams_.size()),
+               "bad stream id %d", stream);
+    StreamOp op;
+    op.kind = OpKind::Store;
+    op.stream = stream;
+    op.records = streams_[stream].records;
+    op.label = "store " + streams_[stream].name;
+    ops_.push_back(std::move(op));
+}
+
+void
+StreamProgram::callKernel(const kernel::Kernel *k, std::vector<int> args,
+                          int64_t driver_records)
+{
+    SPS_ASSERT(k != nullptr, "null kernel");
+    SPS_ASSERT(args.size() == k->streams.size(),
+               "kernel %s takes %zu streams, got %zu", k->name.c_str(),
+               k->streams.size(), args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+        int s = args[i];
+        SPS_ASSERT(s >= 0 && s < static_cast<int>(streams_.size()),
+                   "kernel %s arg %zu: bad stream id %d",
+                   k->name.c_str(), i, s);
+        SPS_ASSERT(streams_[s].recordWords == k->streams[i].recordWords,
+                   "kernel %s arg %zu (%s): record width %d != %d",
+                   k->name.c_str(), i, streams_[s].name.c_str(),
+                   streams_[s].recordWords, k->streams[i].recordWords);
+    }
+    StreamOp op;
+    op.kind = OpKind::Kernel;
+    op.k = k;
+    op.args = std::move(args);
+    op.records = driver_records >= 0
+                     ? driver_records
+                     : streams_[op.args[k->lengthDriver]].records;
+    op.label = k->name;
+    ops_.push_back(std::move(op));
+}
+
+int64_t
+StreamProgram::totalKernelRecords() const
+{
+    int64_t total = 0;
+    for (const StreamOp &op : ops_)
+        if (op.kind == OpKind::Kernel)
+            total += op.records;
+    return total;
+}
+
+} // namespace sps::stream

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * StreamC-level program representation: an application is a sequence
+ * of stream loads, stores, and kernel calls over declared streams.
+ * Programs are authored (by the workload builders) already
+ * strip-mined for a concrete machine; the simulator derives
+ * dependences from stream usage and executes with a scoreboard, so
+ * independent loads overlap kernel execution exactly as on Imagine.
+ */
+#ifndef SPS_STREAM_PROGRAM_H
+#define SPS_STREAM_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/ir.h"
+
+namespace sps::stream {
+
+/** A declared stream. */
+struct StreamInfo
+{
+    std::string name;
+    int recordWords = 1;
+    int64_t records = 0;
+    /** True if the stream's home is external memory. */
+    bool memoryBacked = false;
+    /**
+     * True for 16-bit data: two subwords pack into each memory word,
+     * halving external transfer size (SRF occupancy is unchanged --
+     * clusters operate on unpacked words).
+     */
+    bool packed16 = false;
+
+    int64_t words() const { return records * recordWords; }
+    /** Words moved over the external memory interface. */
+    int64_t memWords() const { return packed16 ? words() / 2 : words(); }
+};
+
+/** Kind of one stream-level operation. */
+enum class OpKind { Load, Store, Kernel };
+
+/** One stream-level operation. */
+struct StreamOp
+{
+    OpKind kind = OpKind::Kernel;
+    /** Load/Store: the stream moved. */
+    int stream = -1;
+    /** Kernel: the kernel and its stream arguments in port order. */
+    const kernel::Kernel *k = nullptr;
+    std::vector<int> args;
+    /** Records processed (driver-stream records for kernel calls). */
+    int64_t records = 0;
+    std::string label;
+};
+
+/**
+ * A stream program. Built by application code, executed by sim::.
+ */
+class StreamProgram
+{
+  public:
+    explicit StreamProgram(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<StreamInfo> &streams() const { return streams_; }
+    const std::vector<StreamOp> &ops() const { return ops_; }
+
+    /** Declare a stream; returns its id. */
+    int declareStream(const std::string &name, int record_words,
+                      int64_t records, bool memory_backed = false,
+                      bool packed16 = false);
+
+    /** Load a memory-backed stream into the SRF. */
+    void load(int stream);
+
+    /** Store an SRF stream back to memory. */
+    void store(int stream);
+
+    /**
+     * Call a kernel. `args` bind program streams to the kernel's
+     * stream ports in declaration order. `driver_records` overrides
+     * the iteration count (default: the bound length-driver stream's
+     * record count).
+     */
+    void callKernel(const kernel::Kernel *k, std::vector<int> args,
+                    int64_t driver_records = -1);
+
+    /** Total records each stream op processes (for stats/tests). */
+    int64_t totalKernelRecords() const;
+
+  private:
+    std::string name_;
+    std::vector<StreamInfo> streams_;
+    std::vector<StreamOp> ops_;
+};
+
+} // namespace sps::stream
+
+#endif // SPS_STREAM_PROGRAM_H

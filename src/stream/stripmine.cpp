@@ -1,0 +1,36 @@
+#include "stream/stripmine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sps::stream {
+
+BatchPlan
+planBatches(int64_t total_records, int64_t words_per_record,
+            const srf::SrfModel &srf, int64_t align, double srf_fraction)
+{
+    SPS_ASSERT(total_records >= 0 && words_per_record >= 1 && align >= 1,
+               "bad strip-mine request");
+    BatchPlan plan;
+    if (total_records == 0) {
+        plan.recordsPerBatch = 0;
+        plan.batches = 0;
+        return plan;
+    }
+    auto budget = static_cast<int64_t>(
+        static_cast<double>(srf.capacityWords) * srf_fraction);
+    int64_t max_records = budget / words_per_record;
+    // At least one aligned group per batch, even if it oversubscribes
+    // a tiny SRF: the simulator's allocator will flag real overflow.
+    max_records = std::max(max_records, align);
+    int64_t aligned = (max_records / align) * align;
+    if (aligned < align)
+        aligned = align;
+    plan.recordsPerBatch = std::min(total_records, aligned);
+    plan.batches = (total_records + plan.recordsPerBatch - 1) /
+                   plan.recordsPerBatch;
+    return plan;
+}
+
+} // namespace sps::stream

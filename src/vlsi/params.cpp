@@ -1,0 +1,4 @@
+#include "vlsi/params.h"
+
+// Params is a plain aggregate; this translation unit exists so the header
+// has an anchor in the library and a home for any future validation code.

@@ -1,0 +1,109 @@
+#include "vlsi/sweep.h"
+
+#include "common/log.h"
+
+namespace sps::vlsi {
+
+namespace {
+
+SweepPoint
+evaluate(const CostModel &model, MachineSize size)
+{
+    SweepPoint pt;
+    pt.size = size;
+    pt.area = model.area(size);
+    pt.energy = model.energy(size);
+    pt.delay = model.delay(size);
+    pt.areaPerAlu = model.areaPerAlu(size);
+    pt.energyPerAluOp = model.energyPerAluOp(size);
+    return pt;
+}
+
+} // namespace
+
+std::vector<double>
+SweepSeries::normalizedAreaPerAlu() const
+{
+    SPS_ASSERT(refIndex < points.size(), "bad reference index");
+    std::vector<double> out;
+    out.reserve(points.size());
+    double ref = points[refIndex].areaPerAlu;
+    for (const auto &pt : points)
+        out.push_back(pt.areaPerAlu / ref);
+    return out;
+}
+
+std::vector<double>
+SweepSeries::normalizedEnergyPerOp() const
+{
+    SPS_ASSERT(refIndex < points.size(), "bad reference index");
+    std::vector<double> out;
+    out.reserve(points.size());
+    double ref = points[refIndex].energyPerAluOp;
+    for (const auto &pt : points)
+        out.push_back(pt.energyPerAluOp / ref);
+    return out;
+}
+
+SweepSeries
+intraclusterSweep(const CostModel &model, int c,
+                  const std::vector<int> &n_values, int ref_n)
+{
+    SweepSeries series;
+    bool found_ref = false;
+    for (int n : n_values) {
+        if (n == ref_n) {
+            series.refIndex = series.points.size();
+            found_ref = true;
+        }
+        series.points.push_back(evaluate(model, MachineSize{c, n}));
+    }
+    SPS_ASSERT(found_ref, "reference N=%d not in sweep range", ref_n);
+    return series;
+}
+
+SweepSeries
+interclusterSweep(const CostModel &model, int n,
+                  const std::vector<int> &c_values, int ref_c)
+{
+    SweepSeries series;
+    bool found_ref = false;
+    for (int c : c_values) {
+        if (c == ref_c) {
+            series.refIndex = series.points.size();
+            found_ref = true;
+        }
+        series.points.push_back(evaluate(model, MachineSize{c, n}));
+    }
+    SPS_ASSERT(found_ref, "reference C=%d not in sweep range", ref_c);
+    return series;
+}
+
+SweepSeries
+combinedSweep(const CostModel &model, int n,
+              const std::vector<int> &c_values, MachineSize ref)
+{
+    SweepSeries series;
+    for (int c : c_values)
+        series.points.push_back(evaluate(model, MachineSize{c, n}));
+    // Normalize against an external reference: stash it as an extra
+    // trailing point so normalized*() can use it, then drop it.
+    series.points.push_back(evaluate(model, ref));
+    series.refIndex = series.points.size() - 1;
+    return series;
+}
+
+std::vector<int>
+defaultIntraRange()
+{
+    return {1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 32,
+            48, 64, 96, 128};
+}
+
+std::vector<int>
+defaultInterRange()
+{
+    return {8, 16, 32, 64, 128, 256};
+}
+
+} // namespace sps::vlsi

@@ -1,0 +1,4 @@
+#include "vlsi/tech.h"
+
+// Technology is a plain aggregate with inline helpers; this file anchors
+// the header in the sps_vlsi library.

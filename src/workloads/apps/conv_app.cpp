@@ -1,0 +1,51 @@
+#include <algorithm>
+
+#include "common/log.h"
+#include "stream/stripmine.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps::workloads {
+
+using stream::StreamProgram;
+
+namespace {
+constexpr int64_t kImageW = 512;
+constexpr int64_t kImageH = 384;
+constexpr int64_t kRecords = kImageW * kImageH / kPixelsPerRecord;
+/** Filter-bank passes (separable row+column at three scales). */
+constexpr int kPasses = 6;
+} // namespace
+
+StreamProgram
+buildConvApp(vlsi::MachineSize size, const srf::SrfModel &srf)
+{
+    StreamProgram prog("CONV");
+    const kernel::Kernel &conv = convolveKernel();
+
+    // Per record: the input plus the ping/pong intermediates of the
+    // filter chain, double-buffered.
+    stream::BatchPlan plan = stream::planBatches(
+        kRecords, 2 * (8 + 8 + 8), srf, size.clusters);
+
+    int64_t remaining = kRecords;
+    for (int64_t bch = 0; bch < plan.batches; ++bch) {
+        int64_t recs = std::min(remaining, plan.recordsPerBatch);
+        remaining -= recs;
+        std::string tag = "_b" + std::to_string(bch);
+        int px = prog.declareStream("px" + tag, 8, recs, true, true);
+        prog.load(px);
+        int cur = px;
+        for (int pass = 0; pass < kPasses; ++pass) {
+            bool last = pass + 1 == kPasses;
+            int nxt = prog.declareStream(
+                "f" + std::to_string(pass) + tag, 8, recs, false, last);
+            prog.callKernel(&conv, {cur, nxt});
+            cur = nxt;
+        }
+        prog.store(cur);
+    }
+    return prog;
+}
+
+} // namespace sps::workloads

@@ -1,0 +1,100 @@
+#include <algorithm>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+#include "stream/stripmine.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps::workloads {
+
+using stream::StreamProgram;
+
+namespace {
+
+/** Elementwise winner-take-all merge of two SAD records. */
+kernel::Kernel
+makeMinsad()
+{
+    kernel::KernelBuilder b("minsad", kernel::DataClass::Half16);
+    int a = b.inStream("a", 4);
+    int c = b.inStream("b", 4);
+    int out = b.outStream("m", 4);
+    b.lengthDriver(a);
+    for (int i = 0; i < 4; ++i)
+        b.sbWrite(out, b.imin(b.sbRead(a, i), b.sbRead(c, i)), i);
+    return b.build();
+}
+
+const kernel::Kernel &
+minsadKernel()
+{
+    static const kernel::Kernel k = makeMinsad();
+    return k;
+}
+constexpr int64_t kImageW = 512;
+constexpr int64_t kImageH = 384;
+/** 8-pixel records covering one 512x384 image. */
+constexpr int64_t kRecords = kImageW * kImageH / kPixelsPerRecord;
+/** blocksad passes: each evaluates 3 disparities of the search. */
+constexpr int kDisparityPasses = 8;
+} // namespace
+
+StreamProgram
+buildDepth(vlsi::MachineSize size, const srf::SrfModel &srf)
+{
+    StreamProgram prog("DEPTH");
+    const kernel::Kernel &sad = blocksadKernel();
+    const kernel::Kernel &filt = convolveKernel();
+
+    // Per record: both raw images (8+8), both filtered images (8+8),
+    // and one 4-word SAD record per disparity pass in flight (the SAD
+    // maps are consumed/stored as they are produced, so budget two),
+    // double-buffered.
+    stream::BatchPlan plan = stream::planBatches(
+        kRecords, 2 * (8 + 8 + 8 + 8 + 2 * 4), srf, size.clusters);
+
+    int64_t remaining = kRecords;
+    for (int64_t bch = 0; bch < plan.batches; ++bch) {
+        int64_t recs = std::min(remaining, plan.recordsPerBatch);
+        remaining -= recs;
+        std::string tag = "_b" + std::to_string(bch);
+        int ref = prog.declareStream("ref" + tag, 8, recs, true, true);
+        int cand =
+            prog.declareStream("cand" + tag, 8, recs, true, true);
+        int refF = prog.declareStream("refF" + tag, 8, recs);
+        int candF = prog.declareStream("candF" + tag, 8, recs);
+
+        prog.load(ref);
+        prog.load(cand);
+        // Pre-filter both images; the filtered images never leave the
+        // SRF (producer-consumer locality).
+        prog.callKernel(&filt, {ref, refF});
+        prog.callKernel(&filt, {cand, candF});
+        // Disparity search: each pass matches a 3-disparity window of
+        // the candidate image (Kanade's video-rate stereo machine
+        // sweeps tens of disparities per pixel); a winner-take-all
+        // merge keeps only the running best, so just one disparity
+        // map goes back to memory.
+        int best = -1;
+        for (int d = 0; d < kDisparityPasses; ++d) {
+            int sads = prog.declareStream(
+                "sad" + tag + "_d" + std::to_string(d), 4, recs, false,
+                true);
+            prog.callKernel(&sad, {refF, candF, sads});
+            if (best < 0) {
+                best = sads;
+            } else {
+                int merged = prog.declareStream(
+                    "best" + tag + "_d" + std::to_string(d), 4, recs,
+                    false, true);
+                prog.callKernel(&minsadKernel(), {best, sads, merged});
+                best = merged;
+            }
+        }
+        prog.store(best);
+    }
+    return prog;
+}
+
+} // namespace sps::workloads

@@ -1,0 +1,167 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "interp/interpreter.h"
+#include "stream/stripmine.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps::workloads {
+
+using stream::StreamProgram;
+
+namespace {
+
+int
+log4(int n)
+{
+    int s = 0;
+    while ((1 << (2 * s)) < n)
+        ++s;
+    SPS_ASSERT((1 << (2 * s)) == n, "FFT size %d is not a power of 4",
+               n);
+    return s;
+}
+
+/** Base-4 digit reversal permutation of 0..n-1. */
+int
+digitReverse4(int idx, int stages)
+{
+    int out = 0;
+    for (int s = 0; s < stages; ++s) {
+        out = (out << 2) | (idx & 3);
+        idx >>= 2;
+    }
+    return out;
+}
+
+} // namespace
+
+StreamProgram
+buildFftApp(vlsi::MachineSize size, const srf::SrfModel &srf, int points)
+{
+    StreamProgram prog(points == 1024 ? "FFT1K" : "FFT4K");
+    const kernel::Kernel &fft = fftKernel();
+    const int stages = log4(points);
+    const int64_t bf = points / 4; // butterflies per stage
+
+    // Input data is already in the SRF and bit-reversed stores are
+    // not simulated (Section 5.3). When the SRF is large enough, the
+    // twiddle factors for all stages are also resident; at middling
+    // capacities each stage streams its twiddles from memory, and on
+    // the smallest machines even the ping-pong data arrays spill --
+    // every stage strip-mines its butterflies through memory. These
+    // are the "spilling from the SRF to memory" penalties FFT4K pays
+    // on small machines (Section 5.3).
+    auto budget = static_cast<int64_t>(
+        0.9 * static_cast<double>(srf.capacityWords));
+    int64_t data_words = 2LL * 2 * points; // ping + pong
+    int64_t tw_words = 6LL * bf * stages;
+    bool tw_resident = data_words + tw_words <= budget;
+    // Per-stage working set: input + output + twiddles per record.
+    bool data_resident = 22 * bf <= budget;
+
+    if (data_resident) {
+        std::vector<int> x(static_cast<size_t>(stages) + 1);
+        for (int s = 0; s <= stages; ++s)
+            x[static_cast<size_t>(s)] = prog.declareStream(
+                "x" + std::to_string(s), 8, bf, false);
+        for (int s = 0; s < stages; ++s) {
+            int tw = prog.declareStream("tw" + std::to_string(s), 6,
+                                        bf, !tw_resident);
+            if (!tw_resident)
+                prog.load(tw);
+            prog.callKernel(&fft, {x[static_cast<size_t>(s)], tw,
+                                   x[static_cast<size_t>(s) + 1]});
+        }
+        (void)size;
+        return prog;
+    }
+
+    // Spill mode: each stage processes its butterflies in batches
+    // small enough for the SRF, loading inputs and twiddles and
+    // storing outputs every time.
+    stream::BatchPlan plan =
+        stream::planBatches(bf, 22, srf, size.clusters);
+    for (int s = 0; s < stages; ++s) {
+        int64_t remaining = bf;
+        for (int64_t bch = 0; bch < plan.batches; ++bch) {
+            int64_t recs = std::min(remaining, plan.recordsPerBatch);
+            remaining -= recs;
+            std::string tag = "_s" + std::to_string(s) + "_b" +
+                              std::to_string(bch);
+            int xin = prog.declareStream("x" + tag, 8, recs, true);
+            int tw = prog.declareStream("tw" + tag, 6, recs, true);
+            int y = prog.declareStream("y" + tag, 8, recs, true);
+            prog.load(xin);
+            prog.load(tw);
+            prog.callKernel(&fft, {xin, tw, y});
+            prog.store(y);
+        }
+    }
+    return prog;
+}
+
+std::vector<float>
+runFftOnInterpreter(int c, const std::vector<float> &data)
+{
+    const int n = static_cast<int>(data.size() / 2);
+    const int stages = log4(n);
+    const kernel::Kernel &fft = fftKernel();
+
+    // Digit-reversed input order (decimation in time).
+    std::vector<float> cur(data.size());
+    for (int i = 0; i < n; ++i) {
+        int r = digitReverse4(i, stages);
+        cur[2 * static_cast<size_t>(i)] =
+            data[2 * static_cast<size_t>(r)];
+        cur[2 * static_cast<size_t>(i) + 1] =
+            data[2 * static_cast<size_t>(r) + 1];
+    }
+
+    for (int s = 0; s < stages; ++s) {
+        const int l = 1 << (2 * s); // butterflies span 4*l
+        std::vector<float> xrec, twrec;
+        xrec.reserve(static_cast<size_t>(n) * 2);
+        twrec.reserve(static_cast<size_t>(n) / 4 * 6);
+        std::vector<int> base_of;
+        for (int g = 0; g < n / (4 * l); ++g) {
+            for (int j = 0; j < l; ++j) {
+                int base = g * 4 * l + j;
+                base_of.push_back(base);
+                for (int q = 0; q < 4; ++q) {
+                    int idx = base + q * l;
+                    xrec.push_back(cur[2 * static_cast<size_t>(idx)]);
+                    xrec.push_back(
+                        cur[2 * static_cast<size_t>(idx) + 1]);
+                }
+                for (int q = 1; q <= 3; ++q) {
+                    double ang = -2.0 * M_PI * j * q / (4.0 * l);
+                    twrec.push_back(
+                        static_cast<float>(std::cos(ang)));
+                    twrec.push_back(
+                        static_cast<float>(std::sin(ang)));
+                }
+            }
+        }
+        interp::StreamData xs = interp::StreamData::fromFloats(xrec, 8);
+        interp::StreamData tws =
+            interp::StreamData::fromFloats(twrec, 6);
+        interp::ExecResult res = interp::runKernel(fft, c, {xs, tws});
+        const auto &y = res.outputs[0].words;
+        for (size_t b = 0; b < base_of.size(); ++b) {
+            for (int q = 0; q < 4; ++q) {
+                int idx = base_of[b] + q * l;
+                cur[2 * static_cast<size_t>(idx)] =
+                    y[8 * b + 2 * static_cast<size_t>(q)].asFloat();
+                cur[2 * static_cast<size_t>(idx) + 1] =
+                    y[8 * b + 2 * static_cast<size_t>(q) + 1]
+                        .asFloat();
+            }
+        }
+    }
+    return cur;
+}
+
+} // namespace sps::workloads

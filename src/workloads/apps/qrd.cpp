@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+#include "stream/stripmine.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+using stream::StreamProgram;
+
+namespace {
+
+/** Matrix dimension of the QRD application. */
+constexpr int64_t kMatrixN = 256;
+
+/**
+ * Householder vector generation over one column: running norm
+ * accumulation with a per-iteration intercluster reduction tree
+ * (log2(C) COMM exchanges) and an iterative reciprocal square root.
+ * The column is first nudged by the previous reflector (serializing
+ * the panel's columns, as in real blocked QR).
+ */
+Kernel
+makeHousegen(int clusters)
+{
+    KernelBuilder b("housegen_c" + std::to_string(clusters),
+                    kernel::DataClass::Word32);
+    int col = b.inStream("col", 1);
+    int prev = b.inStream("prev", 1);
+    int out = b.outStream("v", 1);
+    b.lengthDriver(col);
+
+    ValueId x0 = b.sbRead(col, 0);
+    ValueId pv = b.sbRead(prev, 0);
+    // Apply the previous reflector's correction.
+    ValueId x = b.fsub(x0, b.fmul(pv, b.constF(0.125f)));
+
+    // Running sum of squares (loop-carried accumulator).
+    ValueId accPhi = b.phi(isa::Word::fromFloat(0.0f), 1);
+    ValueId acc = b.fadd(accPhi, b.fmul(x, x));
+    b.setPhiSource(accPhi, acc);
+
+    // Tree-reduce the running partial across clusters.
+    ValueId cid = b.clusterId();
+    ValueId s = acc;
+    for (int level = 1; level < clusters; level <<= 1) {
+        ValueId peer = b.ixor(cid, b.constI(level));
+        s = b.fadd(s, b.comm(s, peer));
+    }
+    ValueId inv = b.frsqrt(b.fadd(s, b.constF(1.0f)));
+    b.sbWrite(out, b.fmul(x, inv));
+    return b.build();
+}
+
+} // namespace
+
+const Kernel &
+housegenKernel(int clusters)
+{
+    static std::map<int, Kernel> cache;
+    auto it = cache.find(clusters);
+    if (it == cache.end())
+        it = cache.emplace(clusters, makeHousegen(clusters)).first;
+    return it->second;
+}
+
+StreamProgram
+buildQrd(vlsi::MachineSize size, const srf::SrfModel &srf)
+{
+    StreamProgram prog("QRD");
+    const Kernel &hgen = housegenKernel(size.clusters);
+    const Kernel &upd = updateKernel();
+
+    // When the whole matrix plus workspace fits, it stays resident in
+    // the SRF for the entire decomposition: one load, one store, and
+    // every panel/update touches SRF-resident column views. Small
+    // machines strip-mine instead, reloading trailing-matrix chunks
+    // from memory every panel.
+    const int64_t matrix_words = kMatrixN * kMatrixN;
+    const bool resident =
+        2 * matrix_words <=
+        static_cast<int64_t>(0.9 *
+                             static_cast<double>(srf.capacityWords));
+
+    int whole = -1;
+    if (resident) {
+        whole = prog.declareStream("A", 1, matrix_words, true);
+        prog.load(whole);
+    }
+
+    const int64_t panels = kMatrixN / kUpdateRank;
+    for (int64_t p = 0; p < panels; ++p) {
+        int64_t rows = kMatrixN - p * kUpdateRank;
+        std::string ptag = "_p" + std::to_string(p);
+
+        // --- Panel factorization: serial chain of 8 short kernels ---
+        int prev_v = -1;
+        for (int j = 0; j < kUpdateRank; ++j) {
+            std::string tag = ptag + "_c" + std::to_string(j);
+            int col =
+                prog.declareStream("col" + tag, 1, rows, !resident);
+            int v = prog.declareStream("v" + tag, 1, rows);
+            if (!resident)
+                prog.load(col);
+            // The previous reflector's output serializes the chain;
+            // the first column uses itself as its predecessor.
+            int pv = (prev_v >= 0) ? prev_v : col;
+            prog.callKernel(&hgen, {col, pv, v});
+            prev_v = v;
+        }
+
+        // --- Trailing-matrix block update: long data-parallel calls --
+        // The panel's v coefficients stream once per panel; each
+        // 2-column chunk streams its own a-values.
+        int64_t trailing = kMatrixN - (p + 1) * kUpdateRank;
+        if (trailing <= 0)
+            continue;
+        int vpan = prog.declareStream("vpan" + ptag, kUpdateRank, rows,
+                                      !resident);
+        if (!resident)
+            prog.load(vpan);
+        for (int64_t chunk = 0; chunk * 2 < trailing; ++chunk) {
+            std::string tag = ptag + "_u" + std::to_string(chunk);
+            int aS = prog.declareStream("a" + tag, 2, rows, !resident);
+            int updS = prog.declareStream("upd" + tag, 3, rows);
+            if (!resident)
+                prog.load(aS);
+            prog.callKernel(&upd, {aS, vpan, updS});
+            if (!resident)
+                prog.store(updS);
+        }
+    }
+
+    if (resident) {
+        int result = prog.declareStream("R", 1, matrix_words, true);
+        prog.store(result);
+    }
+    return prog;
+}
+
+} // namespace sps::workloads

@@ -1,0 +1,223 @@
+#include <algorithm>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+#include "stream/stripmine.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+using stream::StreamProgram;
+
+namespace {
+
+/** Triangles in the bowling-pin scene. */
+constexpr int64_t kTriangles = 8192;
+/** Average fragments rasterized per triangle. */
+constexpr int64_t kFragsPerTri = 16;
+
+/** Fixed modelview matrix of the transform kernel. */
+constexpr float kM[9] = {0.80f, 0.10f, 0.00f, -0.10f, 0.75f,
+                         0.05f, 0.05f, 0.00f, 0.90f};
+
+Kernel
+makeXform()
+{
+    KernelBuilder b("xform", kernel::DataClass::Word32);
+    int in = b.inStream("tris", 9);
+    int out = b.outStream("xtris", 9);
+    int cent = b.outStream("cent", 2);
+    b.lengthDriver(in);
+
+    ValueId m[9];
+    for (int i = 0; i < 9; ++i)
+        m[i] = b.constF(kM[i]);
+
+    // Transform the three vertices by M.
+    ValueId t[9];
+    for (int v = 0; v < 3; ++v) {
+        ValueId p[3];
+        for (int i = 0; i < 3; ++i)
+            p[i] = b.sbRead(in, 3 * v + i);
+        for (int r = 0; r < 3; ++r) {
+            ValueId acc = b.fmul(m[3 * r + 0], p[0]);
+            acc = b.fadd(acc, b.fmul(m[3 * r + 1], p[1]));
+            acc = b.fadd(acc, b.fmul(m[3 * r + 2], p[2]));
+            t[3 * v + r] = acc;
+        }
+    }
+    // Shared perspective scale (one divide per triangle).
+    ValueId zsum = b.fadd(b.fadd(t[2], t[5]), t[8]);
+    ValueId w = b.fdiv(b.constF(4.0f), b.fadd(zsum, b.constF(8.0f)));
+    for (int i = 0; i < 9; ++i)
+        b.sbWrite(out, b.fmul(t[i], w), i);
+    // Centroid feeds the per-triangle shader coordinate basis.
+    ValueId third = b.constF(1.0f / 3.0f);
+    ValueId cx = b.fmul(b.fadd(b.fadd(t[0], t[3]), t[6]), third);
+    ValueId cy = b.fmul(b.fadd(b.fadd(t[1], t[4]), t[7]), third);
+    b.sbWrite(cent, cx, 0);
+    b.sbWrite(cent, cy, 1);
+    return b.build();
+}
+
+Kernel
+makeTrirast()
+{
+    KernelBuilder b("trirast", kernel::DataClass::Half16);
+    int in = b.inStream("xtris", 9);
+    int shade = b.inStream("shade", 1);
+    int out = b.outStream("frags", 1, /*conditional=*/true);
+    b.lengthDriver(in);
+
+    ValueId x0 = b.sbRead(in, 0), z0 = b.sbRead(in, 2);
+    ValueId x1 = b.sbRead(in, 3), x2 = b.sbRead(in, 6);
+    ValueId sh = b.sbRead(shade, 0);
+
+    // Candidate pixel count from the screen-space width.
+    ValueId maxx = b.fmax(b.fmax(x0, x1), x2);
+    ValueId minx = b.fmin(b.fmin(x0, x1), x2);
+    ValueId width =
+        b.ftoi(b.fmul(b.fsub(maxx, minx), b.constF(2.0f)));
+    width = b.imax(b.imin(width, b.constI(4)), b.constI(0));
+
+    ValueId zbase = b.ftoi(b.fmul(z0, b.constF(256.0f)));
+    ValueId shi =
+        b.iand(b.ftoi(b.fmul(sh, b.constF(255.0f))), b.constI(0xffff));
+    ValueId sixteen = b.constI(16);
+    for (int j = 0; j < 4; ++j) {
+        ValueId jj = b.constI(j);
+        ValueId inside = b.icmpLt(jj, width);
+        ValueId frag = b.ior(b.ishl(b.iadd(zbase, jj), sixteen), shi);
+        b.condWrite(out, frag, inside);
+    }
+    return b.build();
+}
+
+/** Octave step of the marble shader: scale shader coordinates. */
+Kernel
+makeScale()
+{
+    KernelBuilder b("octscale", kernel::DataClass::Word32);
+    int in = b.inStream("xy", 2);
+    int out = b.outStream("xy2", 2);
+    b.lengthDriver(in);
+    ValueId two = b.constF(2.17f);
+    b.sbWrite(out, b.fmul(b.sbRead(in, 0), two), 0);
+    b.sbWrite(out, b.fmul(b.sbRead(in, 1), two), 1);
+    return b.build();
+}
+
+/** Combine three noise octaves into a marble color (16-bit out). */
+Kernel
+makeCompose()
+{
+    KernelBuilder b("marble", kernel::DataClass::Half16);
+    int o1 = b.inStream("o1", 1);
+    int o2 = b.inStream("o2", 1);
+    int o3 = b.inStream("o3", 1);
+    int out = b.outStream("color", 1);
+    b.lengthDriver(o1);
+    ValueId v = b.fadd(
+        b.fadd(b.sbRead(o1, 0),
+               b.fmul(b.sbRead(o2, 0), b.constF(0.5f))),
+        b.fmul(b.sbRead(o3, 0), b.constF(0.25f)));
+    // Fold into [0,1) and quantize to a 16-bit marble shade.
+    ValueId folded = b.fabsOp(b.fsub(v, b.ffloor(v)));
+    ValueId q = b.ftoi(b.fmul(folded, b.constF(65535.0f)));
+    b.sbWrite(out, b.iand(q, b.constI(0xffff)));
+    return b.build();
+}
+
+const Kernel &
+scaleKernel()
+{
+    static const Kernel k = makeScale();
+    return k;
+}
+
+const Kernel &
+composeKernel()
+{
+    static const Kernel k = makeCompose();
+    return k;
+}
+
+} // namespace
+
+const Kernel &
+xformKernel()
+{
+    static const Kernel k = makeXform();
+    return k;
+}
+
+const Kernel &
+trirastKernel()
+{
+    static const Kernel k = makeTrirast();
+    return k;
+}
+
+StreamProgram
+buildRender(vlsi::MachineSize size, const srf::SrfModel &srf)
+{
+    StreamProgram prog("RENDER");
+    const Kernel &xform = xformKernel();
+    const Kernel &shadek = noiseKernel();
+    const Kernel &rast = trirastKernel();
+    const Kernel &scale = scaleKernel();
+    const Kernel &compose = composeKernel();
+
+    // Per triangle: 9 in + 9 transformed + 2 centroid + 1 base shade
+    // plus kFragsPerTri fragments' worth of shader state (coords at
+    // three octaves, three octave values, final color), double
+    // buffered.
+    const int64_t per_tri =
+        9 + 9 + 2 + 1 + 1 + kFragsPerTri * (2 + 2 + 2 + 1 + 1 + 1 + 1);
+    stream::BatchPlan plan = stream::planBatches(
+        kTriangles, 2 * per_tri, srf, size.clusters);
+
+    int64_t remaining = kTriangles;
+    for (int64_t bch = 0; bch < plan.batches; ++bch) {
+        int64_t recs = std::min(remaining, plan.recordsPerBatch);
+        remaining -= recs;
+        int64_t frags = recs * kFragsPerTri;
+        std::string tag = "_b" + std::to_string(bch);
+        int tris = prog.declareStream("tris" + tag, 9, recs, true);
+        int xtris = prog.declareStream("xtris" + tag, 9, recs);
+        int cent = prog.declareStream("cent" + tag, 2, recs);
+        int shade = prog.declareStream("shade" + tag, 1, recs);
+        int fragz = prog.declareStream("fragz" + tag, 1, frags);
+        // Rasterized fragment shader coordinates (SRF-resident view
+        // produced by the rasterizer's data routing).
+        int fxy1 = prog.declareStream("fxy1" + tag, 2, frags);
+        int fxy2 = prog.declareStream("fxy2" + tag, 2, frags);
+        int fxy3 = prog.declareStream("fxy3" + tag, 2, frags);
+        int o1 = prog.declareStream("o1" + tag, 1, frags);
+        int o2 = prog.declareStream("o2" + tag, 1, frags);
+        int o3 = prog.declareStream("o3" + tag, 1, frags);
+        int color =
+            prog.declareStream("color" + tag, 1, frags, false, true);
+
+        prog.load(tris);
+        prog.callKernel(&xform, {tris, xtris, cent});
+        prog.callKernel(&shadek, {cent, shade});
+        prog.callKernel(&rast, {xtris, shade, fragz},
+                        /*driver_records=*/recs);
+        // Per-fragment procedural marble shading: three noise octaves.
+        prog.callKernel(&shadek, {fxy1, o1});
+        prog.callKernel(&scale, {fxy1, fxy2});
+        prog.callKernel(&shadek, {fxy2, o2});
+        prog.callKernel(&scale, {fxy2, fxy3});
+        prog.callKernel(&shadek, {fxy3, o3});
+        prog.callKernel(&compose, {o1, o2, o3, color});
+        prog.store(color);
+    }
+    return prog;
+}
+
+} // namespace sps::workloads

@@ -1,0 +1,122 @@
+#include "workloads/kernels/kernels.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+namespace {
+constexpr int kDisparities[3] = {0, 3, 6};
+} // namespace
+
+Kernel
+makeBlocksad()
+{
+    KernelBuilder b("blocksad", kernel::DataClass::Half16);
+    int ref = b.inStream("ref", kPixelsPerRecord);
+    int cand = b.inStream("cand", kPixelsPerRecord);
+    int out = b.outStream("sad", 4);
+    b.lengthDriver(ref);
+    b.scratchpad(16);
+
+    ValueId r[8], c[14];
+    for (int i = 0; i < 8; ++i)
+        r[i] = b.sbRead(ref, i);
+    for (int i = 0; i < 8; ++i)
+        c[i] = b.sbRead(cand, i);
+    // Extend the candidate window with 6 pixels from the next
+    // cluster's record (sliding search window across the boundary).
+    ValueId next = b.iadd(b.clusterId(), b.constI(1));
+    for (int i = 0; i < 6; ++i)
+        c[8 + i] = b.comm(c[i], next);
+
+    ValueId sad[3];
+    for (int d = 0; d < 3; ++d) {
+        int off = kDisparities[d];
+        ValueId acc = kernel::kNoValue;
+        for (int i = 0; i < 8; ++i) {
+            ValueId diff = b.iabs(b.isub(r[i], c[i + off]));
+            acc = (i == 0) ? diff : b.iadd(acc, diff);
+        }
+        sad[d] = acc;
+    }
+
+    ValueId best01 = b.imin(sad[0], sad[1]);
+    ValueId best = b.imin(best01, sad[2]);
+    // Running block-column accumulator in the scratchpad.
+    ValueId addr = b.iand(b.loopIndex(), b.constI(15));
+    ValueId prev = b.spRead(addr);
+    ValueId accum = b.iadd(prev, best);
+    b.spWrite(addr, accum);
+
+    b.sbWrite(out, sad[0], 0);
+    b.sbWrite(out, sad[1], 1);
+    b.sbWrite(out, best, 2);
+    b.sbWrite(out, accum, 3);
+    return b.build();
+}
+
+std::vector<int32_t>
+refBlocksad(int c, const std::vector<int32_t> &ref_px,
+            const std::vector<int32_t> &cand_px)
+{
+    SPS_ASSERT(ref_px.size() == cand_px.size() &&
+                   ref_px.size() % kPixelsPerRecord == 0,
+               "refBlocksad: bad input sizes");
+    auto records =
+        static_cast<int64_t>(ref_px.size()) / kPixelsPerRecord;
+    std::vector<int32_t> out(static_cast<size_t>(records) * 4, 0);
+    std::vector<int64_t> scratch_acc(
+        static_cast<size_t>(c) * 16, 0); // per cluster, 16 slots
+
+    int64_t iterations = (records + c - 1) / c;
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+        for (int cl = 0; cl < c; ++cl) {
+            int64_t rec = iter * c + cl;
+            auto px_at = [&](const std::vector<int32_t> &v, int64_t rr,
+                             int i) -> int32_t {
+                int64_t idx = rr * kPixelsPerRecord + i;
+                if (rr < 0 || rr >= records)
+                    return 0;
+                return v[static_cast<size_t>(idx)];
+            };
+            // Neighbor record: cluster (cl+1) mod c of the SAME
+            // iteration, matching the COMM exchange semantics.
+            int64_t nrec = iter * c + ((cl + 1) % c);
+            int32_t cwin[14];
+            for (int i = 0; i < 8; ++i)
+                cwin[i] = px_at(cand_px, rec, i);
+            for (int i = 0; i < 6; ++i)
+                cwin[8 + i] = px_at(cand_px, nrec, i);
+            int32_t sad[3];
+            for (int d = 0; d < 3; ++d) {
+                int64_t acc = 0;
+                for (int i = 0; i < 8; ++i)
+                    acc += std::abs(
+                        static_cast<int64_t>(px_at(ref_px, rec, i)) -
+                        cwin[i + kDisparities[d]]);
+                sad[d] = static_cast<int32_t>(acc);
+            }
+            int32_t best = std::min(sad[0], std::min(sad[1], sad[2]));
+            auto slot = static_cast<size_t>(cl) * 16 +
+                        static_cast<size_t>(iter & 15);
+            scratch_acc[slot] += best;
+            if (rec < records) {
+                out[static_cast<size_t>(rec) * 4 + 0] = sad[0];
+                out[static_cast<size_t>(rec) * 4 + 1] = sad[1];
+                out[static_cast<size_t>(rec) * 4 + 2] = best;
+                out[static_cast<size_t>(rec) * 4 + 3] =
+                    static_cast<int32_t>(scratch_acc[slot]);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sps::workloads

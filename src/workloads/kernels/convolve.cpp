@@ -1,0 +1,92 @@
+#include "workloads/kernels/kernels.h"
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+const int32_t kConvTaps[7] = {1, 4, 9, 16, 9, 4, 1};
+
+Kernel
+makeConvolve()
+{
+    KernelBuilder b("convolve", kernel::DataClass::Half16);
+    int in = b.inStream("px", kPixelsPerRecord);
+    int out = b.outStream("py", kPixelsPerRecord);
+    b.lengthDriver(in);
+
+    ValueId p[14]; // [0..2]: left halo, [3..10]: record, [11..13]: right
+    ValueId x[8];
+    for (int i = 0; i < 8; ++i)
+        x[i] = b.sbRead(in, i);
+    ValueId cid = b.clusterId();
+    ValueId left = b.isub(cid, b.constI(1));
+    ValueId right = b.iadd(cid, b.constI(1));
+    // Halo pixels from the neighboring clusters' records.
+    for (int i = 0; i < 3; ++i)
+        p[i] = b.comm(x[5 + i], left);
+    for (int i = 0; i < 8; ++i)
+        p[3 + i] = x[i];
+    for (int i = 0; i < 3; ++i)
+        p[11 + i] = b.comm(x[i], right);
+
+    ValueId taps[7];
+    for (int t = 0; t < 7; ++t)
+        taps[t] = b.constI(kConvTaps[t]);
+    ValueId four = b.constI(4);
+    for (int i = 0; i < 8; ++i) {
+        ValueId acc = kernel::kNoValue;
+        for (int t = 0; t < 7; ++t) {
+            ValueId prod = b.imul(p[i + t], taps[t]);
+            acc = (t == 0) ? prod : b.iadd(acc, prod);
+        }
+        b.sbWrite(out, b.ishr(acc, four), i);
+    }
+    return b.build();
+}
+
+std::vector<int32_t>
+refConvolve(int c, const std::vector<int32_t> &px)
+{
+    SPS_ASSERT(px.size() % kPixelsPerRecord == 0,
+               "refConvolve: bad input size");
+    auto records = static_cast<int64_t>(px.size()) / kPixelsPerRecord;
+    std::vector<int32_t> out(px.size(), 0);
+    auto px_at = [&](int64_t rec, int i) -> int32_t {
+        if (rec < 0 || rec >= records)
+            return 0;
+        return px[static_cast<size_t>(rec * kPixelsPerRecord + i)];
+    };
+    int64_t iterations = (records + c - 1) / c;
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+        for (int cl = 0; cl < c; ++cl) {
+            int64_t rec = iter * c + cl;
+            if (rec >= records)
+                continue;
+            int64_t lrec = iter * c + ((cl - 1 + c) % c);
+            int64_t rrec = iter * c + ((cl + 1) % c);
+            int32_t p[14];
+            for (int i = 0; i < 3; ++i)
+                p[i] = px_at(lrec, 5 + i);
+            for (int i = 0; i < 8; ++i)
+                p[3 + i] = px_at(rec, i);
+            for (int i = 0; i < 3; ++i)
+                p[11 + i] = px_at(rrec, i);
+            for (int i = 0; i < 8; ++i) {
+                int64_t acc = 0;
+                for (int t = 0; t < 7; ++t)
+                    acc += static_cast<int64_t>(p[i + t]) *
+                           kConvTaps[t];
+                out[static_cast<size_t>(rec * kPixelsPerRecord + i)] =
+                    static_cast<int32_t>(acc) >> 4;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sps::workloads

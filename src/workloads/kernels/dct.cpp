@@ -1,0 +1,88 @@
+#include "workloads/kernels/kernels.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+namespace {
+
+/** Fixed-point DCT-II basis, cos((2n+1) k pi / 16) << kDctShift. */
+const int32_t *
+dctTable()
+{
+    static int32_t table[64];
+    static bool init = false;
+    if (!init) {
+        for (int k = 0; k < 8; ++k)
+            for (int n = 0; n < 8; ++n)
+                table[k * 8 + n] = static_cast<int32_t>(std::lround(
+                    std::cos((2 * n + 1) * k * M_PI / 16.0) *
+                    (1 << kDctShift)));
+        init = true;
+    }
+    return table;
+}
+
+} // namespace
+
+Kernel
+makeDct()
+{
+    KernelBuilder b("dct", kernel::DataClass::Half16);
+    int in = b.inStream("px", kPixelsPerRecord);
+    int out = b.outStream("coef", kPixelsPerRecord);
+    b.lengthDriver(in);
+    b.scratchpad(8);
+
+    const int32_t *tbl = dctTable();
+    // Stage the row through the scratchpad (stands in for the 8x8
+    // transpose staging of the 2D DCT).
+    for (int n = 0; n < 8; ++n)
+        b.spWrite(b.constI(n), b.sbRead(in, n));
+    ValueId x[8];
+    for (int n = 0; n < 8; ++n)
+        x[n] = b.spRead(b.constI(n));
+
+    ValueId shift = b.constI(kDctShift);
+    for (int k = 0; k < 8; ++k) {
+        ValueId acc = kernel::kNoValue;
+        for (int n = 0; n < 8; ++n) {
+            ValueId prod = b.imul(x[n], b.constI(tbl[k * 8 + n]));
+            acc = (n == 0) ? prod : b.iadd(acc, prod);
+        }
+        b.sbWrite(out, b.ishr(acc, shift), k);
+    }
+    return b.build();
+}
+
+std::vector<int32_t>
+refDct(const std::vector<int32_t> &px)
+{
+    SPS_ASSERT(px.size() % kPixelsPerRecord == 0,
+               "refDct: bad input size");
+    const int32_t *tbl = dctTable();
+    std::vector<int32_t> out(px.size());
+    size_t records = px.size() / kPixelsPerRecord;
+    for (size_t r = 0; r < records; ++r) {
+        for (int k = 0; k < 8; ++k) {
+            int64_t acc = 0;
+            for (int n = 0; n < 8; ++n)
+                acc += static_cast<int64_t>(
+                           px[r * kPixelsPerRecord +
+                              static_cast<size_t>(n)]) *
+                       tbl[k * 8 + n];
+            out[r * kPixelsPerRecord + static_cast<size_t>(k)] =
+                static_cast<int32_t>(acc) >> kDctShift;
+        }
+    }
+    return out;
+}
+
+} // namespace sps::workloads

@@ -1,0 +1,147 @@
+#include "workloads/kernels/kernels.h"
+
+#include <cmath>
+#include <complex>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+namespace {
+
+/** Complex value as a pair of ValueIds. */
+struct Cplx
+{
+    ValueId re, im;
+};
+
+Cplx
+cmul(KernelBuilder &b, Cplx a, Cplx w)
+{
+    // (ar*wr - ai*wi, ar*wi + ai*wr): 4 multiplies, 2 adds.
+    return Cplx{
+        b.fsub(b.fmul(a.re, w.re), b.fmul(a.im, w.im)),
+        b.fadd(b.fmul(a.re, w.im), b.fmul(a.im, w.re)),
+    };
+}
+
+Cplx
+cadd(KernelBuilder &b, Cplx a, Cplx c)
+{
+    return Cplx{b.fadd(a.re, c.re), b.fadd(a.im, c.im)};
+}
+
+Cplx
+csub(KernelBuilder &b, Cplx a, Cplx c)
+{
+    return Cplx{b.fsub(a.re, c.re), b.fsub(a.im, c.im)};
+}
+
+/** Multiply by -i: (re, im) -> (im, -re). */
+Cplx
+cmulNegI(KernelBuilder &b, Cplx a)
+{
+    return Cplx{a.im, b.fneg(a.re)};
+}
+
+} // namespace
+
+Kernel
+makeFftStage()
+{
+    KernelBuilder b("fft", kernel::DataClass::Word32);
+    int in = b.inStream("x", 8);
+    int tw = b.inStream("tw", 6);
+    int out = b.outStream("y", 8);
+    b.lengthDriver(in);
+
+    Cplx x[4], w[3];
+    for (int i = 0; i < 4; ++i)
+        x[i] = Cplx{b.sbRead(in, 2 * i), b.sbRead(in, 2 * i + 1)};
+    for (int i = 0; i < 3; ++i)
+        w[i] = Cplx{b.sbRead(tw, 2 * i), b.sbRead(tw, 2 * i + 1)};
+
+    // Radix-4 DIT butterfly: twiddle the three non-trivial inputs,
+    // then combine.
+    Cplx t1 = cmul(b, x[1], w[0]);
+    Cplx t2 = cmul(b, x[2], w[1]);
+    Cplx t3 = cmul(b, x[3], w[2]);
+
+    Cplx s0 = cadd(b, x[0], t2); // x0 + t2
+    Cplx s1 = csub(b, x[0], t2); // x0 - t2
+    Cplx s2 = cadd(b, t1, t3);   // t1 + t3
+    Cplx s3 = cmulNegI(b, csub(b, t1, t3)); // -i (t1 - t3)
+
+    Cplx y0 = cadd(b, s0, s2);
+    Cplx y1 = cadd(b, s1, s3);
+    Cplx y2 = csub(b, s0, s2);
+    Cplx y3 = csub(b, s1, s3);
+
+    const Cplx ys[4] = {y0, y1, y2, y3};
+    for (int i = 0; i < 4; ++i) {
+        b.sbWrite(out, ys[i].re, 2 * i);
+        b.sbWrite(out, ys[i].im, 2 * i + 1);
+    }
+    return b.build();
+}
+
+std::vector<float>
+refFftStage(const std::vector<float> &x, const std::vector<float> &tw)
+{
+    SPS_ASSERT(x.size() % 8 == 0, "refFftStage: bad input size");
+    SPS_ASSERT(tw.size() * 8 == x.size() * 6,
+               "refFftStage: bad twiddles");
+    size_t n = x.size() / 8;
+    std::vector<float> out(n * 8);
+    for (size_t k = 0; k < n; ++k) {
+        std::complex<float> x0(x[8 * k + 0], x[8 * k + 1]);
+        std::complex<float> x1(x[8 * k + 2], x[8 * k + 3]);
+        std::complex<float> x2(x[8 * k + 4], x[8 * k + 5]);
+        std::complex<float> x3(x[8 * k + 6], x[8 * k + 7]);
+        std::complex<float> w0(tw[6 * k + 0], tw[6 * k + 1]);
+        std::complex<float> w1(tw[6 * k + 2], tw[6 * k + 3]);
+        std::complex<float> w2(tw[6 * k + 4], tw[6 * k + 5]);
+        auto t1 = x1 * w0, t2 = x2 * w1, t3 = x3 * w2;
+        auto s0 = x0 + t2, s1 = x0 - t2;
+        auto s2 = t1 + t3;
+        auto d = t1 - t3;
+        std::complex<float> s3(d.imag(), -d.real());
+        std::complex<float> y[4] = {s0 + s2, s1 + s3, s0 - s2, s1 - s3};
+        for (int i = 0; i < 4; ++i) {
+            out[8 * k + 2 * static_cast<size_t>(i)] = y[i].real();
+            out[8 * k + 2 * static_cast<size_t>(i) + 1] = y[i].imag();
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+refFft(const std::vector<float> &data)
+{
+    // Direct DFT used as the gold model in tests (O(n^2), sizes are
+    // small in tests). Interleaved re,im.
+    SPS_ASSERT(data.size() % 2 == 0, "refFft: odd data size");
+    size_t n = data.size() / 2;
+    std::vector<float> out(data.size());
+    for (size_t k = 0; k < n; ++k) {
+        double re = 0.0, im = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+            double ang = -2.0 * M_PI * static_cast<double>(k * j % n) /
+                         static_cast<double>(n);
+            double c = std::cos(ang), s = std::sin(ang);
+            double xr = data[2 * j], xi = data[2 * j + 1];
+            re += xr * c - xi * s;
+            im += xr * s + xi * c;
+        }
+        out[2 * k] = static_cast<float>(re);
+        out[2 * k + 1] = static_cast<float>(im);
+    }
+    return out;
+}
+
+} // namespace sps::workloads

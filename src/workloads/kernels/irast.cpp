@@ -1,0 +1,78 @@
+#include "workloads/kernels/kernels.h"
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+Kernel
+makeIrast()
+{
+    KernelBuilder b("irast", kernel::DataClass::Half16);
+    int in = b.inStream("spans", 5); // width, z0, dz, c0, dc
+    int out = b.outStream("frags", 1, /*conditional=*/true);
+    b.lengthDriver(in);
+
+    ValueId width = b.sbRead(in, 0);
+    ValueId z0 = b.sbRead(in, 1);
+    ValueId dz = b.sbRead(in, 2);
+    ValueId c0 = b.sbRead(in, 3);
+    ValueId dc = b.sbRead(in, 4);
+
+    // Up to four candidate pixels per span; fragments for pixels
+    // inside the span are compacted through the conditional stream
+    // (z and color packed into one word: (z << 16) | (color & 0xffff)).
+    for (int j = 0; j < 4; ++j) {
+        ValueId jj = b.constI(j);
+        ValueId inside = b.icmpLt(jj, width);
+        ValueId z = b.iadd(z0, b.imul(jj, dz));
+        ValueId col = b.iadd(c0, b.imul(jj, dc));
+        ValueId frag =
+            b.ior(b.ishl(z, b.constI(16)),
+                  b.iand(col, b.constI(0xffff)));
+        b.condWrite(out, frag, inside);
+    }
+    return b.build();
+}
+
+std::vector<int32_t>
+refIrast(int c, const std::vector<int32_t> &spans)
+{
+    SPS_ASSERT(spans.size() % 5 == 0, "refIrast: bad span size");
+    auto records = static_cast<int64_t>(spans.size()) / 5;
+    std::vector<int32_t> out;
+    // The conditional write compacts candidate j of every cluster (in
+    // cluster order) before candidate j+1, one SIMD step at a time.
+    int64_t iterations = (records + c - 1) / c;
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+        for (int j = 0; j < 4; ++j) {
+            for (int cl = 0; cl < c; ++cl) {
+                int64_t rec = iter * c + cl;
+                int32_t width = 0, z0 = 0, dz = 0, c0 = 0, dc = 0;
+                if (rec < records) {
+                    const int32_t *s =
+                        &spans[static_cast<size_t>(rec) * 5];
+                    width = s[0];
+                    z0 = s[1];
+                    dz = s[2];
+                    c0 = s[3];
+                    dc = s[4];
+                }
+                if (j >= width)
+                    continue;
+                int32_t z = z0 + j * dz;
+                int32_t col = c0 + j * dc;
+                out.push_back(static_cast<int32_t>(
+                    (static_cast<uint32_t>(z) << 16) |
+                    (static_cast<uint32_t>(col) & 0xffffu)));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sps::workloads

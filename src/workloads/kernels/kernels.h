@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The kernel suite of Table 4: factories building each kernel's
+ * dataflow graph, plus bit-exact reference implementations used by the
+ * test suite to validate the functional interpreter.
+ *
+ * Kernels exchange halo data with neighbor clusters through the
+ * intercluster switch (COMM), so record-boundary semantics depend on
+ * the cluster count C; every reference implementation takes C and
+ * replicates the exchange exactly.
+ */
+#ifndef SPS_WORKLOADS_KERNELS_KERNELS_H
+#define SPS_WORKLOADS_KERNELS_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/ir.h"
+
+namespace sps::workloads {
+
+/** Pixels per record in the image kernels. */
+constexpr int kPixelsPerRecord = 8;
+
+// --- blocksad: sum-of-absolute-differences (16-bit) ---------------
+
+/**
+ * Block SAD for stereo depth: per record, an 8-pixel reference block
+ * row and an 8-pixel candidate row (extended with 6 pixels from the
+ * next cluster via COMM) are compared at disparities {0, 3, 6}. The
+ * output record is [sad0, sad1, bestSad, accumulated] where
+ * `accumulated` is a scratchpad running sum per (iteration mod 16)
+ * block column.
+ */
+kernel::Kernel makeBlocksad();
+
+/** Reference: one output record per input record pair. */
+std::vector<int32_t> refBlocksad(int c,
+                                 const std::vector<int32_t> &ref_px,
+                                 const std::vector<int32_t> &cand_px);
+
+// --- convolve: 7-tap filter (16-bit) ------------------------------
+
+/** The filter taps used by makeConvolve(). */
+extern const int32_t kConvTaps[7];
+
+/**
+ * 7-tap 1D convolution over 8-pixel records; halo pixels come from
+ * the neighboring clusters' records of the same iteration (wrapping
+ * within the C-record group).
+ */
+kernel::Kernel makeConvolve();
+
+std::vector<int32_t> refConvolve(int c, const std::vector<int32_t> &px);
+
+// --- update: QRD block update (floating point) --------------------
+
+/** Householder panel rank of the update kernel. */
+constexpr int kUpdateRank = 8;
+
+/** The fixed W coefficient panel baked into makeUpdate() (as Imagine
+ *  kernels took scalar parameters: microcode immediates). Layout:
+ *  w[j][col] at index j*2 + col. */
+extern const float kUpdateW[2 * kUpdateRank];
+
+/**
+ * Rank-8 block update of two matrix columns: per row, the `a` stream
+ * carries [a0, a1] and the `v` stream [v0..v7];
+ * a'[col] = a[col] - sum_j v[j]*W[j][col]. Partial dot products for
+ * the next panel accumulate in the scratchpad, pairwise-combined
+ * with the neighbor cluster via COMM; the running acc[0] is emitted
+ * as the third output word.
+ */
+kernel::Kernel makeUpdate();
+
+std::vector<float> refUpdate(int c, const std::vector<float> &a,
+                             const std::vector<float> &v);
+
+// --- fft: radix-4 stage (floating point) --------------------------
+
+/**
+ * One radix-4 decimation-in-time butterfly per iteration: the input
+ * record holds the four complex operands (gathered by the SRF address
+ * generators between stages), the twiddle record the three complex
+ * twiddle factors, and the output record the four complex results.
+ */
+kernel::Kernel makeFftStage();
+
+/** Reference butterfly over the same stream layout: x records of 8
+ *  floats, tw records of 6 floats, output records of 8 floats. */
+std::vector<float> refFftStage(const std::vector<float> &x,
+                               const std::vector<float> &tw);
+
+/**
+ * Direct O(n^2) DFT used as the gold model in tests. Interleaved
+ * re,im input and output.
+ */
+std::vector<float> refFft(const std::vector<float> &data);
+
+/**
+ * Execute a full radix-4 FFT through the fft stage kernel on the
+ * functional interpreter with C clusters (gather/scatter between
+ * stages is SRF reindexing, done in host glue). Input length must be
+ * 2 * 4^k floats (interleaved re,im).
+ */
+std::vector<float> runFftOnInterpreter(int c,
+                                       const std::vector<float> &data);
+
+// --- noise: Perlin-style gradient noise (FP / 32-bit) -------------
+
+/**
+ * 2D gradient noise: input record [x, y] floats, output one float.
+ * Lattice hashing is arithmetic (no tables), so the kernel is
+ * perfectly data parallel.
+ */
+kernel::Kernel makeNoise();
+
+std::vector<float> refNoise(const std::vector<float> &xy);
+
+// --- irast: span rasterizer (16-bit, conditional streams) ---------
+
+/**
+ * Span rasterizer: input record [width, z0, dz, c0, dc] (integers;
+ * width in [0,4]); for each of 4 candidate pixels j, emits a fragment
+ * record [z0+j*dz, c0+j*dc] through a conditional output stream when
+ * j < width.
+ */
+kernel::Kernel makeIrast();
+
+std::vector<int32_t> refIrast(int c, const std::vector<int32_t> &spans);
+
+// --- dct: 8-point DCT row pass (16-bit) ----------------------------
+
+/**
+ * 8-point 1D DCT over 8-pixel records with scratchpad staging,
+ * fixed-point arithmetic (scaled by 1 << kDctShift).
+ */
+kernel::Kernel makeDct();
+
+constexpr int kDctShift = 12;
+
+std::vector<int32_t> refDct(const std::vector<int32_t> &px);
+
+} // namespace sps::workloads
+
+#endif // SPS_WORKLOADS_KERNELS_KERNELS_H

@@ -1,0 +1,134 @@
+#include "workloads/kernels/kernels.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+namespace {
+
+constexpr int32_t kSalt = static_cast<int32_t>(7u * 1442695041u);
+
+int32_t
+mul32(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<int64_t>(a) * b);
+}
+
+float
+fade(float t)
+{
+    return t * t * t * (t * (t * 6.0f - 15.0f) + 10.0f);
+}
+
+} // namespace
+
+Kernel
+makeNoise()
+{
+    KernelBuilder b("noise", kernel::DataClass::Word32);
+    int in = b.inStream("xy", 2);
+    int out = b.outStream("n", 1);
+    b.lengthDriver(in);
+
+    ValueId x = b.sbRead(in, 0);
+    ValueId y = b.sbRead(in, 1);
+    ValueId xf = b.ffloor(x);
+    ValueId yf = b.ffloor(y);
+    ValueId xi = b.ftoi(xf);
+    ValueId yi = b.ftoi(yf);
+    ValueId fx = b.fsub(x, xf);
+    ValueId fy = b.fsub(y, yf);
+
+    auto hash = [&](ValueId hx, ValueId hy) {
+        ValueId h = b.iadd(
+            b.iadd(b.imul(hx, b.constI(374761393)),
+                   b.imul(hy, b.constI(668265263))),
+            b.constI(kSalt));
+        h = b.ixor(h, b.ishr(h, b.constI(13)));
+        h = b.imul(h, b.constI(1274126177));
+        h = b.ixor(h, b.ishr(h, b.constI(16)));
+        return h;
+    };
+    auto grad_dot = [&](ValueId h, ValueId dx, ValueId dy) {
+        ValueId one = b.constF(1.0f);
+        ValueId mone = b.constF(-1.0f);
+        ValueId gx = b.select(b.iand(h, b.constI(1)), one, mone);
+        ValueId gy = b.select(b.iand(h, b.constI(2)), one, mone);
+        return b.fadd(b.fmul(gx, dx), b.fmul(gy, dy));
+    };
+    auto fade_v = [&](ValueId t) {
+        // t^3 (t (6t - 15) + 10)
+        ValueId inner = b.fadd(
+            b.fmul(t, b.fsub(b.fmul(t, b.constF(6.0f)),
+                             b.constF(15.0f))),
+            b.constF(10.0f));
+        return b.fmul(b.fmul(b.fmul(t, t), t), inner);
+    };
+
+    ValueId xi1 = b.iadd(xi, b.constI(1));
+    ValueId yi1 = b.iadd(yi, b.constI(1));
+    ValueId fx1 = b.fsub(fx, b.constF(1.0f));
+    ValueId fy1 = b.fsub(fy, b.constF(1.0f));
+
+    ValueId d00 = grad_dot(hash(xi, yi), fx, fy);
+    ValueId d10 = grad_dot(hash(xi1, yi), fx1, fy);
+    ValueId d01 = grad_dot(hash(xi, yi1), fx, fy1);
+    ValueId d11 = grad_dot(hash(xi1, yi1), fx1, fy1);
+
+    ValueId u = fade_v(fx);
+    ValueId v = fade_v(fy);
+    auto lerp = [&](ValueId a, ValueId c, ValueId t) {
+        return b.fadd(a, b.fmul(t, b.fsub(c, a)));
+    };
+    ValueId nx0 = lerp(d00, d10, u);
+    ValueId nx1 = lerp(d01, d11, u);
+    b.sbWrite(out, lerp(nx0, nx1, v));
+    return b.build();
+}
+
+std::vector<float>
+refNoise(const std::vector<float> &xy)
+{
+    SPS_ASSERT(xy.size() % 2 == 0, "refNoise: bad input size");
+    size_t n = xy.size() / 2;
+    std::vector<float> out(n);
+    auto hash = [](int32_t hx, int32_t hy) {
+        int32_t v = static_cast<int32_t>(
+            static_cast<int64_t>(mul32(hx, 374761393)) +
+            mul32(hy, 668265263) + kSalt);
+        v ^= v >> 13;
+        v = mul32(v, 1274126177);
+        v ^= v >> 16;
+        return v;
+    };
+    auto grad_dot = [](int32_t h, float dx, float dy) {
+        float gx = (h & 1) ? 1.0f : -1.0f;
+        float gy = (h & 2) ? 1.0f : -1.0f;
+        return gx * dx + gy * dy;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        float x = xy[2 * i], y = xy[2 * i + 1];
+        float xf = std::floor(x), yf = std::floor(y);
+        auto xi = static_cast<int32_t>(xf);
+        auto yi = static_cast<int32_t>(yf);
+        float fx = x - xf, fy = y - yf;
+        float d00 = grad_dot(hash(xi, yi), fx, fy);
+        float d10 = grad_dot(hash(xi + 1, yi), fx - 1.0f, fy);
+        float d01 = grad_dot(hash(xi, yi + 1), fx, fy - 1.0f);
+        float d11 = grad_dot(hash(xi + 1, yi + 1), fx - 1.0f, fy - 1.0f);
+        float u = fade(fx), v = fade(fy);
+        float nx0 = d00 + u * (d10 - d00);
+        float nx1 = d01 + u * (d11 - d01);
+        out[i] = nx0 + v * (nx1 - nx0);
+    }
+    return out;
+}
+
+} // namespace sps::workloads

@@ -1,0 +1,133 @@
+#include "workloads/kernels/kernels.h"
+
+#include <array>
+
+#include "common/log.h"
+#include "kernel/builder.h"
+
+namespace sps::workloads {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+using kernel::ValueId;
+
+// A fixed, well-conditioned W panel (kernel scalar parameters).
+const float kUpdateW[2 * kUpdateRank] = {
+    0.50f, -0.25f, 0.125f, 0.75f,  -0.375f, 0.0625f, 0.875f, -0.5f,
+    0.25f, 0.625f, -0.75f, 0.375f, 0.9375f, -0.125f, 0.3125f, 0.6875f,
+};
+
+Kernel
+makeUpdate()
+{
+    KernelBuilder b("update", kernel::DataClass::Word32);
+    int as = b.inStream("a", 2);
+    int vs = b.inStream("v", kUpdateRank);
+    int out = b.outStream("updated", 3);
+    b.lengthDriver(as);
+    b.scratchpad(kUpdateRank); // partial-dot accumulators
+
+    ValueId a[2], v[kUpdateRank];
+    for (int col = 0; col < 2; ++col)
+        a[col] = b.sbRead(as, col);
+    for (int j = 0; j < kUpdateRank; ++j)
+        v[j] = b.sbRead(vs, j);
+
+    // a'[col] = a[col] - sum_j v[j] * W[j][col]
+    ValueId aprime[2];
+    for (int col = 0; col < 2; ++col) {
+        ValueId acc = kernel::kNoValue;
+        for (int j = 0; j < kUpdateRank; ++j) {
+            ValueId prod =
+                b.fmul(v[j], b.constF(kUpdateW[j * 2 + col]));
+            acc = (j == 0) ? prod : b.fadd(acc, prod);
+        }
+        aprime[col] = b.fsub(a[col], acc);
+    }
+
+    // Partial dot products for the next panel: acc[j] accumulates
+    // v[j]*a'[0] in the scratchpad, pairwise-combined with the
+    // neighbor cluster so the final reduction tree is half as deep.
+    ValueId buddy = b.ixor(b.clusterId(), b.constI(1));
+    ValueId acc0_new = kernel::kNoValue;
+    for (int j = 0; j < kUpdateRank; ++j) {
+        ValueId t = b.fmul(v[j], aprime[0]);
+        ValueId e = b.comm(t, buddy);
+        ValueId prev = b.spRead(b.constI(j));
+        ValueId sum = b.fadd(prev, b.fadd(t, e));
+        b.spWrite(b.constI(j), sum);
+        if (j == 0)
+            acc0_new = sum;
+    }
+
+    b.sbWrite(out, aprime[0], 0);
+    b.sbWrite(out, aprime[1], 1);
+    b.sbWrite(out, acc0_new, 2);
+    return b.build();
+}
+
+std::vector<float>
+refUpdate(int c, const std::vector<float> &a, const std::vector<float> &v)
+{
+    SPS_ASSERT(a.size() % 2 == 0 && v.size() % kUpdateRank == 0 &&
+                   a.size() / 2 == v.size() / kUpdateRank,
+               "refUpdate: bad input sizes");
+    auto records = static_cast<int64_t>(a.size()) / 2;
+    std::vector<float> out(static_cast<size_t>(records) * 3, 0.0f);
+
+    std::vector<std::vector<float>> acc(
+        static_cast<size_t>(c), std::vector<float>(kUpdateRank, 0.0f));
+
+    auto a_at = [&](int64_t rec, int f) -> float {
+        if (rec < 0 || rec >= records)
+            return 0.0f;
+        return a[static_cast<size_t>(rec * 2 + f)];
+    };
+    auto v_at = [&](int64_t rec, int j) -> float {
+        if (rec < 0 || rec >= records)
+            return 0.0f;
+        return v[static_cast<size_t>(rec * kUpdateRank + j)];
+    };
+
+    int64_t iterations = (records + c - 1) / c;
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+        std::vector<std::array<float, 2>> ap(static_cast<size_t>(c));
+        for (int cl = 0; cl < c; ++cl) {
+            int64_t rec = iter * c + cl;
+            for (int col = 0; col < 2; ++col) {
+                float s = 0.0f;
+                for (int j = 0; j < kUpdateRank; ++j)
+                    s += v_at(rec, j) * kUpdateW[j * 2 + col];
+                ap[static_cast<size_t>(cl)][static_cast<size_t>(col)] =
+                    a_at(rec, col) - s;
+            }
+        }
+        // COMM exchange per j, lockstep with the interpreter.
+        for (int j = 0; j < kUpdateRank; ++j) {
+            std::vector<float> t(static_cast<size_t>(c));
+            for (int cl = 0; cl < c; ++cl)
+                t[static_cast<size_t>(cl)] =
+                    v_at(iter * c + cl, j) *
+                    ap[static_cast<size_t>(cl)][0];
+            for (int cl = 0; cl < c; ++cl) {
+                float e = t[static_cast<size_t>((cl ^ 1) % c)];
+                acc[static_cast<size_t>(cl)][static_cast<size_t>(j)] +=
+                    t[static_cast<size_t>(cl)] + e;
+            }
+        }
+        for (int cl = 0; cl < c; ++cl) {
+            int64_t rec = iter * c + cl;
+            if (rec >= records)
+                continue;
+            out[static_cast<size_t>(rec) * 3 + 0] =
+                ap[static_cast<size_t>(cl)][0];
+            out[static_cast<size_t>(rec) * 3 + 1] =
+                ap[static_cast<size_t>(cl)][1];
+            out[static_cast<size_t>(rec) * 3 + 2] =
+                acc[static_cast<size_t>(cl)][0];
+        }
+    }
+    return out;
+}
+
+} // namespace sps::workloads

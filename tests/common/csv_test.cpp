@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sps {
+namespace {
+
+TEST(CsvTest, RendersHeaderAndRows)
+{
+    CsvWriter w;
+    w.header({"a", "b"});
+    w.row({"1", "2"});
+    w.row({"3", "4"});
+    EXPECT_EQ(w.toString(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(CsvTest, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, EscapedCellsRoundTripInDocument)
+{
+    CsvWriter w;
+    w.header({"name", "value"});
+    w.row({"x,y", "1"});
+    EXPECT_EQ(w.toString(), "name,value\n\"x,y\",1\n");
+}
+
+TEST(CsvTest, WritesFile)
+{
+    CsvWriter w;
+    w.header({"k"});
+    w.row({"v"});
+    std::string path = ::testing::TempDir() + "sps_csv_test.csv";
+    ASSERT_TRUE(w.writeFile(path));
+    std::ifstream f(path);
+    std::string line;
+    std::getline(f, line);
+    EXPECT_EQ(line, "k");
+    std::getline(f, line);
+    EXPECT_EQ(line, "v");
+    std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteToBadPathFails)
+{
+    CsvWriter w;
+    w.header({"k"});
+    EXPECT_FALSE(w.writeFile("/nonexistent-dir-xyz/out.csv"));
+}
+
+TEST(CsvDeathTest, RowWidthMismatchPanics)
+{
+    CsvWriter w;
+    w.header({"a", "b"});
+    EXPECT_DEATH(w.row({"only"}), "width");
+}
+
+} // namespace
+} // namespace sps

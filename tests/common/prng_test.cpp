@@ -1,0 +1,63 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+namespace sps {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed)
+{
+    Prng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PrngTest, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, UniformInUnitInterval)
+{
+    Prng p(3);
+    for (int i = 0; i < 1000; ++i) {
+        double u = p.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(PrngTest, UniformRangeRespected)
+{
+    Prng p(4);
+    for (int i = 0; i < 1000; ++i) {
+        float v = p.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(PrngTest, BelowBoundRespected)
+{
+    Prng p(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(p.below(17), 17u);
+}
+
+TEST(PrngTest, RoughlyUniformMean)
+{
+    Prng p(6);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += p.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace sps

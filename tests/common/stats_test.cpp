@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sps {
+namespace {
+
+TEST(StatsTest, HarmonicMeanOfEqualValuesIsThatValue)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({4.0, 4.0, 4.0}), 4.0);
+}
+
+TEST(StatsTest, HarmonicMeanKnownValue)
+{
+    // HM(1, 2) = 2 / (1 + 1/2) = 4/3.
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, HarmonicMeanDominatedBySmallest)
+{
+    double hm = harmonicMean({0.01, 100.0, 100.0});
+    EXPECT_LT(hm, 0.04);
+}
+
+TEST(StatsTest, HarmonicLeGeometricLeArithmetic)
+{
+    std::vector<double> v{1.0, 3.0, 9.0, 27.0};
+    double h = harmonicMean(v);
+    double g = geometricMean(v);
+    double a = arithmeticMean(v);
+    EXPECT_LT(h, g);
+    EXPECT_LT(g, a);
+}
+
+TEST(StatsTest, GeometricMeanKnownValue)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(StatsTest, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, SummaryTracksMinMaxMean)
+{
+    Summary s;
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(StatsTest, SummarySingleValue)
+{
+    Summary s;
+    s.add(7.5);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+}
+
+TEST(StatsTest, NormalizeToReference)
+{
+    auto out = normalizeTo({2.0, 4.0, 8.0}, 1);
+    EXPECT_DOUBLE_EQ(out[0], 0.5);
+    EXPECT_DOUBLE_EQ(out[1], 1.0);
+    EXPECT_DOUBLE_EQ(out[2], 2.0);
+}
+
+TEST(StatsDeathTest, HarmonicMeanRejectsNonPositive)
+{
+    EXPECT_DEATH(harmonicMean({1.0, 0.0}), "positive");
+}
+
+TEST(StatsDeathTest, EmptySeriesRejected)
+{
+    EXPECT_DEATH(harmonicMean({}), "empty");
+}
+
+} // namespace
+} // namespace sps

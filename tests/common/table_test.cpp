@@ -1,0 +1,48 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sps {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows)
+{
+    TextTable t;
+    t.header({"a", "bb"});
+    t.row({"1", "2"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_NE(s.find("1"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned)
+{
+    TextTable t;
+    t.header({"name", "v"});
+    t.row({"x", "123456"});
+    t.row({"longer", "1"});
+    std::string s = t.toString();
+    // Both rows should place the second column at the same offset.
+    size_t line1 = s.find("x");
+    size_t line2 = s.find("longer");
+    ASSERT_NE(line1, std::string::npos);
+    ASSERT_NE(line2, std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace sps

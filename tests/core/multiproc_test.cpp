@@ -1,0 +1,69 @@
+#include "core/multiproc.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::core {
+namespace {
+
+TEST(MultiprocTest, SingleProcessorIsTheIdentity)
+{
+    vlsi::CostModel model;
+    auto pts = multiprocStudy({128, 5}, 8, model);
+    ASSERT_FALSE(pts.empty());
+    EXPECT_EQ(pts[0].processors, 1);
+    EXPECT_DOUBLE_EQ(pts[0].pipelineThroughput, 1.0);
+    EXPECT_NEAR(pts[0].areaPerAlu,
+                model.areaPerAlu({128, 5}), 1e-9);
+}
+
+TEST(MultiprocTest, CoversPowerOfTwoSplits)
+{
+    vlsi::CostModel model;
+    auto pts = multiprocStudy({128, 5}, 8, model);
+    EXPECT_EQ(pts.size(), 8u); // M = 1..128
+    for (size_t i = 0; i < pts.size(); ++i)
+        EXPECT_EQ(pts[i].processors, 1 << i);
+}
+
+TEST(MultiprocTest, ManySmallProcessorsPayMicrocodeReplication)
+{
+    vlsi::CostModel model;
+    auto pts = multiprocStudy({128, 5}, 8, model);
+    // 128 single-cluster processors each carry a full microcode
+    // store: clearly worse area per ALU than one big machine.
+    EXPECT_GT(pts.back().areaPerAlu, 1.2 * pts.front().areaPerAlu);
+}
+
+TEST(MultiprocTest, CommLatencyShrinksWithSplit)
+{
+    vlsi::CostModel model;
+    auto pts = multiprocStudy({128, 5}, 8, model);
+    EXPECT_LT(pts.back().commLatency, pts.front().commLatency);
+}
+
+TEST(MultiprocTest, ThroughputCapsAtInterProcEfficiency)
+{
+    vlsi::CostModel model;
+    auto pts = multiprocStudy({128, 5}, 8, model, 0.85);
+    for (const auto &pt : pts) {
+        EXPECT_LE(pt.pipelineThroughput, 1.0 + 1e-9);
+        if (pt.processors > 1 && pt.processors <= 8) {
+            EXPECT_NEAR(pt.pipelineThroughput, 0.85, 1e-9);
+        }
+    }
+}
+
+TEST(MultiprocTest, ExcessProcessorsIdle)
+{
+    vlsi::CostModel model;
+    auto pts = multiprocStudy({128, 5}, 4, model);
+    // With only 4 kernel stages, 16 processors leave 12 idle.
+    for (const auto &pt : pts) {
+        if (pt.processors == 16) {
+            EXPECT_LT(pt.pipelineThroughput, 0.3);
+        }
+    }
+}
+
+} // namespace
+} // namespace sps::core

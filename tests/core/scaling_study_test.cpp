@@ -1,0 +1,63 @@
+#include "core/scaling_study.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::core {
+namespace {
+
+TEST(ScalingStudyTest, GridCoversCrossProduct)
+{
+    auto grid = designGrid({8, 16}, {2, 5, 10});
+    EXPECT_EQ(grid.size(), 6u);
+    EXPECT_EQ(grid[0].clusters, 8);
+    EXPECT_EQ(grid[0].alusPerCluster, 2);
+    EXPECT_EQ(grid.back().clusters, 16);
+    EXPECT_EQ(grid.back().alusPerCluster, 10);
+}
+
+TEST(ScalingStudyTest, EvaluationFillsAllFields)
+{
+    auto pts = evaluateDesigns({{8, 5}, {128, 10}});
+    ASSERT_EQ(pts.size(), 2u);
+    for (const auto &pt : pts) {
+        EXPECT_GT(pt.areaMm2, 0.0);
+        EXPECT_GT(pt.powerWatts, 0.0);
+        EXPECT_GT(pt.peakGops, 0.0);
+        EXPECT_GE(pt.commLatencyCycles, 1);
+    }
+    EXPECT_GT(pts[1].peakGops, pts[0].peakGops);
+    EXPECT_GT(pts[1].areaMm2, pts[0].areaMm2);
+}
+
+TEST(ScalingStudyTest, BestUnderBudgetPicksHighestPeak)
+{
+    auto pts = evaluateDesigns(
+        designGrid({8, 32, 128}, {2, 5, 10}));
+    bool found = false;
+    DesignPoint unconstrained =
+        bestUnderBudget(pts, 1e12, 1e12, found);
+    ASSERT_TRUE(found);
+    EXPECT_EQ(unconstrained.size.clusters, 128);
+    EXPECT_EQ(unconstrained.size.alusPerCluster, 10);
+}
+
+TEST(ScalingStudyTest, BudgetsActuallyConstrain)
+{
+    auto pts = evaluateDesigns(designGrid({8, 128}, {5}));
+    bool found = false;
+    double small_area = pts[0].areaMm2 * 1.1;
+    DesignPoint best = bestUnderBudget(pts, small_area, 1e12, found);
+    ASSERT_TRUE(found);
+    EXPECT_EQ(best.size.clusters, 8);
+}
+
+TEST(ScalingStudyTest, InfeasibleBudgetReportsNotFound)
+{
+    auto pts = evaluateDesigns({{8, 5}});
+    bool found = true;
+    bestUnderBudget(pts, 0.0001, 0.0001, found);
+    EXPECT_FALSE(found);
+}
+
+} // namespace
+} // namespace sps::core

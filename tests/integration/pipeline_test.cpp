@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cross-module integration: kernels flow from the builder through the
+ * compiler and simulator and the numbers stay consistent.
+ */
+#include <gtest/gtest.h>
+
+#include "core/design.h"
+#include "interp/interpreter.h"
+#include "kernel/census.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps {
+namespace {
+
+TEST(PipelineTest, EverySuiteKernelCompilesOnEveryStudyMachine)
+{
+    for (const auto &entry : workloads::kernelSuite()) {
+        for (int c : {8, 16, 32, 64, 128}) {
+            for (int n : {2, 5, 10, 14}) {
+                core::StreamProcessorDesign d({c, n});
+                sched::CompiledKernel ck = d.compile(*entry.kernel);
+                EXPECT_GE(ck.ii, 1) << entry.name;
+                EXPECT_LE(ck.aluOpsPerCycle(), n + 1e-9)
+                    << entry.name << " C=" << c << " N=" << n;
+            }
+        }
+    }
+}
+
+TEST(PipelineTest, SimulatedKernelTimeConsistentWithStaticAnalysis)
+{
+    // A long single-kernel program's cycle count approaches the
+    // static inner-loop estimate.
+    core::StreamProcessorDesign d({8, 5});
+    sim::StreamProcessor proc = d.makeProcessor();
+    const kernel::Kernel &k = workloads::noiseKernel();
+    const sched::CompiledKernel &ck = proc.compile(k);
+
+    const int64_t records = 32768;
+    stream::StreamProgram prog("one-kernel");
+    int in = prog.declareStream("in", 2, records);
+    int out = prog.declareStream("out", 1, records);
+    prog.callKernel(&k, {in, out});
+    sim::SimResult r = proc.run(prog);
+
+    int64_t iters = records / 8;
+    double static_cycles = static_cast<double>(ck.loopCycles(iters));
+    EXPECT_NEAR(static_cast<double>(r.cycles), static_cycles,
+                0.05 * static_cycles + 64);
+}
+
+TEST(PipelineTest, SimOpsMatchInterpreterOps)
+{
+    // The simulator's ALU-op accounting must equal records times the
+    // census (the interpreter executes exactly one body per record).
+    const kernel::Kernel &k = workloads::convolveKernel();
+    kernel::Census census = kernel::takeCensus(k);
+
+    core::StreamProcessorDesign d({8, 5});
+    sim::StreamProcessor proc = d.makeProcessor();
+    stream::StreamProgram prog("conv-once");
+    int in = prog.declareStream("in", 8, 1024);
+    int out = prog.declareStream("out", 8, 1024);
+    prog.callKernel(&k, {in, out});
+    sim::SimResult r = proc.run(prog);
+    EXPECT_EQ(r.aluOps, census.aluOps * 1024);
+}
+
+TEST(PipelineTest, InterpreterAgreesAcrossMachineSizesWhereExpected)
+{
+    // Noise is perfectly data parallel: results must be identical for
+    // any cluster count.
+    std::vector<float> xy;
+    for (int i = 0; i < 200; ++i)
+        xy.push_back(0.37f * static_cast<float>(i) - 31.0f);
+    auto in = interp::StreamData::fromFloats(xy, 2);
+    auto r1 =
+        interp::runKernel(workloads::noiseKernel(), 1, {in});
+    auto r64 =
+        interp::runKernel(workloads::noiseKernel(), 64, {in});
+    EXPECT_EQ(r1.outputs[0].words.size(),
+              r64.outputs[0].words.size());
+    for (size_t i = 0; i < r1.outputs[0].words.size(); ++i)
+        EXPECT_EQ(r1.outputs[0].words[i].bits,
+                  r64.outputs[0].words[i].bits);
+}
+
+TEST(PipelineTest, CostAndPerformanceTradeoffVisible)
+{
+    // Intracluster scaling: N=10 buys throughput at an area premium.
+    core::StreamProcessorDesign d5({8, 5});
+    core::StreamProcessorDesign d10({8, 10});
+    double t5 = d5.kernelOpsPerCycle(workloads::fftKernel());
+    double t10 = d10.kernelOpsPerCycle(workloads::fftKernel());
+    EXPECT_GT(t10, 1.3 * t5);
+    EXPECT_GT(d10.areaPerAlu(), d5.areaPerAlu());
+}
+
+} // namespace
+} // namespace sps

@@ -1,0 +1,104 @@
+#include "interp/comm.h"
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "kernel/builder.h"
+
+namespace sps::interp {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+TEST(CommTest, RotationByOne)
+{
+    KernelBuilder b("rot");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto src = b.iadd(b.clusterId(), b.constI(1));
+    b.sbWrite(out, b.comm(x, src));
+    Kernel k = b.build();
+    auto r = runKernel(k, 4, {StreamData::fromInts({10, 20, 30, 40})});
+    // Cluster c receives cluster (c+1) mod 4's value.
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{20, 30, 40, 10}));
+}
+
+TEST(CommTest, BroadcastFromClusterZero)
+{
+    KernelBuilder b("bcast");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.comm(x, b.constI(0)));
+    Kernel k = b.build();
+    auto r = runKernel(k, 4, {StreamData::fromInts({7, 8, 9, 10})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{7, 7, 7, 7}));
+}
+
+TEST(CommTest, NegativeSourceWrapsModuloC)
+{
+    KernelBuilder b("left");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto src = b.isub(b.clusterId(), b.constI(1));
+    b.sbWrite(out, b.comm(x, src));
+    Kernel k = b.build();
+    auto r = runKernel(k, 4, {StreamData::fromInts({1, 2, 3, 4})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{4, 1, 2, 3}));
+}
+
+TEST(CommTest, ButterflyExchange)
+{
+    KernelBuilder b("bfly");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto src = b.ixor(b.clusterId(), b.constI(1));
+    b.sbWrite(out, b.iadd(x, b.comm(x, src)));
+    Kernel k = b.build();
+    auto r = runKernel(k, 4, {StreamData::fromInts({1, 2, 3, 4})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{3, 3, 7, 7}));
+}
+
+TEST(CommTest, TreeReductionAcrossClusters)
+{
+    // Full log2(C) butterfly reduction leaves the total in every
+    // cluster.
+    const int c = 8;
+    KernelBuilder b("reduce");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto s = b.sbRead(in);
+    for (int level = 1; level < c; level <<= 1) {
+        auto peer = b.ixor(b.clusterId(), b.constI(level));
+        s = b.iadd(s, b.comm(s, peer));
+    }
+    b.sbWrite(out, s);
+    Kernel k = b.build();
+    std::vector<int32_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+    auto r = runKernel(k, c, {StreamData::fromInts(data)});
+    for (int32_t v : r.outputs[0].toInts())
+        EXPECT_EQ(v, 36);
+}
+
+TEST(CommTest, ExchangeHelperDirect)
+{
+    std::vector<isa::Word> sent = {isa::Word::fromInt(5),
+                                   isa::Word::fromInt(6),
+                                   isa::Word::fromInt(7)};
+    std::vector<int32_t> got(3);
+    commExchange(
+        sent, 3, [](int cl) { return cl + 2; },
+        [&](int cl, isa::Word w) { got[cl] = w.asInt(); });
+    EXPECT_EQ(got, (std::vector<int32_t>{7, 5, 6}));
+}
+
+} // namespace
+} // namespace sps::interp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Interpreter edge cases: empty streams, single-cluster machines,
+ * interactions between phis and conditional streams, and multi-input
+ * driver selection.
+ */
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "kernel/builder.h"
+
+namespace sps::interp {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+TEST(InterpEdgeTest, EmptyInputProducesEmptyOutput)
+{
+    KernelBuilder b("copy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in));
+    Kernel k = b.build();
+    auto r = runKernel(k, 8, {StreamData{}});
+    EXPECT_EQ(r.iterations, 0);
+    EXPECT_TRUE(r.outputs[0].words.empty());
+}
+
+TEST(InterpEdgeTest, LengthDriverSelectsIterationCount)
+{
+    // Two inputs of different lengths; the second drives.
+    KernelBuilder b("drv");
+    int a = b.inStream("a");
+    int c = b.inStream("b");
+    int out = b.outStream("out");
+    b.lengthDriver(c);
+    b.sbWrite(out, b.iadd(b.sbRead(a), b.sbRead(c)));
+    Kernel k = b.build();
+    auto r = runKernel(k, 2,
+                       {StreamData::fromInts({1, 2, 3, 4, 5, 6}),
+                        StreamData::fromInts({10, 20})});
+    EXPECT_EQ(r.outputs[0].toInts(), (std::vector<int32_t>{11, 22}));
+}
+
+TEST(InterpEdgeTest, SingleClusterDegenerateMachine)
+{
+    KernelBuilder b("acc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromInt(0), 1);
+    auto sum = b.iadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    // COMM on a 1-cluster machine is a self-loop.
+    b.sbWrite(out, b.comm(sum, b.constI(0)));
+    Kernel k = b.build();
+    auto r = runKernel(k, 1, {StreamData::fromInts({1, 2, 3, 4})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{1, 3, 6, 10}));
+}
+
+TEST(InterpEdgeTest, CondWriteAfterPhiSeesCurrentIteration)
+{
+    // Emit the running sum only when it crosses a threshold.
+    KernelBuilder b("thresh");
+    int in = b.inStream("in");
+    int out = b.outStream("out", 1, true);
+    auto p = b.phi(isa::Word::fromInt(0), 1);
+    auto sum = b.iadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.condWrite(out, sum, b.icmpLt(b.constI(5), sum));
+    Kernel k = b.build();
+    auto r = runKernel(k, 1, {StreamData::fromInts({2, 2, 2, 2})});
+    EXPECT_EQ(r.outputs[0].toInts(), (std::vector<int32_t>{6, 8}));
+}
+
+TEST(InterpEdgeTest, MultipleCondStreamsKeepIndependentCursors)
+{
+    KernelBuilder b("two-cond");
+    int drv = b.inStream("drv");
+    int c1 = b.inStream("c1", 1, true);
+    int c2 = b.inStream("c2", 1, true);
+    int out = b.outStream("out", 2);
+    b.sbRead(drv);
+    auto odd = b.iand(b.clusterId(), b.constI(1));
+    auto even = b.icmpEq(odd, b.constI(0));
+    b.sbWrite(out, b.condRead(c1, even), 0);
+    b.sbWrite(out, b.condRead(c2, odd), 1);
+    Kernel k = b.build();
+    auto r = runKernel(k, 2,
+                       {StreamData::fromInts({0, 0, 0, 0}),
+                        StreamData::fromInts({100, 101}),
+                        StreamData::fromInts({200, 201})});
+    // iter 0: cluster0 reads c1->100, cluster1 reads c2->200.
+    // iter 1: cluster0 reads c1->101, cluster1 reads c2->201.
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{100, 0, 0, 200, 101, 0, 0, 201}));
+}
+
+TEST(InterpEdgeTest, PartialFinalIterationWritesOnlyValidRecords)
+{
+    KernelBuilder b("tail");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.ishl(b.sbRead(in), b.constI(1)));
+    Kernel k = b.build();
+    // 5 records on 4 clusters: last iteration has 3 idle clusters.
+    auto r = runKernel(k, 4,
+                       {StreamData::fromInts({1, 2, 3, 4, 5})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{2, 4, 6, 8, 10}));
+    EXPECT_EQ(r.iterations, 2);
+}
+
+TEST(InterpEdgeTest, WordRoundTripsPreserveBits)
+{
+    // NaN payloads and negative zero survive the Word type.
+    float nz = -0.0f;
+    isa::Word w = isa::Word::fromFloat(nz);
+    EXPECT_EQ(w.bits, 0x80000000u);
+    EXPECT_EQ(isa::Word::fromInt(-1).asInt(), -1);
+    EXPECT_EQ(isa::Word::fromInt(-1).bits, 0xFFFFFFFFu);
+}
+
+} // namespace
+} // namespace sps::interp

@@ -1,0 +1,263 @@
+#include "interp/interpreter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::interp {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+TEST(InterpreterTest, PassthroughCopiesStream)
+{
+    KernelBuilder b("copy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in));
+    Kernel k = b.build();
+    std::vector<int32_t> data{1, 2, 3, 4, 5, 6, 7};
+    auto r = runKernel(k, 4, {StreamData::fromInts(data)});
+    EXPECT_EQ(r.outputs[0].toInts(), data);
+    EXPECT_EQ(r.iterations, 2); // ceil(7/4)
+}
+
+TEST(InterpreterTest, IntegerArithmetic)
+{
+    KernelBuilder b("iarith");
+    int in = b.inStream("in", 2);
+    int out = b.outStream("out", 6);
+    auto x = b.sbRead(in, 0);
+    auto y = b.sbRead(in, 1);
+    b.sbWrite(out, b.iadd(x, y), 0);
+    b.sbWrite(out, b.isub(x, y), 1);
+    b.sbWrite(out, b.imul(x, y), 2);
+    b.sbWrite(out, b.imin(x, y), 3);
+    b.sbWrite(out, b.imax(x, y), 4);
+    b.sbWrite(out, b.iabs(b.isub(x, y)), 5);
+    Kernel k = b.build();
+    auto r = runKernel(
+        k, 2, {StreamData::fromInts({7, -3, -10, 4}, 2)});
+    auto o = r.outputs[0].toInts();
+    EXPECT_EQ(o, (std::vector<int32_t>{4, 10, -21, -3, 7, 10, //
+                                       -6, -14, -40, -10, 4, 14}));
+}
+
+TEST(InterpreterTest, IntegerWrapsModulo32Bits)
+{
+    KernelBuilder b("wrap");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.imul(x, x));
+    Kernel k = b.build();
+    auto r =
+        runKernel(k, 1, {StreamData::fromInts({0x10000, 3})});
+    auto o = r.outputs[0].toInts();
+    EXPECT_EQ(o[0], 0); // 2^32 wraps to 0
+    EXPECT_EQ(o[1], 9);
+}
+
+TEST(InterpreterTest, FloatArithmeticAndCompares)
+{
+    KernelBuilder b("farith");
+    int in = b.inStream("in", 2);
+    int out = b.outStream("out", 5);
+    auto x = b.sbRead(in, 0);
+    auto y = b.sbRead(in, 1);
+    b.sbWrite(out, b.fadd(x, y), 0);
+    b.sbWrite(out, b.fmul(x, y), 1);
+    b.sbWrite(out, b.fdiv(x, y), 2);
+    auto lt = b.fcmpLt(x, y);
+    b.sbWrite(out, b.select(lt, x, y), 3);
+    b.sbWrite(out, b.fsqrt(b.fabsOp(x)), 4);
+    Kernel k = b.build();
+    auto r = runKernel(
+        k, 1, {StreamData::fromFloats({9.0f, 2.0f}, 2)});
+    auto o = r.outputs[0].toFloats();
+    EXPECT_FLOAT_EQ(o[0], 11.0f);
+    EXPECT_FLOAT_EQ(o[1], 18.0f);
+    EXPECT_FLOAT_EQ(o[2], 4.5f);
+    EXPECT_FLOAT_EQ(o[3], 2.0f); // 9 < 2 is false -> y
+    EXPECT_FLOAT_EQ(o[4], 3.0f);
+}
+
+TEST(InterpreterTest, ShiftAndBitOps)
+{
+    KernelBuilder b("bits");
+    int in = b.inStream("in");
+    int out = b.outStream("out", 4);
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.ishl(x, b.constI(4)), 0);
+    b.sbWrite(out, b.ishr(x, b.constI(1)), 1);
+    b.sbWrite(out, b.iand(x, b.constI(0xF)), 2);
+    b.sbWrite(out, b.ixor(x, b.constI(-1)), 3);
+    Kernel k = b.build();
+    auto r = runKernel(k, 1, {StreamData::fromInts({-8})});
+    auto o = r.outputs[0].toInts();
+    EXPECT_EQ(o[0], -128);
+    EXPECT_EQ(o[1], -4); // arithmetic shift
+    EXPECT_EQ(o[2], 8);
+    EXPECT_EQ(o[3], 7);
+}
+
+TEST(InterpreterTest, LoopIndexAndClusterId)
+{
+    KernelBuilder b("idx");
+    int in = b.inStream("in");
+    int out = b.outStream("out", 2);
+    b.sbRead(in);
+    b.sbWrite(out, b.loopIndex(), 0);
+    b.sbWrite(out, b.clusterId(), 1);
+    Kernel k = b.build();
+    auto r = runKernel(
+        k, 3, {StreamData::fromInts({0, 0, 0, 0, 0, 0})});
+    auto o = r.outputs[0].toInts();
+    // records: (iter, cluster) pairs in record order.
+    EXPECT_EQ(o, (std::vector<int32_t>{0, 0, 0, 1, 0, 2, //
+                                       1, 0, 1, 1, 1, 2}));
+}
+
+TEST(InterpreterTest, PhiAccumulatorAcrossIterations)
+{
+    KernelBuilder b("acc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromInt(100), 1);
+    auto sum = b.iadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    Kernel k = b.build();
+    // One cluster: running prefix sums seeded with 100.
+    auto r = runKernel(k, 1, {StreamData::fromInts({1, 2, 3})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{101, 103, 106}));
+    // Two clusters: each accumulates its own lane.
+    auto r2 = runKernel(k, 2, {StreamData::fromInts({1, 2, 3, 4})});
+    EXPECT_EQ(r2.outputs[0].toInts(),
+              (std::vector<int32_t>{101, 102, 104, 106}));
+}
+
+TEST(InterpreterTest, PhiDistanceTwoReadsTwoIterationsBack)
+{
+    KernelBuilder b("lag2");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromInt(-1), 2);
+    auto x = b.sbRead(in);
+    b.setPhiSource(p, x);
+    b.sbWrite(out, p);
+    Kernel k = b.build();
+    auto r = runKernel(k, 1, {StreamData::fromInts({10, 20, 30, 40})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{-1, -1, 10, 20}));
+}
+
+TEST(InterpreterTest, ScratchpadPersistsAcrossIterations)
+{
+    KernelBuilder b("sp");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.scratchpad(1);
+    auto zero = b.constI(0);
+    auto prev = b.spRead(zero);
+    auto next = b.iadd(prev, b.sbRead(in));
+    b.spWrite(zero, next);
+    b.sbWrite(out, next);
+    Kernel k = b.build();
+    auto r = runKernel(k, 1, {StreamData::fromInts({5, 6, 7})});
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{5, 11, 18}));
+}
+
+TEST(InterpreterTest, ScratchpadsArePerCluster)
+{
+    KernelBuilder b("sp2");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.scratchpad(1);
+    auto zero = b.constI(0);
+    auto prev = b.spRead(zero);
+    auto next = b.iadd(prev, b.sbRead(in));
+    b.spWrite(zero, next);
+    b.sbWrite(out, next);
+    Kernel k = b.build();
+    auto r = runKernel(k, 2, {StreamData::fromInts({1, 10, 2, 20})});
+    // Cluster 0 sees 1,2 -> 1,3; cluster 1 sees 10,20 -> 10,30.
+    EXPECT_EQ(r.outputs[0].toInts(),
+              (std::vector<int32_t>{1, 10, 3, 30}));
+}
+
+TEST(InterpreterTest, ReadsPastStreamEndReturnZero)
+{
+    KernelBuilder b("pad");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.iadd(b.sbRead(in), b.constI(1)));
+    Kernel k = b.build();
+    // 3 records on 4 clusters: cluster 3 reads 0, but only 3 output
+    // records are produced.
+    auto r = runKernel(k, 4, {StreamData::fromInts({1, 2, 3})});
+    EXPECT_EQ(r.outputs[0].toInts(), (std::vector<int32_t>{2, 3, 4}));
+}
+
+TEST(InterpreterTest, TwoOutputStreams)
+{
+    KernelBuilder b("two");
+    int in = b.inStream("in");
+    int o1 = b.outStream("o1");
+    int o2 = b.outStream("o2");
+    auto x = b.sbRead(in);
+    b.sbWrite(o1, b.iadd(x, b.constI(1)));
+    b.sbWrite(o2, b.imul(x, x));
+    Kernel k = b.build();
+    auto r = runKernel(k, 2, {StreamData::fromInts({2, 3})});
+    EXPECT_EQ(r.outputs[0].toInts(), (std::vector<int32_t>{3, 4}));
+    EXPECT_EQ(r.outputs[1].toInts(), (std::vector<int32_t>{4, 9}));
+}
+
+TEST(InterpreterTest, FloorAndConversions)
+{
+    KernelBuilder b("conv");
+    int in = b.inStream("in");
+    int out = b.outStream("out", 2);
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.ftoi(b.ffloor(x)), 0);
+    b.sbWrite(out, b.itof(b.ftoi(x)), 1);
+    Kernel k = b.build();
+    auto r = runKernel(k, 1, {StreamData::fromFloats({-1.5f, 2.75f})});
+    auto o = r.outputs[0].words;
+    EXPECT_EQ(o[0].asInt(), -2);       // floor(-1.5)
+    EXPECT_FLOAT_EQ(o[1].asFloat(), -1.0f); // trunc(-1.5)
+    EXPECT_EQ(o[2].asInt(), 2);
+    EXPECT_FLOAT_EQ(o[3].asFloat(), 2.0f);
+}
+
+TEST(InterpreterDeathTest, RecordWidthMismatchPanics)
+{
+    KernelBuilder b("w");
+    int in = b.inStream("in", 2);
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in, 0));
+    Kernel k = b.build();
+    EXPECT_DEATH(runKernel(k, 2, {StreamData::fromInts({1, 2, 3}, 1)}),
+                 "record width");
+}
+
+TEST(InterpreterDeathTest, ScratchpadOutOfBoundsPanics)
+{
+    KernelBuilder b("oob");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.scratchpad(2);
+    b.sbWrite(out, b.spRead(b.sbRead(in)));
+    Kernel k = b.build();
+    EXPECT_DEATH(runKernel(k, 1, {StreamData::fromInts({5})}),
+                 "SP read");
+}
+
+} // namespace
+} // namespace sps::interp

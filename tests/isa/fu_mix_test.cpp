@@ -1,0 +1,74 @@
+#include "isa/fu_mix.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::isa {
+namespace {
+
+TEST(FuMixTest, ImagineSixAluMixIsThreeTwoOne)
+{
+    FuMix m = mixFor(6);
+    EXPECT_EQ(m.adders, 3);
+    EXPECT_EQ(m.multipliers, 2);
+    EXPECT_EQ(m.dsq, 1);
+}
+
+TEST(FuMixTest, PaperReferenceFiveAluMix)
+{
+    FuMix m = mixFor(5);
+    EXPECT_EQ(m.adders, 3);
+    EXPECT_EQ(m.multipliers, 2);
+    EXPECT_EQ(m.dsq, 0);
+}
+
+TEST(FuMixTest, TwoAluClusterHasBothBasicUnits)
+{
+    FuMix m = mixFor(2);
+    EXPECT_EQ(m.adders, 1);
+    EXPECT_EQ(m.multipliers, 1);
+    EXPECT_EQ(m.dsq, 0);
+}
+
+TEST(FuMixTest, SingleAluIsAnAdder)
+{
+    FuMix m = mixFor(1);
+    EXPECT_EQ(m.adders, 1);
+    EXPECT_EQ(m.multipliers, 0);
+}
+
+TEST(FuMixTest, NoDsqBelowSixAlus)
+{
+    for (int n = 1; n <= 5; ++n)
+        EXPECT_EQ(mixFor(n).dsq, 0) << "N=" << n;
+}
+
+/** Property sweep over cluster sizes. */
+class FuMixSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuMixSweep, TotalsAndRatiosHold)
+{
+    int n = GetParam();
+    FuMix m = mixFor(n);
+    EXPECT_EQ(m.total(), n);
+    EXPECT_GE(m.adders, 1);
+    if (n >= 2) {
+        EXPECT_GE(m.multipliers, 1);
+    }
+    if (n >= 6) {
+        EXPECT_GE(m.dsq, 1);
+        // Roughly one DSQ per six ALUs.
+        EXPECT_LE(m.dsq, n / 4);
+        // Adders outnumber multipliers (3:2 ratio).
+        EXPECT_GE(m.adders, m.multipliers);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FuMixSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10,
+                                           12, 14, 16, 24, 32, 64,
+                                           128));
+
+} // namespace
+} // namespace sps::isa

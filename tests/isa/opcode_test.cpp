@@ -1,0 +1,91 @@
+#include "isa/opcode.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sps::isa {
+namespace {
+
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> out;
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i)
+        out.push_back(static_cast<Opcode>(i));
+    return out;
+}
+
+TEST(OpcodeTest, EveryOpcodeHasClassArityAndMnemonic)
+{
+    std::set<std::string_view> names;
+    for (Opcode op : allOpcodes()) {
+        EXPECT_NO_FATAL_FAILURE(fuClassOf(op));
+        EXPECT_GE(arity(op), 0);
+        EXPECT_LE(arity(op), 3);
+        std::string_view m = mnemonic(op);
+        EXPECT_FALSE(m.empty());
+        EXPECT_NE(m, "<bad>");
+        EXPECT_TRUE(names.insert(m).second)
+            << "duplicate mnemonic " << m;
+    }
+}
+
+TEST(OpcodeTest, AluClassification)
+{
+    EXPECT_TRUE(isAluOp(Opcode::IAdd));
+    EXPECT_TRUE(isAluOp(Opcode::FMul));
+    EXPECT_TRUE(isAluOp(Opcode::FDiv));
+    EXPECT_TRUE(isAluOp(Opcode::Select));
+    EXPECT_FALSE(isAluOp(Opcode::SbRead));
+    EXPECT_FALSE(isAluOp(Opcode::SpRead));
+    EXPECT_FALSE(isAluOp(Opcode::CommPerm));
+    EXPECT_FALSE(isAluOp(Opcode::ConstInt));
+    EXPECT_FALSE(isAluOp(Opcode::Phi));
+}
+
+TEST(OpcodeTest, SrfAccessClassification)
+{
+    EXPECT_TRUE(isSrfAccess(Opcode::SbRead));
+    EXPECT_TRUE(isSrfAccess(Opcode::SbWrite));
+    EXPECT_TRUE(isSrfAccess(Opcode::SbCondRead));
+    EXPECT_TRUE(isSrfAccess(Opcode::SbCondWrite));
+    EXPECT_FALSE(isSrfAccess(Opcode::SpRead));
+    EXPECT_FALSE(isSrfAccess(Opcode::IAdd));
+}
+
+TEST(OpcodeTest, ConditionalStreamsCountAsCommOps)
+{
+    // Conditional streams route through the intercluster switch
+    // (Kapasi et al.), so they occupy COMM issue slots.
+    EXPECT_TRUE(isCommOp(Opcode::CommPerm));
+    EXPECT_TRUE(isCommOp(Opcode::SbCondRead));
+    EXPECT_TRUE(isCommOp(Opcode::SbCondWrite));
+    EXPECT_EQ(fuClassOf(Opcode::SbCondRead), FuClass::Comm);
+    EXPECT_EQ(fuClassOf(Opcode::SbCondWrite), FuClass::Comm);
+    EXPECT_FALSE(isCommOp(Opcode::SbRead));
+}
+
+TEST(OpcodeTest, PseudoOpsConsumeNoUnit)
+{
+    for (Opcode op : {Opcode::ConstInt, Opcode::ConstFloat,
+                      Opcode::LoopIndex, Opcode::ClusterId,
+                      Opcode::NumClusters, Opcode::Phi})
+        EXPECT_EQ(fuClassOf(op), FuClass::None);
+}
+
+TEST(OpcodeTest, ArityMatchesSemantics)
+{
+    EXPECT_EQ(arity(Opcode::ConstInt), 0);
+    EXPECT_EQ(arity(Opcode::SbRead), 0);
+    EXPECT_EQ(arity(Opcode::FSqrt), 1);
+    EXPECT_EQ(arity(Opcode::IAdd), 2);
+    EXPECT_EQ(arity(Opcode::Select), 3);
+    EXPECT_EQ(arity(Opcode::SpWrite), 2);
+    EXPECT_EQ(arity(Opcode::CommPerm), 2);
+    EXPECT_EQ(arity(Opcode::SbCondWrite), 2);
+    EXPECT_EQ(arity(Opcode::Phi), 1);
+}
+
+} // namespace
+} // namespace sps::isa

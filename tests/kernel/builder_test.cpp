@@ -1,0 +1,154 @@
+#include "kernel/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/census.h"
+
+namespace sps::kernel {
+namespace {
+
+TEST(BuilderTest, MinimalPassthroughKernel)
+{
+    KernelBuilder b("copy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in));
+    Kernel k = b.build();
+    EXPECT_EQ(k.name, "copy");
+    EXPECT_EQ(k.inputCount(), 1);
+    EXPECT_EQ(k.outputCount(), 1);
+    EXPECT_EQ(k.ops.size(), 2u);
+}
+
+TEST(BuilderTest, ArithmeticChainRecordsOperands)
+{
+    KernelBuilder b("chain");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto y = b.fmul(x, b.constF(2.0f));
+    auto z = b.fadd(y, x);
+    b.sbWrite(out, z);
+    Kernel k = b.build();
+    const Op &add = k.op(z);
+    EXPECT_EQ(add.code, isa::Opcode::FAdd);
+    EXPECT_EQ(add.args[0], y);
+    EXPECT_EQ(add.args[1], x);
+}
+
+TEST(BuilderTest, MultiWordRecordsUseFields)
+{
+    KernelBuilder b("rec");
+    int in = b.inStream("in", 4);
+    int out = b.outStream("out", 2);
+    b.sbWrite(out, b.sbRead(in, 3), 1);
+    b.sbWrite(out, b.sbRead(in, 0), 0);
+    Kernel k = b.build();
+    EXPECT_EQ(k.streams[in].recordWords, 4);
+    EXPECT_EQ(k.streams[out].recordWords, 2);
+}
+
+TEST(BuilderTest, ScratchpadAccessesAreTokenOrdered)
+{
+    KernelBuilder b("sp");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.scratchpad(4);
+    auto addr = b.constI(1);
+    b.spWrite(addr, b.sbRead(in));
+    auto v = b.spRead(addr);
+    b.sbWrite(out, v);
+    Kernel k = b.build();
+    // The read must carry a token edge to the preceding write.
+    const Op &rd = k.op(v);
+    ASSERT_EQ(rd.orderAfter.size(), 1u);
+    EXPECT_EQ(k.op(rd.orderAfter[0]).code, isa::Opcode::SpWrite);
+}
+
+TEST(BuilderTest, SameStreamAccessesAreTokenChained)
+{
+    KernelBuilder b("chain2");
+    int in = b.inStream("in", 2);
+    int out = b.outStream("out");
+    auto a = b.sbRead(in, 0);
+    auto c = b.sbRead(in, 1);
+    b.sbWrite(out, b.iadd(a, c));
+    Kernel k = b.build();
+    const Op &second = k.op(c);
+    ASSERT_EQ(second.orderAfter.size(), 1u);
+    EXPECT_EQ(second.orderAfter[0], a);
+}
+
+TEST(BuilderTest, PhiRoundTrip)
+{
+    KernelBuilder b("acc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromInt(0), 1);
+    auto sum = b.iadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    Kernel k = b.build();
+    const Op &phi = k.op(p);
+    EXPECT_EQ(phi.code, isa::Opcode::Phi);
+    EXPECT_EQ(phi.args[0], sum);
+    EXPECT_EQ(phi.distance, 1);
+}
+
+TEST(BuilderTest, ConditionalStreamsRequireConditionalPorts)
+{
+    KernelBuilder b("cond");
+    int in = b.inStream("in");
+    int cout = b.outStream("frags", 1, /*conditional=*/true);
+    auto x = b.sbRead(in);
+    b.condWrite(cout, x, b.icmpLt(x, b.constI(5)));
+    Kernel k = b.build();
+    EXPECT_TRUE(k.streams[cout].conditional);
+}
+
+TEST(BuilderDeathTest, ReadOfOutputStreamPanics)
+{
+    KernelBuilder b("bad");
+    b.inStream("in");
+    int out = b.outStream("out");
+    EXPECT_DEATH(b.sbRead(out), "sbRead of output");
+}
+
+TEST(BuilderDeathTest, WriteOfInputStreamPanics)
+{
+    KernelBuilder b("bad");
+    int in = b.inStream("in");
+    b.outStream("out");
+    auto x = b.sbRead(in);
+    EXPECT_DEATH(b.sbWrite(in, x), "sbWrite of input");
+}
+
+TEST(BuilderDeathTest, FieldOutOfRecordPanics)
+{
+    KernelBuilder b("bad");
+    int in = b.inStream("in", 2);
+    b.outStream("out");
+    EXPECT_DEATH(b.sbRead(in, 2), "field");
+}
+
+TEST(BuilderDeathTest, UnsetPhiSourceFailsValidation)
+{
+    KernelBuilder b("bad");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromInt(0), 1);
+    b.sbWrite(out, b.iadd(p, b.sbRead(in)));
+    EXPECT_DEATH(b.build(), "");
+}
+
+TEST(BuilderDeathTest, CondWriteOnRegularStreamPanics)
+{
+    KernelBuilder b("bad");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    EXPECT_DEATH(b.condWrite(out, x, x), "conditional");
+}
+
+} // namespace
+} // namespace sps::kernel

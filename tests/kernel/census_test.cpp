@@ -1,0 +1,85 @@
+#include "kernel/census.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::kernel {
+namespace {
+
+TEST(CensusTest, CountsByCategory)
+{
+    KernelBuilder b("mix", DataClass::Word32);
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.scratchpad(2);
+    auto x = b.sbRead(in);              // 1 SRF
+    auto y = b.fadd(x, b.constF(1.f));  // 1 ALU
+    auto z = b.fmul(y, y);              // 1 ALU
+    auto w = b.comm(z, b.clusterId());  // 1 COMM
+    b.spWrite(b.constI(0), w);          // 1 SP
+    auto r = b.spRead(b.constI(0));     // 1 SP
+    b.sbWrite(out, r);                  // 1 SRF
+    Kernel k = b.build();
+    Census c = takeCensus(k);
+    EXPECT_EQ(c.aluOps, 2);
+    EXPECT_EQ(c.srfAccesses, 2);
+    EXPECT_EQ(c.comms, 1);
+    EXPECT_EQ(c.spAccesses, 2);
+}
+
+TEST(CensusTest, RatiosMatchPaperFormat)
+{
+    Census c;
+    c.aluOps = 100;
+    c.srfAccesses = 47;
+    c.comms = 17;
+    c.spAccesses = 7;
+    EXPECT_DOUBLE_EQ(c.srfPerAlu(), 0.47);
+    EXPECT_DOUBLE_EQ(c.commPerAlu(), 0.17);
+    EXPECT_DOUBLE_EQ(c.spPerAlu(), 0.07);
+}
+
+TEST(CensusTest, ConditionalAccessesCountAsBothSrfAndComm)
+{
+    KernelBuilder b("cond", DataClass::Word32);
+    int in = b.inStream("in");
+    int out = b.outStream("out", 1, true);
+    auto x = b.sbRead(in);
+    b.condWrite(out, x, b.icmpLt(x, b.constI(0)));
+    Kernel k = b.build();
+    Census c = takeCensus(k);
+    EXPECT_EQ(c.srfAccesses, 2);
+    EXPECT_EQ(c.comms, 1);
+}
+
+TEST(CensusTest, HalfWordKernelsCountDoubleGopsOps)
+{
+    KernelBuilder b16("k16", DataClass::Half16);
+    int in = b16.inStream("in");
+    int out = b16.outStream("out");
+    b16.sbWrite(out, b16.iadd(b16.sbRead(in), b16.constI(1)));
+    Kernel k16 = b16.build();
+    EXPECT_DOUBLE_EQ(gopsOpsPerIteration(k16), 2.0);
+
+    KernelBuilder b32("k32", DataClass::Word32);
+    in = b32.inStream("in");
+    out = b32.outStream("out");
+    b32.sbWrite(out, b32.iadd(b32.sbRead(in), b32.constI(1)));
+    Kernel k32 = b32.build();
+    EXPECT_DOUBLE_EQ(gopsOpsPerIteration(k32), 1.0);
+}
+
+TEST(CensusTest, EmptyAluKernelHasZeroRatios)
+{
+    KernelBuilder b("copy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in));
+    Census c = takeCensus(b.build());
+    EXPECT_EQ(c.aluOps, 0);
+    EXPECT_DOUBLE_EQ(c.srfPerAlu(), 0.0);
+}
+
+} // namespace
+} // namespace sps::kernel

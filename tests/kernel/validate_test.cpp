@@ -1,0 +1,110 @@
+#include "kernel/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::kernel {
+namespace {
+
+Kernel
+goodKernel()
+{
+    KernelBuilder b("good");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.iadd(b.sbRead(in), b.constI(1)));
+    return b.build();
+}
+
+TEST(ValidateTest, AcceptsWellFormedKernel)
+{
+    Kernel k = goodKernel();
+    EXPECT_NO_FATAL_FAILURE(validateKernel(k));
+}
+
+TEST(ValidateTest, TopoOrderCoversAllOps)
+{
+    Kernel k = goodKernel();
+    auto order = topoOrder(k);
+    EXPECT_EQ(order.size(), k.ops.size());
+}
+
+TEST(ValidateDeathTest, RejectsMissingStreams)
+{
+    Kernel k;
+    k.name = "empty";
+    EXPECT_DEATH(validateKernel(k), "no streams");
+}
+
+TEST(ValidateDeathTest, RejectsOutputOnlyKernel)
+{
+    Kernel k;
+    k.name = "nodriver";
+    k.streams.push_back(StreamPort{"out", PortDir::Out, 1, false});
+    EXPECT_DEATH(validateKernel(k), "no input");
+}
+
+TEST(ValidateDeathTest, RejectsBadArity)
+{
+    Kernel k = goodKernel();
+    k.ops[1].args.push_back(0); // iadd now has 3 args
+    EXPECT_DEATH(validateKernel(k), "");
+}
+
+/** Index of the kernel's IAdd op (ops include argument constants). */
+ValueId
+addOpOf(const Kernel &k)
+{
+    for (size_t i = 0; i < k.ops.size(); ++i)
+        if (k.ops[i].code == isa::Opcode::IAdd)
+            return static_cast<ValueId>(i);
+    ADD_FAILURE() << "no IAdd in kernel";
+    return 0;
+}
+
+TEST(ValidateDeathTest, RejectsForwardUseByNonPhi)
+{
+    Kernel k = goodKernel();
+    // Make the add reference the (later) sbWrite.
+    ValueId add = addOpOf(k);
+    k.ops[static_cast<size_t>(add)].args[0] =
+        static_cast<ValueId>(k.ops.size()) - 1;
+    EXPECT_DEATH(validateKernel(k), "");
+}
+
+TEST(ValidateDeathTest, RejectsOutOfRangeOperand)
+{
+    Kernel k = goodKernel();
+    ValueId add = addOpOf(k);
+    k.ops[static_cast<size_t>(add)].args[0] = 1000;
+    EXPECT_DEATH(validateKernel(k), "");
+}
+
+TEST(ValidateDeathTest, RejectsZeroDistancePhi)
+{
+    KernelBuilder b("badphi");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    b.sbWrite(out, x);
+    Kernel k = b.build();
+    Op phi;
+    phi.code = isa::Opcode::Phi;
+    phi.args = {0};
+    phi.distance = 0;
+    k.ops.push_back(phi);
+    EXPECT_DEATH(validateKernel(k), "distance");
+}
+
+TEST(ValidateDeathTest, RejectsBadStreamIndex)
+{
+    Kernel k = goodKernel();
+    for (auto &op : k.ops)
+        if (op.code == isa::Opcode::SbRead)
+            op.stream = 99;
+    EXPECT_DEATH(validateKernel(k), "");
+}
+
+} // namespace
+} // namespace sps::kernel

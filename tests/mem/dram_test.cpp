@@ -1,0 +1,65 @@
+#include "mem/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::mem {
+namespace {
+
+TEST(DramTest, SequentialAccessHitsOpenRow)
+{
+    DramChannel chan;
+    MemRequest first{0, false};
+    int cold = chan.service(first);
+    EXPECT_GT(cold, chan.timing().tCol); // activate cost
+    MemRequest second{1, false};
+    EXPECT_TRUE(chan.isRowHit(second));
+    EXPECT_EQ(chan.service(second), chan.timing().tCol);
+}
+
+TEST(DramTest, RowMissPaysPrechargeAndActivate)
+{
+    DramChannel chan;
+    chan.service(MemRequest{0, false});
+    // Same bank, different row: addr + rowWords*banks.
+    int64_t far = static_cast<int64_t>(chan.timing().rowWords) *
+                  chan.timing().banks;
+    MemRequest miss{far, false};
+    EXPECT_FALSE(chan.isRowHit(miss));
+    EXPECT_EQ(chan.service(miss), chan.timing().tCol +
+                                      chan.timing().tPre +
+                                      chan.timing().tRas);
+}
+
+TEST(DramTest, BanksInterleaveAtRowGranularity)
+{
+    DramChannel chan;
+    int words = chan.timing().rowWords;
+    EXPECT_EQ(chan.bankOf(0), 0);
+    EXPECT_EQ(chan.bankOf(words), 1);
+    EXPECT_EQ(chan.bankOf(2LL * words), 2);
+    EXPECT_EQ(chan.bankOf(static_cast<int64_t>(words) *
+                          chan.timing().banks),
+              0);
+}
+
+TEST(DramTest, DifferentBanksKeepRowsOpenIndependently)
+{
+    DramChannel chan;
+    int words = chan.timing().rowWords;
+    chan.service(MemRequest{0, false});          // bank 0
+    chan.service(MemRequest{words, false});      // bank 1
+    // Bank 0's row is still open.
+    EXPECT_TRUE(chan.isRowHit(MemRequest{1, false}));
+    EXPECT_TRUE(chan.isRowHit(MemRequest{words + 1, false}));
+}
+
+TEST(DramTest, ResetClosesAllRows)
+{
+    DramChannel chan;
+    chan.service(MemRequest{0, false});
+    chan.reset();
+    EXPECT_FALSE(chan.isRowHit(MemRequest{1, false}));
+}
+
+} // namespace
+} // namespace sps::mem

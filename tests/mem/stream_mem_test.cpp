@@ -1,0 +1,68 @@
+#include "mem/stream_mem.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::mem {
+namespace {
+
+TEST(StreamMemTest, DenseTransferApproachesPeakBandwidth)
+{
+    StreamMemSystem sys;
+    TransferResult r = sys.transfer(64 * 1024);
+    EXPECT_GT(r.wordsPerCycle,
+              0.7 * sys.config().peakWordsPerCycle);
+    EXPECT_LE(r.wordsPerCycle,
+              sys.config().peakWordsPerCycle + 1e-9);
+}
+
+TEST(StreamMemTest, LatencyChargedOnce)
+{
+    StreamMemSystem sys;
+    TransferResult tiny = sys.transfer(1);
+    EXPECT_GE(tiny.cycles, sys.config().latencyCycles);
+    EXPECT_LE(tiny.cycles, sys.config().latencyCycles + 32);
+}
+
+TEST(StreamMemTest, ZeroWordsIsFree)
+{
+    StreamMemSystem sys;
+    EXPECT_EQ(sys.transfer(0).cycles, 0);
+}
+
+TEST(StreamMemTest, DurationScalesLinearly)
+{
+    StreamMemSystem sys;
+    int64_t t1 = sys.transferCycles(4096);
+    int64_t t2 = sys.transferCycles(8192);
+    double ratio = static_cast<double>(t2 - sys.config().latencyCycles) /
+                   static_cast<double>(t1 - sys.config().latencyCycles);
+    EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(StreamMemTest, LargeTransfersExtrapolatedConsistently)
+{
+    StreamMemSystem sys;
+    // Beyond the simulation cap, busy cycles grow linearly.
+    int64_t a = sys.transfer(1 << 16).busyCycles;
+    int64_t b = sys.transfer(1 << 17).busyCycles;
+    EXPECT_NEAR(static_cast<double>(b) / a, 2.0, 0.05);
+}
+
+TEST(StreamMemTest, StridedTransferNoFasterThanDense)
+{
+    StreamMemSystem sys;
+    int64_t dense = sys.transfer(8192, 1).cycles;
+    int64_t strided = sys.transfer(8192, 1024).cycles;
+    EXPECT_GE(strided, dense);
+}
+
+TEST(StreamMemTest, FortyFiveNmConfigMatchesPaper)
+{
+    StreamMemConfig cfg = StreamMemConfig::fortyFiveNm();
+    EXPECT_EQ(cfg.channels, 8);
+    EXPECT_DOUBLE_EQ(cfg.peakWordsPerCycle, 4.0); // 16 GB/s at 1 GHz
+    EXPECT_EQ(cfg.latencyCycles, 55);             // Table 1's T
+}
+
+} // namespace
+} // namespace sps::mem

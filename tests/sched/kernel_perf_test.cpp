@@ -1,0 +1,98 @@
+#include "sched/kernel_perf.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+#include "workloads/suite.h"
+
+namespace sps::sched {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+TEST(KernelPerfTest, CompilesSuiteKernelOnReferenceMachine)
+{
+    MachineModel m = MachineModel::forSize({8, 5});
+    CompiledKernel ck = compileKernel(workloads::convolveKernel(), m);
+    EXPECT_GE(ck.ii, 1);
+    EXPECT_GE(ck.stages, 1);
+    EXPECT_GT(ck.aluOpsPerIteration, 0);
+    EXPECT_GT(ck.aluOpsPerCycle(), 0.0);
+}
+
+TEST(KernelPerfTest, ThroughputBoundedByAluCount)
+{
+    for (int n : {2, 5, 10}) {
+        MachineModel m = MachineModel::forSize({8, n});
+        CompiledKernel ck =
+            compileKernel(workloads::convolveKernel(), m);
+        EXPECT_LE(ck.aluOpsPerCycle(), n + 1e-9) << "N=" << n;
+    }
+}
+
+TEST(KernelPerfTest, MoreAlusNeverSlower)
+{
+    double prev = 0.0;
+    for (int n : {2, 5, 10, 14}) {
+        MachineModel m = MachineModel::forSize({8, n});
+        CompiledKernel ck = compileKernel(workloads::fftKernel(), m);
+        EXPECT_GE(ck.aluOpsPerCycle(), prev - 1e-9) << "N=" << n;
+        prev = ck.aluOpsPerCycle();
+    }
+}
+
+TEST(KernelPerfTest, LoopCyclesScaleWithIterations)
+{
+    MachineModel m = MachineModel::forSize({8, 5});
+    CompiledKernel ck = compileKernel(workloads::noiseKernel(), m);
+    int64_t t1 = ck.loopCycles(100);
+    int64_t t2 = ck.loopCycles(200);
+    // Steady state: doubling iterations roughly doubles time.
+    EXPECT_GT(t2, t1);
+    EXPECT_LT(static_cast<double>(t2), 2.2 * static_cast<double>(t1));
+}
+
+TEST(KernelPerfTest, ShortCallsUseCheapVariant)
+{
+    MachineModel m = MachineModel::forSize({128, 10});
+    CompiledKernel ck = compileKernel(workloads::fftKernel(), m);
+    // A 2-iteration call must not pay the full unrolled pipeline's
+    // priming: it is bounded by the straight-line alternative.
+    int64_t t = ck.loopCycles(2);
+    EXPECT_LE(t, 2 * static_cast<int64_t>(ck.listLength));
+}
+
+TEST(KernelPerfTest, ZeroIterationsCostNothing)
+{
+    MachineModel m = MachineModel::forSize({8, 5});
+    CompiledKernel ck = compileKernel(workloads::noiseKernel(), m);
+    EXPECT_EQ(ck.loopCycles(0), 0);
+}
+
+TEST(KernelPerfTest, GopsAccountingUsesSubwordFactor)
+{
+    MachineModel m = MachineModel::forSize({8, 5});
+    CompiledKernel conv = compileKernel(workloads::convolveKernel(), m);
+    // convolve is a 16-bit kernel: GOPS ops are twice the ALU ops.
+    EXPECT_DOUBLE_EQ(conv.gopsOpsPerIteration,
+                     2.0 * conv.aluOpsPerIteration);
+    CompiledKernel fft = compileKernel(workloads::fftKernel(), m);
+    EXPECT_DOUBLE_EQ(fft.gopsOpsPerIteration,
+                     1.0 * fft.aluOpsPerIteration);
+}
+
+TEST(KernelPerfDeathTest, UnexecutableKernelPanics)
+{
+    KernelBuilder b("mulheavy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.imul(x, x));
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 1}); // no multiplier
+    EXPECT_DEATH(compileKernel(k, m), "cannot execute");
+}
+
+} // namespace
+} // namespace sps::sched

@@ -1,0 +1,102 @@
+#include "sched/list_sched.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::sched {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+TEST(ListSchedTest, RespectsDependenceLatencies)
+{
+    KernelBuilder b("chain");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto y = b.fadd(x, x);
+    auto z = b.fmul(y, y);
+    b.sbWrite(out, z);
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ListSchedule s = listSchedule(g, m);
+    for (const DepEdge &e : g.edges) {
+        if (e.distance != 0)
+            continue;
+        EXPECT_GE(s.issueCycle[e.to],
+                  s.issueCycle[e.from] + e.latency);
+    }
+}
+
+TEST(ListSchedTest, LengthCoversCriticalPath)
+{
+    KernelBuilder b("chain");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto v = b.sbRead(in);
+    for (int i = 0; i < 4; ++i)
+        v = b.fadd(v, v);
+    b.sbWrite(out, v);
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ListSchedule s = listSchedule(g, m);
+    // 3 (read) + 4 * 4 (fadds) + 1 (write) at minimum.
+    EXPECT_GE(s.length, 3 + 16 + 1);
+}
+
+TEST(ListSchedTest, ResourceSerialization)
+{
+    // Six independent multiplies on two multipliers cannot all issue
+    // at once; per-unit occupancy must be respected.
+    KernelBuilder b("muls");
+    int in = b.inStream("in", 6);
+    int out = b.outStream("out", 6);
+    for (int i = 0; i < 6; ++i) {
+        auto x = b.sbRead(in, i);
+        b.sbWrite(out, b.imul(x, x), i);
+    }
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ListSchedule s = listSchedule(g, m);
+    std::map<int, int> at_cycle;
+    for (int i = 0; i < g.nodeCount(); ++i)
+        if (g.nodes[i].cls == isa::FuClass::Multiplier)
+            ++at_cycle[s.issueCycle[i]];
+    for (const auto &[cycle, count] : at_cycle)
+        EXPECT_LE(count, 2) << "cycle " << cycle;
+}
+
+TEST(ListSchedTest, IgnoresLoopCarriedEdges)
+{
+    KernelBuilder b("acc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromFloat(0.f), 1);
+    auto sum = b.fadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    // Must not deadlock on the back edge.
+    ListSchedule s = listSchedule(g, m);
+    EXPECT_GT(s.length, 0);
+}
+
+TEST(ListSchedTest, EmptyGraph)
+{
+    DepGraph g;
+    MachineModel m = MachineModel::forSize({8, 5});
+    ListSchedule s = listSchedule(g, m);
+    EXPECT_EQ(s.length, 0);
+}
+
+} // namespace
+} // namespace sps::sched

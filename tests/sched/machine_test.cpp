@@ -1,0 +1,82 @@
+#include "sched/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::sched {
+namespace {
+
+using isa::FuClass;
+using isa::Opcode;
+
+TEST(MachineTest, UnitCountsFollowMixAndRatios)
+{
+    MachineModel m = MachineModel::forSize({8, 5});
+    EXPECT_EQ(m.unitCount(FuClass::Adder), 3);
+    EXPECT_EQ(m.unitCount(FuClass::Multiplier), 2);
+    EXPECT_EQ(m.unitCount(FuClass::Dsq), 0);
+    EXPECT_EQ(m.unitCount(FuClass::Scratchpad), 1);
+    EXPECT_EQ(m.unitCount(FuClass::Comm), 1);
+    EXPECT_EQ(m.unitCount(FuClass::SbPort), 7);
+}
+
+TEST(MachineTest, DsqMapsToMultiplierWhenAbsent)
+{
+    MachineModel small = MachineModel::forSize({8, 5});
+    EXPECT_EQ(small.issueClass(Opcode::FDiv), FuClass::Multiplier);
+    MachineModel big = MachineModel::forSize({8, 10});
+    EXPECT_EQ(big.issueClass(Opcode::FDiv), FuClass::Dsq);
+}
+
+TEST(MachineTest, IterativeDsqOnMultiplierIsSlower)
+{
+    MachineModel small = MachineModel::forSize({8, 5});
+    MachineModel big = MachineModel::forSize({8, 10});
+    EXPECT_GT(small.timing(Opcode::FDiv).latency,
+              big.timing(Opcode::FDiv).latency);
+    EXPECT_GT(small.timing(Opcode::FDiv).issueInterval,
+              big.timing(Opcode::FDiv).issueInterval);
+}
+
+TEST(MachineTest, ExtraPipeStagesAddToLatencyAtN14)
+{
+    MachineModel n10 = MachineModel::forSize({8, 10});
+    MachineModel n14 = MachineModel::forSize({8, 14});
+    EXPECT_EQ(n10.intraExtraStages(), 0);
+    EXPECT_EQ(n14.intraExtraStages(), 1);
+    EXPECT_EQ(n14.timing(Opcode::FAdd).latency,
+              n10.timing(Opcode::FAdd).latency + 1);
+}
+
+TEST(MachineTest, CommLatencyGrowsWithClusters)
+{
+    MachineModel c8 = MachineModel::forSize({8, 5});
+    MachineModel c128 = MachineModel::forSize({128, 5});
+    EXPECT_GT(c128.commLatency(), c8.commLatency());
+    EXPECT_EQ(c128.timing(Opcode::CommPerm).latency,
+              c128.commLatency());
+}
+
+TEST(MachineTest, CanExecuteChecksUnitAvailability)
+{
+    kernel::KernelBuilder b("mul");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.imul(x, x));
+    kernel::Kernel k = b.build();
+    EXPECT_TRUE(MachineModel::forSize({8, 2}).canExecute(k));
+    // N=1 clusters have no multiplier.
+    EXPECT_FALSE(MachineModel::forSize({8, 1}).canExecute(k));
+}
+
+TEST(MachineTest, PseudoOpsRemainFree)
+{
+    MachineModel m = MachineModel::forSize({128, 14});
+    EXPECT_EQ(m.timing(Opcode::ConstInt).latency, 0);
+    EXPECT_EQ(m.timing(Opcode::Phi).latency, 0);
+}
+
+} // namespace
+} // namespace sps::sched

@@ -1,0 +1,122 @@
+#include "sched/mii.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::sched {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+DepGraph
+graphOf(const Kernel &k, const MachineModel &m)
+{
+    return buildDepGraph(k, m);
+}
+
+TEST(MiiTest, ResMiiAdderBound)
+{
+    // Nine adder-class ops on three adders: ResMII = 3.
+    KernelBuilder b("adds");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto v = x;
+    for (int i = 0; i < 9; ++i)
+        v = b.iadd(v, x);
+    b.sbWrite(out, v);
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    EXPECT_EQ(resMii(g, m), 3);
+}
+
+TEST(MiiTest, ResMiiAccountsForNonPipelinedOps)
+{
+    // One divide at N=5 runs on a multiplier, occupying it for its
+    // full iterative latency.
+    KernelBuilder b("div");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    b.sbWrite(out, b.fdiv(x, x));
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    int ii = resMii(g, m);
+    EXPECT_GE(ii, m.timing(isa::Opcode::FDiv).issueInterval / 2);
+}
+
+TEST(MiiTest, RecMiiOneWithoutRecurrence)
+{
+    KernelBuilder b("nodep");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.iadd(b.sbRead(in), b.constI(1)));
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    EXPECT_EQ(recMii(g), 1);
+}
+
+TEST(MiiTest, RecMiiEqualsAccumulatorLatency)
+{
+    // acc = acc + x: the fadd's 4-cycle latency bounds II.
+    KernelBuilder b("acc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromFloat(0.f), 1);
+    auto sum = b.fadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    EXPECT_EQ(recMii(g), m.timing(isa::Opcode::FAdd).latency);
+}
+
+TEST(MiiTest, RecMiiScalesInverselyWithDistance)
+{
+    // Distance-2 recurrence: ceil(4 / 2) = 2.
+    KernelBuilder b("acc2");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromFloat(0.f), 2);
+    auto sum = b.fadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    EXPECT_EQ(recMii(g), 2);
+}
+
+TEST(MiiTest, RecMiiCoversMultiOpCycles)
+{
+    // acc = (acc * 2) + x: mul (4) + add (4) around one back edge.
+    KernelBuilder b("macc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromFloat(0.f), 1);
+    auto scaled = b.fmul(p, b.constF(2.0f));
+    auto sum = b.fadd(scaled, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    EXPECT_EQ(recMii(g), 8);
+}
+
+TEST(MiiTest, MinIiIsMaxOfBothBounds)
+{
+    KernelBuilder b("both");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromFloat(0.f), 1);
+    auto sum = b.fadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = graphOf(b.build(), m);
+    EXPECT_EQ(minII(g, m), std::max(resMii(g, m), recMii(g)));
+}
+
+} // namespace
+} // namespace sps::sched

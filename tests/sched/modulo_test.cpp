@@ -1,0 +1,185 @@
+#include "sched/modulo.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "kernel/builder.h"
+#include "sched/mii.h"
+
+namespace sps::sched {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelBuilder;
+
+/** Check that no resource class is oversubscribed in any MRT column. */
+void
+checkResources(const DepGraph &g, const MachineModel &m,
+               const ModuloSchedule &s)
+{
+    std::map<std::pair<int, int>, int> usage; // (class, column)
+    for (int i = 0; i < g.nodeCount(); ++i) {
+        const DepNode &n = g.nodes[i];
+        for (int j = 0; j < n.issueInterval; ++j) {
+            int col = (s.issueCycle[i] + j) % s.ii;
+            ++usage[{static_cast<int>(n.cls), col}];
+        }
+    }
+    for (const auto &[key, count] : usage) {
+        auto cls = static_cast<isa::FuClass>(key.first);
+        EXPECT_LE(count, m.unitCount(cls))
+            << "class " << key.first << " column " << key.second;
+    }
+}
+
+Kernel
+accumulatorKernel()
+{
+    KernelBuilder b("acc");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto p = b.phi(isa::Word::fromFloat(0.f), 1);
+    auto sum = b.fadd(p, b.sbRead(in));
+    b.setPhiSource(p, sum);
+    b.sbWrite(out, sum);
+    return b.build();
+}
+
+TEST(ModuloTest, SimpleKernelAchievesMinII)
+{
+    KernelBuilder b("k");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.iadd(b.sbRead(in), b.constI(1)));
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ModuloSchedule s = moduloSchedule(g, m);
+    EXPECT_TRUE(s.ok);
+    EXPECT_EQ(s.ii, minII(g, m));
+    checkResources(g, m, s);
+}
+
+TEST(ModuloTest, RecurrenceBoundRespected)
+{
+    Kernel k = accumulatorKernel();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ModuloSchedule s = moduloSchedule(g, m);
+    EXPECT_GE(s.ii, recMii(g));
+    verifyModuloSchedule(g, s);
+    checkResources(g, m, s);
+}
+
+TEST(ModuloTest, StagesAndLengthConsistent)
+{
+    Kernel k = accumulatorKernel();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ModuloSchedule s = moduloSchedule(g, m);
+    int max_issue = 0;
+    for (int i = 0; i < g.nodeCount(); ++i)
+        max_issue = std::max(max_issue, s.issueCycle[i]);
+    EXPECT_EQ(s.stages, max_issue / s.ii + 1);
+    EXPECT_GE(s.length, max_issue);
+}
+
+TEST(ModuloTest, EmptyGraphSchedules)
+{
+    DepGraph g;
+    MachineModel m = MachineModel::forSize({8, 5});
+    ModuloSchedule s = moduloSchedule(g, m);
+    EXPECT_TRUE(s.ok);
+    EXPECT_EQ(s.ii, 1);
+}
+
+TEST(ModuloTest, ResourcePressureRaisesII)
+{
+    // 12 multiplies on 2 multipliers: II >= 6.
+    KernelBuilder b("muls");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    auto x = b.sbRead(in);
+    auto v = x;
+    for (int i = 0; i < 12; ++i)
+        v = b.imul(v, x);
+    b.sbWrite(out, v);
+    Kernel k = b.build();
+    MachineModel m = MachineModel::forSize({8, 5});
+    DepGraph g = buildDepGraph(k, m);
+    ModuloSchedule s = moduloSchedule(g, m);
+    EXPECT_GE(s.ii, 6);
+    checkResources(g, m, s);
+    verifyModuloSchedule(g, s);
+}
+
+/**
+ * Property test: random dataflow kernels with accumulators schedule
+ * successfully on every machine, every dependence holds, and no
+ * resource is oversubscribed.
+ */
+class RandomKernelModuloTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomKernelModuloTest, ScheduleIsValid)
+{
+    Prng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+    KernelBuilder b("rand" + std::to_string(GetParam()));
+    int in = b.inStream("in", 2);
+    int out = b.outStream("out");
+    b.scratchpad(8);
+    std::vector<kernel::ValueId> vals;
+    vals.push_back(b.sbRead(in, 0));
+    vals.push_back(b.sbRead(in, 1));
+    // A couple of recurrences.
+    std::vector<kernel::ValueId> phis;
+    for (int i = 0; i < 2; ++i)
+        phis.push_back(b.phi(isa::Word::fromFloat(0.f),
+                             1 + static_cast<int>(rng.below(3))));
+    vals.insert(vals.end(), phis.begin(), phis.end());
+    int n_ops = 10 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < n_ops; ++i) {
+        auto pick = [&] {
+            return vals[rng.below(static_cast<uint32_t>(vals.size()))];
+        };
+        kernel::ValueId v = kernel::kNoValue;
+        switch (rng.below(6)) {
+          case 0: v = b.fadd(pick(), pick()); break;
+          case 1: v = b.fmul(pick(), pick()); break;
+          case 2: v = b.iadd(pick(), pick()); break;
+          case 3: v = b.fsub(pick(), pick()); break;
+          case 4: v = b.comm(pick(), b.clusterId()); break;
+          default: {
+            auto addr = b.iand(pick(), b.constI(7));
+            v = b.spRead(addr);
+            break;
+          }
+        }
+        vals.push_back(v);
+    }
+    for (size_t i = 0; i < phis.size(); ++i)
+        b.setPhiSource(phis[i], vals[vals.size() - 1 - i]);
+    b.sbWrite(out, vals.back());
+    Kernel k = b.build();
+
+    for (auto size : {vlsi::MachineSize{8, 2}, vlsi::MachineSize{8, 5},
+                      vlsi::MachineSize{8, 14},
+                      vlsi::MachineSize{128, 10}}) {
+        MachineModel m = MachineModel::forSize(size);
+        DepGraph g = buildDepGraph(k, m);
+        ModuloSchedule s = moduloSchedule(g, m);
+        ASSERT_TRUE(s.ok);
+        EXPECT_GE(s.ii, minII(g, m));
+        verifyModuloSchedule(g, s);
+        checkResources(g, m, s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelModuloTest,
+                         ::testing::Range(0, 16));
+
+} // namespace
+} // namespace sps::sched

@@ -1,0 +1,66 @@
+#include "sched/schedule_dump.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/mii.h"
+#include "workloads/suite.h"
+
+namespace sps::sched {
+namespace {
+
+struct Compiled
+{
+    DepGraph g;
+    ModuloSchedule s;
+};
+
+Compiled
+compileFft(MachineModel &m)
+{
+    Compiled c;
+    c.g = buildDepGraph(workloads::fftKernel(), m);
+    c.s = moduloSchedule(c.g, m);
+    return c;
+}
+
+TEST(ScheduleDumpTest, ContainsSummaryAndOps)
+{
+    MachineModel m = MachineModel::forSize({8, 5});
+    Compiled c = compileFft(m);
+    std::string dump = dumpSchedule(c.g, c.s, m);
+    EXPECT_NE(dump.find("II="), std::string::npos);
+    EXPECT_NE(dump.find("stages="), std::string::npos);
+    EXPECT_NE(dump.find("fmul@MUL"), std::string::npos);
+    EXPECT_NE(dump.find("sbrd@SB"), std::string::npos);
+    EXPECT_NE(dump.find("utilization:"), std::string::npos);
+}
+
+TEST(ScheduleDumpTest, UtilizationNeverExceedsCapacity)
+{
+    for (int n : {2, 5, 10, 14}) {
+        MachineModel m = MachineModel::forSize({8, n});
+        Compiled c = compileFft(m);
+        for (const auto &u : scheduleUtilization(c.g, c.s, m)) {
+            EXPECT_LE(u.fraction(), 1.0 + 1e-9)
+                << "N=" << n << " class "
+                << static_cast<int>(u.cls);
+            EXPECT_GE(u.fraction(), 0.0);
+        }
+    }
+}
+
+TEST(ScheduleDumpTest, BottleneckClassSaturatesAtMinII)
+{
+    // When II == ResMII, some class is fully (or nearly) utilized.
+    MachineModel m = MachineModel::forSize({8, 5});
+    Compiled c = compileFft(m);
+    if (c.s.ii == resMii(c.g, m)) {
+        double best = 0.0;
+        for (const auto &u : scheduleUtilization(c.g, c.s, m))
+            best = std::max(best, u.fraction());
+        EXPECT_GT(best, 0.85);
+    }
+}
+
+} // namespace
+} // namespace sps::sched

@@ -1,0 +1,77 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::sim {
+namespace {
+
+SimResult
+sampleResult()
+{
+    SimResult r;
+    r.cycles = 100;
+    r.timeline.push_back(OpInterval{0, 40, "load a"});
+    r.timeline.push_back(OpInterval{40, 90, "kernel k"});
+    r.timeline.push_back(OpInterval{90, 100, "store b"});
+    return r;
+}
+
+TEST(TimelineTest, RendersAllRowsWithLabels)
+{
+    std::string s = renderTimeline(sampleResult());
+    EXPECT_NE(s.find("load a"), std::string::npos);
+    EXPECT_NE(s.find("kernel k"), std::string::npos);
+    EXPECT_NE(s.find("store b"), std::string::npos);
+    EXPECT_NE(s.find("100 cycles"), std::string::npos);
+    EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(TimelineTest, BarsProportionalToDuration)
+{
+    std::string s = renderTimeline(sampleResult(), 100);
+    // The 50-cycle kernel bar should hold ~50 marks on a width-100
+    // canvas; count marks on the kernel's line.
+    size_t line_start = s.find("kernel k");
+    size_t line_end = s.find('\n', line_start);
+    std::string line = s.substr(line_start, line_end - line_start);
+    auto marks = static_cast<int>(
+        std::count(line.begin(), line.end(), '#'));
+    EXPECT_NEAR(marks, 50, 3);
+}
+
+TEST(TimelineTest, LongTimelinesElideTheMiddle)
+{
+    SimResult r;
+    r.cycles = 1000;
+    for (int i = 0; i < 100; ++i)
+        r.timeline.push_back(
+            OpInterval{i * 10, i * 10 + 10,
+                       "op" + std::to_string(i)});
+    std::string s = renderTimeline(r, 40, 10);
+    EXPECT_NE(s.find("elided"), std::string::npos);
+    EXPECT_NE(s.find("op0"), std::string::npos);
+    EXPECT_NE(s.find("op99"), std::string::npos);
+    EXPECT_EQ(s.find("op50"), std::string::npos);
+}
+
+TEST(TimelineTest, EmptyResultHandled)
+{
+    SimResult r;
+    std::string s = renderTimeline(r);
+    EXPECT_NE(s.find("empty"), std::string::npos);
+}
+
+TEST(TimelineTest, ZeroLengthOpStillVisible)
+{
+    SimResult r;
+    r.cycles = 1000;
+    r.timeline.push_back(OpInterval{500, 500, "instant"});
+    std::string s = renderTimeline(r, 40);
+    size_t line_start = s.find("instant");
+    size_t line_end = s.find('\n', line_start);
+    std::string line = s.substr(line_start, line_end - line_start);
+    EXPECT_NE(line.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace sps::sim

@@ -1,0 +1,49 @@
+#include "srf/srf.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::srf {
+namespace {
+
+TEST(SrfTest, CapacityMatchesTable3Formula)
+{
+    // rm * T * N * C words.
+    vlsi::Params p = vlsi::Params::imagine();
+    SrfModel m = SrfModel::forMachine({8, 5}, p);
+    EXPECT_EQ(m.capacityWords, 20 * 55 * 5 * 8);
+    EXPECT_EQ(m.bankWords, 20 * 55 * 5);
+}
+
+TEST(SrfTest, ImaginePointIsAbout176KB)
+{
+    vlsi::Params p = vlsi::Params::imagine();
+    SrfModel m = SrfModel::forMachine({8, 5}, p);
+    // 44000 words * 4 bytes = 176 KB, the right magnitude next to
+    // Imagine's 128 KB SRF.
+    EXPECT_EQ(m.capacityWords * 4, 176000);
+}
+
+TEST(SrfTest, BlockWidthScalesWithN)
+{
+    vlsi::Params p = vlsi::Params::imagine();
+    EXPECT_EQ(SrfModel::forMachine({8, 5}, p).blockWords, 3);
+    EXPECT_EQ(SrfModel::forMachine({8, 10}, p).blockWords, 5);
+}
+
+TEST(SrfTest, CapacityScalesWithMachine)
+{
+    vlsi::Params p = vlsi::Params::imagine();
+    int64_t small = SrfModel::forMachine({8, 5}, p).capacityWords;
+    int64_t big = SrfModel::forMachine({128, 10}, p).capacityWords;
+    EXPECT_EQ(big, small * 16 * 2);
+}
+
+TEST(SrfTest, PeakBandwidthOneBlockPerBankPerCycle)
+{
+    vlsi::Params p = vlsi::Params::imagine();
+    SrfModel m = SrfModel::forMachine({8, 5}, p);
+    EXPECT_DOUBLE_EQ(m.peakWordsPerCycle, 3.0 * 8);
+}
+
+} // namespace
+} // namespace sps::srf

@@ -1,0 +1,42 @@
+#include "srf/streambuffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::srf {
+namespace {
+
+TEST(StreamBufferTest, DoubleBufferedCapacity)
+{
+    StreamBuffer sb;
+    sb.blockWords = 3;
+    EXPECT_EQ(sb.capacityWords(), 6);
+}
+
+TEST(StreamBufferTest, RateSharedAmongActiveBuffers)
+{
+    StreamBuffer sb;
+    sb.blockWords = 4;
+    EXPECT_DOUBLE_EQ(sb.sustainableRate(1), 4.0);
+    EXPECT_DOUBLE_EQ(sb.sustainableRate(4), 1.0);
+    EXPECT_DOUBLE_EQ(sb.sustainableRate(8), 0.5);
+}
+
+TEST(StreamBufferTest, BandwidthCheckAgainstPortRate)
+{
+    vlsi::Params p = vlsi::Params::imagine();
+    SrfModel srf = SrfModel::forMachine({8, 5}, p);
+    // GSRF*N = 2.5 -> block 3 words/cycle per bank.
+    EXPECT_TRUE(sbBandwidthOk(srf, 7, 1.0));
+    EXPECT_TRUE(sbBandwidthOk(srf, 7, 3.0));
+    EXPECT_FALSE(sbBandwidthOk(srf, 7, 3.5));
+}
+
+TEST(StreamBufferTest, NoActiveBuffersAlwaysOk)
+{
+    vlsi::Params p = vlsi::Params::imagine();
+    SrfModel srf = SrfModel::forMachine({8, 5}, p);
+    EXPECT_TRUE(sbBandwidthOk(srf, 0, 100.0));
+}
+
+} // namespace
+} // namespace sps::srf

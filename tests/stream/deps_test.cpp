@@ -1,0 +1,111 @@
+#include "stream/deps.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::stream {
+namespace {
+
+kernel::Kernel
+copyKernel()
+{
+    kernel::KernelBuilder b("copy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in));
+    return b.build();
+}
+
+TEST(DepsTest, KernelWaitsForItsLoad)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 8, true);
+    int out = p.declareStream("out", 1, 8);
+    p.load(in);             // op 0
+    p.callKernel(&k, {in, out}); // op 1
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_EQ(d.deps[1], (std::vector<int>{0}));
+}
+
+TEST(DepsTest, IndependentLoadsHaveNoDeps)
+{
+    StreamProgram p("app");
+    int a = p.declareStream("a", 1, 8, true);
+    int b = p.declareStream("b", 1, 8, true);
+    p.load(a);
+    p.load(b);
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_TRUE(d.deps[0].empty());
+    EXPECT_TRUE(d.deps[1].empty());
+}
+
+TEST(DepsTest, StoreWaitsForProducer)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 8, true);
+    int out = p.declareStream("out", 1, 8);
+    p.load(in);
+    p.callKernel(&k, {in, out});
+    p.store(out);
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_EQ(d.deps[2], (std::vector<int>{1}));
+}
+
+TEST(DepsTest, WriteAfterReadOrdered)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 8, true);
+    int out = p.declareStream("out", 1, 8);
+    p.load(in);                  // 0: writes in
+    p.callKernel(&k, {in, out}); // 1: reads in
+    p.load(in);                  // 2: WAR on 1, WAW on 0
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_EQ(d.deps[2], (std::vector<int>{0, 1}));
+}
+
+TEST(DepsTest, ChainOfKernelsSerializedByStreams)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int a = p.declareStream("a", 1, 8, true);
+    int b = p.declareStream("b", 1, 8);
+    int c = p.declareStream("c", 1, 8);
+    p.load(a);
+    p.callKernel(&k, {a, b});
+    p.callKernel(&k, {b, c});
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_EQ(d.deps[2], (std::vector<int>{1}));
+}
+
+TEST(DepsTest, LastUseComputedPerStream)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 8, true);
+    int out = p.declareStream("out", 1, 8);
+    p.load(in);                  // 0
+    p.callKernel(&k, {in, out}); // 1: last use of in
+    p.store(out);                // 2: last use of out
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_EQ(d.lastUseOf[1], (std::vector<int>{in}));
+    EXPECT_EQ(d.lastUseOf[2], (std::vector<int>{out}));
+}
+
+TEST(DepsTest, ReadsAndWritesClassified)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 8, true);
+    int out = p.declareStream("out", 1, 8);
+    p.callKernel(&k, {in, out});
+    ProgramDeps d = analyzeDeps(p);
+    EXPECT_EQ(d.reads[0], (std::vector<int>{in}));
+    EXPECT_EQ(d.writes[0], (std::vector<int>{out}));
+}
+
+} // namespace
+} // namespace sps::stream

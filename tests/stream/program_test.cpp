@@ -1,0 +1,90 @@
+#include "stream/program.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+
+namespace sps::stream {
+namespace {
+
+kernel::Kernel
+copyKernel()
+{
+    kernel::KernelBuilder b("copy");
+    int in = b.inStream("in");
+    int out = b.outStream("out");
+    b.sbWrite(out, b.sbRead(in));
+    return b.build();
+}
+
+TEST(ProgramTest, DeclareAndLoadStore)
+{
+    StreamProgram p("app");
+    int s = p.declareStream("data", 2, 100, true);
+    p.load(s);
+    p.store(s);
+    ASSERT_EQ(p.ops().size(), 2u);
+    EXPECT_EQ(p.ops()[0].kind, OpKind::Load);
+    EXPECT_EQ(p.ops()[0].records, 100);
+    EXPECT_EQ(p.ops()[1].kind, OpKind::Store);
+    EXPECT_EQ(p.streams()[s].words(), 200);
+}
+
+TEST(ProgramTest, Packed16HalvesMemoryWords)
+{
+    StreamProgram p("app");
+    int s = p.declareStream("px", 8, 100, true, true);
+    EXPECT_EQ(p.streams()[s].words(), 800);
+    EXPECT_EQ(p.streams()[s].memWords(), 400);
+    int f = p.declareStream("fp", 8, 100, true, false);
+    EXPECT_EQ(p.streams()[f].memWords(), 800);
+}
+
+TEST(ProgramTest, KernelCallInfersDriverLength)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 64, true);
+    int out = p.declareStream("out", 1, 64);
+    p.callKernel(&k, {in, out});
+    ASSERT_EQ(p.ops().size(), 1u);
+    EXPECT_EQ(p.ops()[0].records, 64);
+    EXPECT_EQ(p.totalKernelRecords(), 64);
+}
+
+TEST(ProgramTest, DriverOverrideRespected)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 64, true);
+    int out = p.declareStream("out", 1, 64);
+    p.callKernel(&k, {in, out}, 16);
+    EXPECT_EQ(p.ops()[0].records, 16);
+}
+
+TEST(ProgramDeathTest, RecordWidthMismatchPanics)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 2, 64, true);
+    int out = p.declareStream("out", 1, 64);
+    EXPECT_DEATH(p.callKernel(&k, {in, out}), "record width");
+}
+
+TEST(ProgramDeathTest, LoadOfSrfStreamPanics)
+{
+    StreamProgram p("app");
+    int s = p.declareStream("tmp", 1, 10, false);
+    EXPECT_DEATH(p.load(s), "non-memory");
+}
+
+TEST(ProgramDeathTest, WrongArgCountPanics)
+{
+    static kernel::Kernel k = copyKernel();
+    StreamProgram p("app");
+    int in = p.declareStream("in", 1, 64, true);
+    EXPECT_DEATH(p.callKernel(&k, {in}), "takes");
+}
+
+} // namespace
+} // namespace sps::stream

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pins the reconstructed cost model to the paper's quantitative
+ * anchors (Section 4 and the abstract). If an equation or calibration
+ * weight changes, these tests flag the drift from the published
+ * results.
+ */
+#include "vlsi/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::vlsi {
+namespace {
+
+class AnchorTest : public ::testing::Test
+{
+  protected:
+    double
+    areaRatio(MachineSize a, MachineSize b)
+    {
+        return model.areaPerAlu(a) / model.areaPerAlu(b);
+    }
+    double
+    energyRatio(MachineSize a, MachineSize b)
+    {
+        return model.energyPerAluOp(a) / model.energyPerAluOp(b);
+    }
+    CostModel model;
+};
+
+TEST_F(AnchorTest, NEquals5IsTheIntraclusterOptimum)
+{
+    // "the most area- and energy-efficient configuration" (Fig 6/7).
+    double a5 = model.areaPerAlu(MachineSize{8, 5});
+    double e5 = model.energyPerAluOp(MachineSize{8, 5});
+    for (int n : {1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 32, 64, 128}) {
+        EXPECT_GE(model.areaPerAlu(MachineSize{8, n}), a5)
+            << "N=" << n;
+        EXPECT_GE(model.energyPerAluOp(MachineSize{8, n}), e5)
+            << "N=" << n;
+    }
+}
+
+TEST_F(AnchorTest, AreaPerAluNearMinimumUpTo16AlusPerCluster)
+{
+    // "The area per ALU then stays within 16% of the minimum up to 16
+    // ALUs per cluster" -- our reconstruction tracks this within a
+    // few points (the ceil() on COMM/SP counts adds small steps).
+    for (int n : {6, 8, 10, 12, 14, 16})
+        EXPECT_LE(areaRatio(MachineSize{8, n}, MachineSize{8, 5}), 1.25)
+            << "N=" << n;
+}
+
+TEST_F(AnchorTest, EnergyPerOpAbout1Point23xAtN16)
+{
+    // "by 16 ALUs per cluster the energy per ALU op has grown to
+    // 1.23x of the minimum".
+    double r = energyRatio(MachineSize{8, 16}, MachineSize{8, 5});
+    EXPECT_NEAR(r, 1.23, 0.05);
+}
+
+TEST_F(AnchorTest, C32HasAbout3PercentBetterAreaThanC8)
+{
+    // "The C=32 processor actually has 3% improved area per ALU over
+    // the C=8 processor" (microcode amortization).
+    double r = areaRatio(MachineSize{32, 5}, MachineSize{8, 5});
+    EXPECT_NEAR(r, 0.97, 0.015);
+}
+
+TEST_F(AnchorTest, C128CostsAbout2PercentAreaAnd7PercentEnergy)
+{
+    // Abstract: the 640-ALU C=128 N=5 machine pays "2% degradation in
+    // area per ALU and a 7% degradation in energy".
+    EXPECT_NEAR(areaRatio(MachineSize{128, 5}, MachineSize{8, 5}), 1.02,
+                0.015);
+    EXPECT_NEAR(energyRatio(MachineSize{128, 5}, MachineSize{8, 5}),
+                1.07, 0.02);
+}
+
+TEST_F(AnchorTest, ScalingNFrom5To10CostsSingleDigitAreaPercents)
+{
+    // "the additional cost of scaling from N=5 to N=10 is only 5-11%
+    // ... worse for area ... per ALU" across C in [8, 128].
+    for (int c : {8, 16, 32, 64, 128}) {
+        double r = areaRatio(MachineSize{c, 10}, MachineSize{c, 5});
+        EXPECT_GT(r, 1.03) << "C=" << c;
+        EXPECT_LT(r, 1.13) << "C=" << c;
+    }
+}
+
+TEST_F(AnchorTest, ScalingNFrom5To10EnergyCostGrowsWithC)
+{
+    // Energy penalty of N=5 -> N=10 grows with C (paper: 14-21%; the
+    // reconstruction lands slightly lower, 8-14%; see EXPERIMENTS.md).
+    double prev = 0.0;
+    for (int c : {8, 16, 32, 64, 128}) {
+        double r = energyRatio(MachineSize{c, 10}, MachineSize{c, 5});
+        EXPECT_GT(r, 1.05) << "C=" << c;
+        EXPECT_LT(r, 1.22) << "C=" << c;
+        EXPECT_GT(r, prev) << "C=" << c;
+        prev = r;
+    }
+}
+
+TEST_F(AnchorTest, EnergyOverheadGrowsFasterThanAreaWithC)
+{
+    // "energy overhead grows slightly faster than area" (Fig 10).
+    double ra = areaRatio(MachineSize{128, 5}, MachineSize{8, 5});
+    double re = energyRatio(MachineSize{128, 5}, MachineSize{8, 5});
+    EXPECT_GT(re, ra);
+}
+
+TEST_F(AnchorTest, N5MostEfficientCombinedScalingChoice)
+{
+    // Figure 12: N=5 beats N=2 and N=16 on area per ALU at matched
+    // cluster counts from C=8 to C=128.
+    for (int c : {8, 16, 32, 64, 128}) {
+        double a5 = model.areaPerAlu(MachineSize{c, 5});
+        EXPECT_LT(a5, model.areaPerAlu(MachineSize{c, 2})) << c;
+        EXPECT_LT(a5, model.areaPerAlu(MachineSize{c, 16})) << c;
+    }
+}
+
+TEST_F(AnchorTest, InterclusterDelayPipelinesWithinAFewCycles)
+{
+    // Figure 11: the C=128 intercluster traversal stays within a few
+    // pipelined cycles (the paper pipelines it fully).
+    int cycles = model.interCommCycles(MachineSize{128, 5});
+    EXPECT_GE(cycles, 2);
+    EXPECT_LE(cycles, 6);
+}
+
+} // namespace
+} // namespace sps::vlsi

@@ -1,0 +1,236 @@
+#include "vlsi/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sps::vlsi {
+namespace {
+
+class CostModelTest : public ::testing::Test
+{
+  protected:
+    CostModel model;
+};
+
+TEST_F(CostModelTest, DerivedCountsAtImaginePoint)
+{
+    // N=5 (the paper's reference cluster): one COMM, one SP, seven
+    // cluster streambuffers, thirteen total.
+    DerivedCounts d = model.derive(5);
+    EXPECT_EQ(d.nComm, 1);
+    EXPECT_EQ(d.nSp, 1);
+    EXPECT_EQ(d.nFu, 7);
+    EXPECT_EQ(d.nClSb, 7);
+    EXPECT_EQ(d.nSb, 13);
+    EXPECT_EQ(d.pe, 7);
+}
+
+TEST_F(CostModelTest, DerivedCountsScaleWithN)
+{
+    DerivedCounts d = model.derive(10);
+    EXPECT_EQ(d.nComm, 2);
+    EXPECT_EQ(d.nSp, 2);
+    EXPECT_EQ(d.nFu, 14);
+    EXPECT_EQ(d.nClSb, 8);
+}
+
+TEST_F(CostModelTest, AtLeastOneCommAndSpEvenForTinyClusters)
+{
+    DerivedCounts d = model.derive(1);
+    EXPECT_EQ(d.nComm, 1);
+    EXPECT_EQ(d.nSp, 1);
+}
+
+TEST_F(CostModelTest, AreaBreakdownSumsToTotal)
+{
+    AreaBreakdown a = model.area(MachineSize{16, 8});
+    EXPECT_GT(a.srf, 0.0);
+    EXPECT_GT(a.microcontroller, 0.0);
+    EXPECT_GT(a.clusters, 0.0);
+    EXPECT_GT(a.interclusterSwitch, 0.0);
+    EXPECT_DOUBLE_EQ(a.total(), a.srf + a.microcontroller + a.clusters +
+                                    a.interclusterSwitch);
+}
+
+TEST_F(CostModelTest, EnergyBreakdownSumsToTotal)
+{
+    EnergyBreakdown e = model.energy(MachineSize{16, 8});
+    EXPECT_GT(e.srf, 0.0);
+    EXPECT_GT(e.microcontroller, 0.0);
+    EXPECT_GT(e.clusters, 0.0);
+    EXPECT_GT(e.interclusterComm, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.srf + e.microcontroller + e.clusters +
+                                    e.interclusterComm);
+}
+
+TEST_F(CostModelTest, ClustersDominateAreaAtReferencePoint)
+{
+    // Arithmetic clusters are the largest area component of a C=8 N=5
+    // machine (Figure 6's breakdown).
+    AreaBreakdown a = model.area(MachineSize{8, 5});
+    EXPECT_GT(a.clusters, a.srf);
+    EXPECT_GT(a.clusters, a.microcontroller);
+    EXPECT_GT(a.clusters, a.interclusterSwitch);
+}
+
+TEST_F(CostModelTest, TotalAreaMonotoneInC)
+{
+    double prev = 0.0;
+    for (int c : {8, 16, 32, 64, 128, 256}) {
+        double a = model.area(MachineSize{c, 5}).total();
+        EXPECT_GT(a, prev) << "C=" << c;
+        prev = a;
+    }
+}
+
+TEST_F(CostModelTest, TotalAreaMonotoneInN)
+{
+    double prev = 0.0;
+    for (int n : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        double a = model.area(MachineSize{8, n}).total();
+        EXPECT_GT(a, prev) << "N=" << n;
+        prev = a;
+    }
+}
+
+TEST_F(CostModelTest, TotalEnergyMonotoneInSize)
+{
+    EXPECT_LT(model.energy(MachineSize{8, 5}).total(),
+              model.energy(MachineSize{16, 5}).total());
+    EXPECT_LT(model.energy(MachineSize{8, 5}).total(),
+              model.energy(MachineSize{8, 10}).total());
+}
+
+TEST_F(CostModelTest, IntraDelayGrowsWithN)
+{
+    double prev = 0.0;
+    for (int n : {2, 5, 10, 16, 32, 64, 128}) {
+        double t = model.intraDelayFo4(n);
+        EXPECT_GT(t, prev) << "N=" << n;
+        prev = t;
+    }
+}
+
+TEST_F(CostModelTest, InterDelayGrowsWithC)
+{
+    double prev = 0.0;
+    for (int c : {8, 16, 32, 64, 128, 256}) {
+        double t = model.interDelayFo4(MachineSize{c, 5});
+        EXPECT_GT(t, prev) << "C=" << c;
+        prev = t;
+    }
+}
+
+TEST_F(CostModelTest, InterDelayExceedsIntraDelay)
+{
+    for (int c : {8, 32, 128})
+        for (int n : {2, 5, 14})
+            EXPECT_GT(model.interDelayFo4(MachineSize{c, n}),
+                      model.intraDelayFo4(n));
+}
+
+TEST_F(CostModelTest, IntraPipeStageBoundaryMatchesSection5)
+{
+    // Half a 45 FO4 cycle was budgeted for intracluster traversal; the
+    // paper adds an extra pipeline stage at N=14 but not at N=10.
+    EXPECT_EQ(model.intraPipeStages(5), 0);
+    EXPECT_EQ(model.intraPipeStages(10), 0);
+    EXPECT_EQ(model.intraPipeStages(14), 1);
+    EXPECT_EQ(model.intraPipeStages(16), 1);
+}
+
+TEST_F(CostModelTest, CommCyclesGrowWithMachineSize)
+{
+    int small = model.interCommCycles(MachineSize{8, 5});
+    int large = model.interCommCycles(MachineSize{128, 10});
+    EXPECT_GE(small, 1);
+    EXPECT_GT(large, small);
+}
+
+TEST_F(CostModelTest, SrfAreaLinearInN)
+{
+    // Stream storage grows linearly with N (Section 3.1.1); the SB
+    // term is also linear, so bank area at 2N is at most 2x plus the
+    // ceil effects of NSB.
+    double a5 = model.srfBankArea(5);
+    double a10 = model.srfBankArea(10);
+    EXPECT_GT(a10, 1.8 * a5);
+    EXPECT_LT(a10, 2.4 * a5);
+}
+
+TEST_F(CostModelTest, IntraSwitchSuperlinearInN)
+{
+    // The intracluster switch grows ~NFU^1.5, so 4x the ALUs must
+    // cost much more than 4x the switch area.
+    double a8 = model.intraSwitchArea(8);
+    double a32 = model.intraSwitchArea(32);
+    EXPECT_GT(a32, 5.5 * a8);
+}
+
+TEST_F(CostModelTest, AreaPerAluMatchesTotalOverAlus)
+{
+    MachineSize s{32, 10};
+    EXPECT_DOUBLE_EQ(model.areaPerAlu(s),
+                     model.area(s).total() / (32 * 10));
+}
+
+TEST_F(CostModelTest, EnergyPerOpMatchesTotalOverAlus)
+{
+    MachineSize s{32, 10};
+    EXPECT_DOUBLE_EQ(model.energyPerAluOp(s),
+                     model.energy(s).total() / (32 * 10));
+}
+
+TEST_F(CostModelTest, MicrocodeStorageAmortizedOverClusters)
+{
+    // The microcontroller's share of total area falls as C grows.
+    auto share = [&](int c) {
+        AreaBreakdown a = model.area(MachineSize{c, 5});
+        return a.microcontroller / a.total();
+    };
+    EXPECT_GT(share(8), share(32));
+    EXPECT_GT(share(32), share(128));
+}
+
+TEST_F(CostModelTest, InterSwitchShareGrowsWithC)
+{
+    auto share = [&](int c) {
+        AreaBreakdown a = model.area(MachineSize{c, 5});
+        return a.interclusterSwitch / a.total();
+    };
+    EXPECT_LT(share(8), share(64));
+    EXPECT_LT(share(64), share(256));
+}
+
+/** Property sweep: totals stay positive and finite over the grid. */
+class CostGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CostGridTest, FiniteAndPositive)
+{
+    auto [c, n] = GetParam();
+    CostModel model;
+    MachineSize s{c, n};
+    EXPECT_GT(model.area(s).total(), 0.0);
+    EXPECT_GT(model.energy(s).total(), 0.0);
+    EXPECT_GT(model.interDelayFo4(s), 0.0);
+    EXPECT_TRUE(std::isfinite(model.area(s).total()));
+    EXPECT_TRUE(std::isfinite(model.energy(s).total()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostGridTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 32, 128, 512),
+                       ::testing::Values(1, 2, 5, 10, 16, 64, 128)));
+
+TEST(CostModelDeathTest, RejectsNonPositiveN)
+{
+    CostModel model;
+    EXPECT_DEATH(model.derive(0), "at least one ALU");
+}
+
+} // namespace
+} // namespace sps::vlsi

@@ -1,0 +1,56 @@
+#include "vlsi/params.h"
+
+#include <gtest/gtest.h>
+
+namespace sps::vlsi {
+namespace {
+
+TEST(ParamsTest, ImagineDefaultsMatchTable1)
+{
+    Params p = Params::imagine();
+    EXPECT_DOUBLE_EQ(p.aSram, 16.1);
+    EXPECT_DOUBLE_EQ(p.aSb, 2161.8);
+    EXPECT_DOUBLE_EQ(p.wAlu, 876.9);
+    EXPECT_DOUBLE_EQ(p.wLrf, 437.0);
+    EXPECT_DOUBLE_EQ(p.wSp, 708.9);
+    EXPECT_DOUBLE_EQ(p.h, 1400.0);
+    EXPECT_DOUBLE_EQ(p.v0, 1400.0);
+    EXPECT_DOUBLE_EQ(p.tCyc, 45.0);
+    EXPECT_DOUBLE_EQ(p.tMux, 2.0);
+    EXPECT_DOUBLE_EQ(p.eAlu, 2.0e6);
+    EXPECT_DOUBLE_EQ(p.eSram, 8.7);
+    EXPECT_DOUBLE_EQ(p.eSb, 1936.0);
+    EXPECT_DOUBLE_EQ(p.eLrf, 8.9e5);
+    EXPECT_DOUBLE_EQ(p.eSp, 1.6e6);
+    EXPECT_DOUBLE_EQ(p.tMem, 55.0);
+    EXPECT_EQ(p.b, 32);
+    EXPECT_DOUBLE_EQ(p.gSrf, 0.5);
+    EXPECT_DOUBLE_EQ(p.gSb, 0.2);
+    EXPECT_DOUBLE_EQ(p.gComm, 0.2);
+    EXPECT_DOUBLE_EQ(p.gSp, 0.2);
+    EXPECT_DOUBLE_EQ(p.i0, 196.0);
+    EXPECT_DOUBLE_EQ(p.iN, 40.0);
+    EXPECT_DOUBLE_EQ(p.lC, 6.0);
+    EXPECT_DOUBLE_EQ(p.lO, 6.0);
+    EXPECT_DOUBLE_EQ(p.lN, 0.2);
+    EXPECT_DOUBLE_EQ(p.rM, 20.0);
+    EXPECT_DOUBLE_EQ(p.rUc, 2048.0);
+}
+
+TEST(ParamsTest, CalibrationWeightsAreNearUnity)
+{
+    // The reconstruction weights must remain mild corrections, not
+    // arbitrary fudge factors (see DESIGN.md).
+    Params p;
+    EXPECT_GT(p.kCommArea, 0.5);
+    EXPECT_LE(p.kCommArea, 1.5);
+    EXPECT_GT(p.kCommEnergy, 0.5);
+    EXPECT_LE(p.kCommEnergy, 1.5);
+    EXPECT_GT(p.kIntraEnergy, 0.5);
+    EXPECT_LE(p.kIntraEnergy, 1.5);
+    EXPECT_GT(p.kDistEnergy, 0.5);
+    EXPECT_LE(p.kDistEnergy, 1.5);
+}
+
+} // namespace
+} // namespace sps::vlsi

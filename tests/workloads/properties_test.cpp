@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property-based tests on the workload kernels: mathematical
+ * invariants that must hold for any input, checked on randomized data
+ * across cluster counts.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "interp/interpreter.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps::workloads {
+namespace {
+
+using interp::StreamData;
+
+class PropertyAtC : public ::testing::TestWithParam<int>
+{
+  protected:
+    int c() const { return GetParam(); }
+};
+
+TEST_P(PropertyAtC, BlocksadOutputsAreNonNegativeAndOrdered)
+{
+    Prng rng(101);
+    std::vector<int32_t> a, b;
+    for (int i = 0; i < 40 * 8; ++i) {
+        a.push_back(static_cast<int32_t>(rng.below(255)));
+        b.push_back(static_cast<int32_t>(rng.below(255)));
+    }
+    auto out = refBlocksad(c(), a, b);
+    for (size_t r = 0; r < out.size() / 4; ++r) {
+        EXPECT_GE(out[4 * r + 0], 0);
+        EXPECT_GE(out[4 * r + 1], 0);
+        // best <= both reported SADs.
+        EXPECT_LE(out[4 * r + 2], out[4 * r + 0]);
+        EXPECT_LE(out[4 * r + 2], out[4 * r + 1]);
+    }
+}
+
+TEST_P(PropertyAtC, BlocksadOfIdenticalImagesIsZeroAtD0)
+{
+    std::vector<int32_t> img;
+    Prng rng(102);
+    for (int i = 0; i < 24 * 8; ++i)
+        img.push_back(static_cast<int32_t>(rng.below(255)));
+    auto out = refBlocksad(c(), img, img);
+    for (size_t r = 0; r < out.size() / 4; ++r) {
+        EXPECT_EQ(out[4 * r + 0], 0); // d=0 SAD
+        EXPECT_EQ(out[4 * r + 2], 0); // best
+    }
+}
+
+TEST_P(PropertyAtC, ConvolveOfZerosIsZero)
+{
+    std::vector<int32_t> px(32 * 8, 0);
+    auto out = refConvolve(c(), px);
+    for (int32_t v : out)
+        EXPECT_EQ(v, 0);
+}
+
+TEST_P(PropertyAtC, ConvolveOfConstantIsTapSumScaled)
+{
+    // Interior pixels of a constant image see sum(taps)*k >> 4.
+    std::vector<int32_t> px(16 * 8, 16);
+    auto out = refConvolve(c(), px);
+    int32_t tap_sum = 0;
+    for (int t = 0; t < 7; ++t)
+        tap_sum += kConvTaps[t];
+    // Records away from the group boundary are fully interior.
+    int32_t expect = (16 * tap_sum) >> 4;
+    if (static_cast<int64_t>(16) > c()) {
+        // Pick a record in the middle of a full group.
+        size_t rec = static_cast<size_t>(c() / 2);
+        EXPECT_EQ(out[rec * 8 + 4], expect);
+    }
+}
+
+TEST_P(PropertyAtC, UpdateWithZeroPanelRowsIsIdentityOnA)
+{
+    // v = 0 for every row: a' = a and accumulators stay zero.
+    Prng rng(103);
+    const int records = 30;
+    std::vector<int32_t> dummy;
+    std::vector<float> a, v(records * kUpdateRank, 0.0f);
+    for (int i = 0; i < records * 2; ++i)
+        a.push_back(rng.uniform(-5.0f, 5.0f));
+    auto out = refUpdate(c(), a, v);
+    for (int r = 0; r < records; ++r) {
+        EXPECT_FLOAT_EQ(out[3 * r + 0], a[2 * r + 0]);
+        EXPECT_FLOAT_EQ(out[3 * r + 1], a[2 * r + 1]);
+        EXPECT_FLOAT_EQ(out[3 * r + 2], 0.0f);
+    }
+    (void)dummy;
+}
+
+TEST_P(PropertyAtC, FftStageWithUnitTwiddlesIsPureButterfly)
+{
+    // w = 1 for all three twiddles on the all-ones input: y0 = 4,
+    // y1 = y2 = y3 = 0 per butterfly.
+    const int records = 8;
+    std::vector<float> x, tw;
+    for (int i = 0; i < records; ++i) {
+        for (int q = 0; q < 4; ++q) {
+            x.push_back(1.0f);
+            x.push_back(0.0f);
+        }
+        for (int q = 0; q < 3; ++q) {
+            tw.push_back(1.0f);
+            tw.push_back(0.0f);
+        }
+    }
+    auto got = interp::runKernel(fftKernel(), c(),
+                                 {StreamData::fromFloats(x, 8),
+                                  StreamData::fromFloats(tw, 6)});
+    auto y = got.outputs[0].toFloats();
+    for (int r = 0; r < records; ++r) {
+        EXPECT_FLOAT_EQ(y[8 * r + 0], 4.0f);
+        for (int i = 1; i < 8; ++i)
+            EXPECT_FLOAT_EQ(y[8 * r + i], 0.0f) << i;
+    }
+}
+
+TEST_P(PropertyAtC, IrastFragmentCountEqualsClampedWidthSum)
+{
+    Prng rng(104);
+    std::vector<int32_t> spans;
+    int64_t expected = 0;
+    for (int i = 0; i < 57; ++i) {
+        int32_t w = static_cast<int32_t>(rng.below(8)) - 1; // [-1, 6]
+        spans.push_back(w);
+        for (int j = 0; j < 3; ++j)
+            spans.push_back(static_cast<int32_t>(rng.below(100)));
+        spans.push_back(0);
+        expected += std::max(0, std::min(w, 4));
+    }
+    auto out = refIrast(c(), spans);
+    EXPECT_EQ(static_cast<int64_t>(out.size()), expected);
+}
+
+TEST_P(PropertyAtC, NoiseIsDeterministicAndClusterInvariant)
+{
+    Prng rng(105);
+    std::vector<float> xy;
+    for (int i = 0; i < 64; ++i)
+        xy.push_back(rng.uniform(-50.0f, 50.0f));
+    auto in = StreamData::fromFloats(xy, 2);
+    auto a = interp::runKernel(noiseKernel(), c(), {in});
+    auto b = interp::runKernel(noiseKernel(), 1, {in});
+    for (size_t i = 0; i < a.outputs[0].words.size(); ++i)
+        EXPECT_EQ(a.outputs[0].words[i].bits,
+                  b.outputs[0].words[i].bits);
+}
+
+TEST_P(PropertyAtC, DctIsLinear)
+{
+    Prng rng(106);
+    std::vector<int32_t> a, b, sum;
+    for (int i = 0; i < 12 * 8; ++i) {
+        int32_t va = static_cast<int32_t>(rng.below(100));
+        int32_t vb = static_cast<int32_t>(rng.below(100));
+        a.push_back(va * 16);
+        b.push_back(vb * 16);
+        sum.push_back((va + vb) * 16);
+    }
+    auto da = refDct(a);
+    auto db = refDct(b);
+    auto ds = refDct(sum);
+    // Multiples of 16 keep the >>kDctShift rounding... not exact in
+    // general; allow off-by-one from truncation.
+    for (size_t i = 0; i < ds.size(); ++i)
+        EXPECT_NEAR(ds[i], da[i] + db[i], 1) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, PropertyAtC,
+                         ::testing::Values(1, 2, 5, 8, 32));
+
+} // namespace
+} // namespace sps::workloads
