@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiproc.dir/bench_ablation_multiproc.cpp.o"
+  "CMakeFiles/bench_ablation_multiproc.dir/bench_ablation_multiproc.cpp.o.d"
+  "bench_ablation_multiproc"
+  "bench_ablation_multiproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_export_all.cpp" "bench/CMakeFiles/bench_export_all.dir/bench_export_all.cpp.o" "gcc" "bench/CMakeFiles/bench_export_all.dir/bench_export_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_vlsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

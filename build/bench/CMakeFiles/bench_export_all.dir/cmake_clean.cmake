@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_export_all.dir/bench_export_all.cpp.o"
+  "CMakeFiles/bench_export_all.dir/bench_export_all.cpp.o.d"
+  "bench_export_all"
+  "bench_export_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

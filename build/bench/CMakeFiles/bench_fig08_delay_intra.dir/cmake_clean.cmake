@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_delay_intra.dir/bench_fig08_delay_intra.cpp.o"
+  "CMakeFiles/bench_fig08_delay_intra.dir/bench_fig08_delay_intra.cpp.o.d"
+  "bench_fig08_delay_intra"
+  "bench_fig08_delay_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_delay_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

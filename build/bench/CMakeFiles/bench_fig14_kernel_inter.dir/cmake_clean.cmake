@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_kernel_inter.dir/bench_fig14_kernel_inter.cpp.o"
+  "CMakeFiles/bench_fig14_kernel_inter.dir/bench_fig14_kernel_inter.cpp.o.d"
+  "bench_fig14_kernel_inter"
+  "bench_fig14_kernel_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_kernel_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

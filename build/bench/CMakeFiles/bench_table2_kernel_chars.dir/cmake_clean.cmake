@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_kernel_chars.dir/bench_table2_kernel_chars.cpp.o"
+  "CMakeFiles/bench_table2_kernel_chars.dir/bench_table2_kernel_chars.cpp.o.d"
+  "bench_table2_kernel_chars"
+  "bench_table2_kernel_chars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_kernel_chars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

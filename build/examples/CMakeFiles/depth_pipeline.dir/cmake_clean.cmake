@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_pipeline.dir/depth_pipeline.cpp.o"
+  "CMakeFiles/depth_pipeline.dir/depth_pipeline.cpp.o.d"
+  "depth_pipeline"
+  "depth_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

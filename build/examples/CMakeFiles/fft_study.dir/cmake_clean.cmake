@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_study.dir/fft_study.cpp.o"
+  "CMakeFiles/fft_study.dir/fft_study.cpp.o.d"
+  "fft_study"
+  "fft_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_common.dir/common/csv.cpp.o"
+  "CMakeFiles/sps_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/sps_common.dir/common/log.cpp.o"
+  "CMakeFiles/sps_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/sps_common.dir/common/stats.cpp.o"
+  "CMakeFiles/sps_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/sps_common.dir/common/table.cpp.o"
+  "CMakeFiles/sps_common.dir/common/table.cpp.o.d"
+  "libsps_common.a"
+  "libsps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_core.dir/core/design.cpp.o"
+  "CMakeFiles/sps_core.dir/core/design.cpp.o.d"
+  "CMakeFiles/sps_core.dir/core/experiments.cpp.o"
+  "CMakeFiles/sps_core.dir/core/experiments.cpp.o.d"
+  "CMakeFiles/sps_core.dir/core/multiproc.cpp.o"
+  "CMakeFiles/sps_core.dir/core/multiproc.cpp.o.d"
+  "CMakeFiles/sps_core.dir/core/scaling_study.cpp.o"
+  "CMakeFiles/sps_core.dir/core/scaling_study.cpp.o.d"
+  "libsps_core.a"
+  "libsps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

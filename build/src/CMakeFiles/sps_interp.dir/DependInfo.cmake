@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/comm.cpp" "src/CMakeFiles/sps_interp.dir/interp/comm.cpp.o" "gcc" "src/CMakeFiles/sps_interp.dir/interp/comm.cpp.o.d"
+  "/root/repo/src/interp/cond_stream.cpp" "src/CMakeFiles/sps_interp.dir/interp/cond_stream.cpp.o" "gcc" "src/CMakeFiles/sps_interp.dir/interp/cond_stream.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/CMakeFiles/sps_interp.dir/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/sps_interp.dir/interp/interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_interp.dir/interp/comm.cpp.o"
+  "CMakeFiles/sps_interp.dir/interp/comm.cpp.o.d"
+  "CMakeFiles/sps_interp.dir/interp/cond_stream.cpp.o"
+  "CMakeFiles/sps_interp.dir/interp/cond_stream.cpp.o.d"
+  "CMakeFiles/sps_interp.dir/interp/interpreter.cpp.o"
+  "CMakeFiles/sps_interp.dir/interp/interpreter.cpp.o.d"
+  "libsps_interp.a"
+  "libsps_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

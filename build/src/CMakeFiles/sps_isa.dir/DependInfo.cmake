@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/fu_mix.cpp" "src/CMakeFiles/sps_isa.dir/isa/fu_mix.cpp.o" "gcc" "src/CMakeFiles/sps_isa.dir/isa/fu_mix.cpp.o.d"
+  "/root/repo/src/isa/latency.cpp" "src/CMakeFiles/sps_isa.dir/isa/latency.cpp.o" "gcc" "src/CMakeFiles/sps_isa.dir/isa/latency.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/sps_isa.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/sps_isa.dir/isa/opcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_isa.dir/isa/fu_mix.cpp.o"
+  "CMakeFiles/sps_isa.dir/isa/fu_mix.cpp.o.d"
+  "CMakeFiles/sps_isa.dir/isa/latency.cpp.o"
+  "CMakeFiles/sps_isa.dir/isa/latency.cpp.o.d"
+  "CMakeFiles/sps_isa.dir/isa/opcode.cpp.o"
+  "CMakeFiles/sps_isa.dir/isa/opcode.cpp.o.d"
+  "libsps_isa.a"
+  "libsps_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

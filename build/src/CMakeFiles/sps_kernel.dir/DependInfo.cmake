@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/builder.cpp" "src/CMakeFiles/sps_kernel.dir/kernel/builder.cpp.o" "gcc" "src/CMakeFiles/sps_kernel.dir/kernel/builder.cpp.o.d"
+  "/root/repo/src/kernel/census.cpp" "src/CMakeFiles/sps_kernel.dir/kernel/census.cpp.o" "gcc" "src/CMakeFiles/sps_kernel.dir/kernel/census.cpp.o.d"
+  "/root/repo/src/kernel/ir.cpp" "src/CMakeFiles/sps_kernel.dir/kernel/ir.cpp.o" "gcc" "src/CMakeFiles/sps_kernel.dir/kernel/ir.cpp.o.d"
+  "/root/repo/src/kernel/validate.cpp" "src/CMakeFiles/sps_kernel.dir/kernel/validate.cpp.o" "gcc" "src/CMakeFiles/sps_kernel.dir/kernel/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

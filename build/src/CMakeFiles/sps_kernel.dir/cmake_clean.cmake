@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_kernel.dir/kernel/builder.cpp.o"
+  "CMakeFiles/sps_kernel.dir/kernel/builder.cpp.o.d"
+  "CMakeFiles/sps_kernel.dir/kernel/census.cpp.o"
+  "CMakeFiles/sps_kernel.dir/kernel/census.cpp.o.d"
+  "CMakeFiles/sps_kernel.dir/kernel/ir.cpp.o"
+  "CMakeFiles/sps_kernel.dir/kernel/ir.cpp.o.d"
+  "CMakeFiles/sps_kernel.dir/kernel/validate.cpp.o"
+  "CMakeFiles/sps_kernel.dir/kernel/validate.cpp.o.d"
+  "libsps_kernel.a"
+  "libsps_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

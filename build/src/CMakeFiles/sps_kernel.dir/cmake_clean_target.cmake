@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsps_kernel.a"
+)

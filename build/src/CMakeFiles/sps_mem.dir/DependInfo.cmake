@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/access_sched.cpp" "src/CMakeFiles/sps_mem.dir/mem/access_sched.cpp.o" "gcc" "src/CMakeFiles/sps_mem.dir/mem/access_sched.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/sps_mem.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/sps_mem.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/stream_mem.cpp" "src/CMakeFiles/sps_mem.dir/mem/stream_mem.cpp.o" "gcc" "src/CMakeFiles/sps_mem.dir/mem/stream_mem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_mem.dir/mem/access_sched.cpp.o"
+  "CMakeFiles/sps_mem.dir/mem/access_sched.cpp.o.d"
+  "CMakeFiles/sps_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/sps_mem.dir/mem/dram.cpp.o.d"
+  "CMakeFiles/sps_mem.dir/mem/stream_mem.cpp.o"
+  "CMakeFiles/sps_mem.dir/mem/stream_mem.cpp.o.d"
+  "libsps_mem.a"
+  "libsps_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

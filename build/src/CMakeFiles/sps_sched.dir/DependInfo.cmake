@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/depgraph.cpp" "src/CMakeFiles/sps_sched.dir/sched/depgraph.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/depgraph.cpp.o.d"
+  "/root/repo/src/sched/kernel_perf.cpp" "src/CMakeFiles/sps_sched.dir/sched/kernel_perf.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/kernel_perf.cpp.o.d"
+  "/root/repo/src/sched/list_sched.cpp" "src/CMakeFiles/sps_sched.dir/sched/list_sched.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/list_sched.cpp.o.d"
+  "/root/repo/src/sched/machine.cpp" "src/CMakeFiles/sps_sched.dir/sched/machine.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/machine.cpp.o.d"
+  "/root/repo/src/sched/mii.cpp" "src/CMakeFiles/sps_sched.dir/sched/mii.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/mii.cpp.o.d"
+  "/root/repo/src/sched/modulo.cpp" "src/CMakeFiles/sps_sched.dir/sched/modulo.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/modulo.cpp.o.d"
+  "/root/repo/src/sched/schedule_dump.cpp" "src/CMakeFiles/sps_sched.dir/sched/schedule_dump.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/schedule_dump.cpp.o.d"
+  "/root/repo/src/sched/unroll.cpp" "src/CMakeFiles/sps_sched.dir/sched/unroll.cpp.o" "gcc" "src/CMakeFiles/sps_sched.dir/sched/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_vlsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_sched.dir/sched/depgraph.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/depgraph.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/kernel_perf.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/kernel_perf.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/list_sched.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/list_sched.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/machine.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/machine.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/mii.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/mii.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/modulo.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/modulo.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/schedule_dump.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/schedule_dump.cpp.o.d"
+  "CMakeFiles/sps_sched.dir/sched/unroll.cpp.o"
+  "CMakeFiles/sps_sched.dir/sched/unroll.cpp.o.d"
+  "libsps_sched.a"
+  "libsps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

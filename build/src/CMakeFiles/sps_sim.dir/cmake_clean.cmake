@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_sim.dir/sim/microcontroller.cpp.o"
+  "CMakeFiles/sps_sim.dir/sim/microcontroller.cpp.o.d"
+  "CMakeFiles/sps_sim.dir/sim/processor.cpp.o"
+  "CMakeFiles/sps_sim.dir/sim/processor.cpp.o.d"
+  "CMakeFiles/sps_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/sps_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/sps_sim.dir/sim/stream_controller.cpp.o"
+  "CMakeFiles/sps_sim.dir/sim/stream_controller.cpp.o.d"
+  "CMakeFiles/sps_sim.dir/sim/timeline.cpp.o"
+  "CMakeFiles/sps_sim.dir/sim/timeline.cpp.o.d"
+  "libsps_sim.a"
+  "libsps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

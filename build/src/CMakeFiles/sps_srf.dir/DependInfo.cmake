@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srf/allocator.cpp" "src/CMakeFiles/sps_srf.dir/srf/allocator.cpp.o" "gcc" "src/CMakeFiles/sps_srf.dir/srf/allocator.cpp.o.d"
+  "/root/repo/src/srf/srf.cpp" "src/CMakeFiles/sps_srf.dir/srf/srf.cpp.o" "gcc" "src/CMakeFiles/sps_srf.dir/srf/srf.cpp.o.d"
+  "/root/repo/src/srf/streambuffer.cpp" "src/CMakeFiles/sps_srf.dir/srf/streambuffer.cpp.o" "gcc" "src/CMakeFiles/sps_srf.dir/srf/streambuffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_srf.dir/srf/allocator.cpp.o"
+  "CMakeFiles/sps_srf.dir/srf/allocator.cpp.o.d"
+  "CMakeFiles/sps_srf.dir/srf/srf.cpp.o"
+  "CMakeFiles/sps_srf.dir/srf/srf.cpp.o.d"
+  "CMakeFiles/sps_srf.dir/srf/streambuffer.cpp.o"
+  "CMakeFiles/sps_srf.dir/srf/streambuffer.cpp.o.d"
+  "libsps_srf.a"
+  "libsps_srf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_srf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

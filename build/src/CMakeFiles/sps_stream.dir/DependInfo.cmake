@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/deps.cpp" "src/CMakeFiles/sps_stream.dir/stream/deps.cpp.o" "gcc" "src/CMakeFiles/sps_stream.dir/stream/deps.cpp.o.d"
+  "/root/repo/src/stream/program.cpp" "src/CMakeFiles/sps_stream.dir/stream/program.cpp.o" "gcc" "src/CMakeFiles/sps_stream.dir/stream/program.cpp.o.d"
+  "/root/repo/src/stream/stripmine.cpp" "src/CMakeFiles/sps_stream.dir/stream/stripmine.cpp.o" "gcc" "src/CMakeFiles/sps_stream.dir/stream/stripmine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

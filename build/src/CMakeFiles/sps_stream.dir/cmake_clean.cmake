@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_stream.dir/stream/deps.cpp.o"
+  "CMakeFiles/sps_stream.dir/stream/deps.cpp.o.d"
+  "CMakeFiles/sps_stream.dir/stream/program.cpp.o"
+  "CMakeFiles/sps_stream.dir/stream/program.cpp.o.d"
+  "CMakeFiles/sps_stream.dir/stream/stripmine.cpp.o"
+  "CMakeFiles/sps_stream.dir/stream/stripmine.cpp.o.d"
+  "libsps_stream.a"
+  "libsps_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

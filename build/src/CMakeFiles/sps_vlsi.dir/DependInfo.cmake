@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vlsi/cost_model.cpp" "src/CMakeFiles/sps_vlsi.dir/vlsi/cost_model.cpp.o" "gcc" "src/CMakeFiles/sps_vlsi.dir/vlsi/cost_model.cpp.o.d"
+  "/root/repo/src/vlsi/params.cpp" "src/CMakeFiles/sps_vlsi.dir/vlsi/params.cpp.o" "gcc" "src/CMakeFiles/sps_vlsi.dir/vlsi/params.cpp.o.d"
+  "/root/repo/src/vlsi/sweep.cpp" "src/CMakeFiles/sps_vlsi.dir/vlsi/sweep.cpp.o" "gcc" "src/CMakeFiles/sps_vlsi.dir/vlsi/sweep.cpp.o.d"
+  "/root/repo/src/vlsi/tech.cpp" "src/CMakeFiles/sps_vlsi.dir/vlsi/tech.cpp.o" "gcc" "src/CMakeFiles/sps_vlsi.dir/vlsi/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_vlsi.dir/vlsi/cost_model.cpp.o"
+  "CMakeFiles/sps_vlsi.dir/vlsi/cost_model.cpp.o.d"
+  "CMakeFiles/sps_vlsi.dir/vlsi/params.cpp.o"
+  "CMakeFiles/sps_vlsi.dir/vlsi/params.cpp.o.d"
+  "CMakeFiles/sps_vlsi.dir/vlsi/sweep.cpp.o"
+  "CMakeFiles/sps_vlsi.dir/vlsi/sweep.cpp.o.d"
+  "CMakeFiles/sps_vlsi.dir/vlsi/tech.cpp.o"
+  "CMakeFiles/sps_vlsi.dir/vlsi/tech.cpp.o.d"
+  "libsps_vlsi.a"
+  "libsps_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

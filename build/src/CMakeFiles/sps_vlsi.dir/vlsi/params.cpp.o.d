@@ -1,0 +1,3 @@
+src/CMakeFiles/sps_vlsi.dir/vlsi/params.cpp.o: \
+ /root/repo/src/vlsi/params.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/vlsi/params.h

@@ -1,0 +1,2 @@
+src/CMakeFiles/sps_vlsi.dir/vlsi/tech.cpp.o: /root/repo/src/vlsi/tech.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/vlsi/tech.h

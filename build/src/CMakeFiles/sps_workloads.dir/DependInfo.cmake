@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps/conv_app.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/apps/conv_app.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/apps/conv_app.cpp.o.d"
+  "/root/repo/src/workloads/apps/depth.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/apps/depth.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/apps/depth.cpp.o.d"
+  "/root/repo/src/workloads/apps/fft_app.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/apps/fft_app.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/apps/fft_app.cpp.o.d"
+  "/root/repo/src/workloads/apps/qrd.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/apps/qrd.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/apps/qrd.cpp.o.d"
+  "/root/repo/src/workloads/apps/render.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/apps/render.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/apps/render.cpp.o.d"
+  "/root/repo/src/workloads/kernels/blocksad.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/blocksad.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/blocksad.cpp.o.d"
+  "/root/repo/src/workloads/kernels/convolve.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/convolve.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/convolve.cpp.o.d"
+  "/root/repo/src/workloads/kernels/dct.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/dct.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/dct.cpp.o.d"
+  "/root/repo/src/workloads/kernels/fft.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/fft.cpp.o.d"
+  "/root/repo/src/workloads/kernels/irast.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/irast.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/irast.cpp.o.d"
+  "/root/repo/src/workloads/kernels/noise.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/noise.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/noise.cpp.o.d"
+  "/root/repo/src/workloads/kernels/update.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/update.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/kernels/update.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/sps_workloads.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/sps_workloads.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

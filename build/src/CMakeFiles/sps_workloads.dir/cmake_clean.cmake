@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_workloads.dir/workloads/apps/conv_app.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/conv_app.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/depth.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/depth.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/fft_app.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/fft_app.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/qrd.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/qrd.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/render.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/apps/render.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/blocksad.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/blocksad.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/convolve.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/convolve.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/dct.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/dct.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/fft.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/fft.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/irast.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/irast.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/noise.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/noise.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/update.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/kernels/update.cpp.o.d"
+  "CMakeFiles/sps_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/sps_workloads.dir/workloads/suite.cpp.o.d"
+  "libsps_workloads.a"
+  "libsps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/depgraph_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/depgraph_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/kernel_perf_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/kernel_perf_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/list_sched_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/list_sched_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/machine_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/machine_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/mii_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/mii_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/modulo_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/modulo_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/scaling_behavior_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/scaling_behavior_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/schedule_dump_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/schedule_dump_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/unroll_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/unroll_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

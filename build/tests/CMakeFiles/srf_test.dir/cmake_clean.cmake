@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srf_test.dir/srf/allocator_test.cpp.o"
+  "CMakeFiles/srf_test.dir/srf/allocator_test.cpp.o.d"
+  "CMakeFiles/srf_test.dir/srf/srf_test.cpp.o"
+  "CMakeFiles/srf_test.dir/srf/srf_test.cpp.o.d"
+  "CMakeFiles/srf_test.dir/srf/streambuffer_test.cpp.o"
+  "CMakeFiles/srf_test.dir/srf/streambuffer_test.cpp.o.d"
+  "srf_test"
+  "srf_test.pdb"
+  "srf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

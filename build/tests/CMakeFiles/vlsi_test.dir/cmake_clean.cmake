@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_test.dir/vlsi/cost_anchor_test.cpp.o"
+  "CMakeFiles/vlsi_test.dir/vlsi/cost_anchor_test.cpp.o.d"
+  "CMakeFiles/vlsi_test.dir/vlsi/cost_model_test.cpp.o"
+  "CMakeFiles/vlsi_test.dir/vlsi/cost_model_test.cpp.o.d"
+  "CMakeFiles/vlsi_test.dir/vlsi/extensions_test.cpp.o"
+  "CMakeFiles/vlsi_test.dir/vlsi/extensions_test.cpp.o.d"
+  "CMakeFiles/vlsi_test.dir/vlsi/params_test.cpp.o"
+  "CMakeFiles/vlsi_test.dir/vlsi/params_test.cpp.o.d"
+  "CMakeFiles/vlsi_test.dir/vlsi/sweep_test.cpp.o"
+  "CMakeFiles/vlsi_test.dir/vlsi/sweep_test.cpp.o.d"
+  "CMakeFiles/vlsi_test.dir/vlsi/tech_test.cpp.o"
+  "CMakeFiles/vlsi_test.dir/vlsi/tech_test.cpp.o.d"
+  "vlsi_test"
+  "vlsi_test.pdb"
+  "vlsi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
