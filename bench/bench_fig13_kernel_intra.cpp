@@ -7,13 +7,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "core/eval_engine.h"
 #include "core/experiments.h"
 
 int
 main()
 {
     using sps::TextTable;
-    auto data = sps::core::kernelIntraSpeedups({2, 5, 10, 14}, 8);
+    auto &eng = sps::core::EvalEngine::global();
+    auto data = sps::core::kernelIntraSpeedups({2, 5, 10, 14}, 8,
+                                               &eng);
     TextTable t;
     std::vector<std::string> head{"Kernel"};
     for (int n : data.axis)

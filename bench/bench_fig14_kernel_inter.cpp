@@ -6,14 +6,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "core/eval_engine.h"
 #include "core/experiments.h"
 
 int
 main()
 {
     using sps::TextTable;
+    auto &eng = sps::core::EvalEngine::global();
     auto data =
-        sps::core::kernelInterSpeedups({8, 16, 32, 64, 128}, 5);
+        sps::core::kernelInterSpeedups({8, 16, 32, 64, 128}, 5, &eng);
     TextTable t;
     std::vector<std::string> head{"Kernel"};
     for (int c : data.axis)

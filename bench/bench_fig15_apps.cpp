@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "core/eval_engine.h"
 #include "core/experiments.h"
 
 int
@@ -18,7 +19,8 @@ main()
     using sps::TextTable;
     std::vector<int> cs{8, 16, 32, 64, 128};
     std::vector<int> ns{2, 5, 10, 14};
-    auto points = sps::core::appPerformance(cs, ns);
+    auto points = sps::core::appPerformance(
+        cs, ns, &sps::core::EvalEngine::global());
 
     std::map<std::string, std::map<std::pair<int, int>,
                                    sps::core::AppPoint>> by_app;

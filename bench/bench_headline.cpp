@@ -5,12 +5,46 @@
  * baseline -- kernel and application speedups, sustained kernel GOPS,
  * and per-ALU area/energy degradations -- next to the published
  * numbers.
+ *
+ * Also reports evaluation-engine throughput: wall-clock for the full
+ * figure-suite computation serial vs parallel and cold vs warm
+ * schedule cache, with the recompilation counts that prove the warm
+ * runs compile nothing.
  */
+#include <chrono>
 #include <cstdio>
 
 #include "common/table.h"
 #include "core/design.h"
+#include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "vlsi/sweep.h"
+
+namespace {
+
+/** One full figure-suite computation (the work bench_export_all
+ *  formats), returning wall-clock seconds. */
+double
+runFigureSuite(sps::core::EvalEngine &eng)
+{
+    using namespace sps;
+    auto t0 = std::chrono::steady_clock::now();
+    vlsi::CostModel model;
+    vlsi::intraclusterSweep(model, 8, vlsi::defaultIntraRange(), 5,
+                            &eng.pool());
+    vlsi::interclusterSweep(model, 5, vlsi::defaultInterRange(), 8,
+                            &eng.pool());
+    core::kernelIntraSpeedups({2, 5, 10, 14}, 8, &eng);
+    core::kernelInterSpeedups({8, 16, 32, 64, 128}, 5, &eng);
+    core::table5PerfPerArea({2, 5, 10, 14}, {8, 16, 32, 64, 128},
+                            &eng);
+    core::appPerformance({8, 16, 32, 64, 128}, {2, 5, 10, 14}, &eng);
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    return dt.count();
+}
+
+} // namespace
 
 int
 main()
@@ -46,5 +80,48 @@ main()
     std::printf("Headline: scaled machines vs the 40-ALU baseline\n\n"
                 "%s\n",
                 t.toString().c_str());
+
+    // --- Evaluation-engine throughput: the full figure suite ---
+    sps::core::EvalEngine serial(1);
+    sps::core::EvalEngine &parallel = sps::core::EvalEngine::global();
+    auto &cache = parallel.cache();
+
+    cache.clear();
+    double cold_serial = runFigureSuite(serial);
+    auto after_cold = cache.counters();
+    double warm_serial = runFigureSuite(serial);
+    auto after_warm = cache.counters();
+
+    cache.clear();
+    double cold_parallel = runFigureSuite(parallel);
+    auto after_cold_p = cache.counters();
+    double warm_parallel = runFigureSuite(parallel);
+    auto after_warm_p = cache.counters();
+
+    TextTable e;
+    e.header({"Figure-suite run", "threads", "wall (s)",
+              "kernel compiles"});
+    auto row = [&](const char *name, int threads, double secs,
+                   uint64_t compiles) {
+        e.row({name, std::to_string(threads),
+               TextTable::num(secs, 3), std::to_string(compiles)});
+    };
+    row("serial, cold cache", serial.threadCount(), cold_serial,
+        after_cold.misses);
+    row("serial, warm cache", serial.threadCount(), warm_serial,
+        after_warm.misses - after_cold.misses);
+    row("parallel, cold cache", parallel.threadCount(), cold_parallel,
+        after_cold_p.misses);
+    row("parallel, warm cache", parallel.threadCount(), warm_parallel,
+        after_warm_p.misses - after_cold_p.misses);
+
+    std::printf("Evaluation engine: full figure-suite wall-clock\n\n"
+                "%s\n"
+                "parallel speedup over serial (cold): %.2fx; "
+                "warm-cache speedup (serial): %.2fx\n",
+                e.toString().c_str(),
+                cold_parallel > 0.0 ? cold_serial / cold_parallel
+                                    : 0.0,
+                warm_serial > 0.0 ? cold_serial / warm_serial : 0.0);
     return 0;
 }

@@ -7,14 +7,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "core/eval_engine.h"
 #include "core/experiments.h"
 
 int
 main()
 {
     using sps::TextTable;
-    auto data = sps::core::table5PerfPerArea({2, 5, 10, 14},
-                                             {8, 16, 32, 64, 128});
+    auto &eng = sps::core::EvalEngine::global();
+    auto data = sps::core::table5PerfPerArea(
+        {2, 5, 10, 14}, {8, 16, 32, 64, 128}, &eng);
     TextTable t;
     std::vector<std::string> head{"N \\ C"};
     for (int c : data.cValues)

@@ -1,5 +1,7 @@
 #include "core/design.h"
 
+#include "sched/schedule_cache.h"
+
 namespace sps::core {
 
 StreamProcessorDesign::StreamProcessorDesign(vlsi::MachineSize size,
@@ -33,7 +35,7 @@ StreamProcessorDesign::peakGops() const
 sched::CompiledKernel
 StreamProcessorDesign::compile(const kernel::Kernel &k) const
 {
-    return sched::compileKernel(k, machine_);
+    return sched::ScheduleCache::global().get(k, machine_);
 }
 
 double

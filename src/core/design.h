@@ -52,7 +52,8 @@ class StreamProcessorDesign
 
     // --- Compilation and simulation ---
 
-    /** Compile a kernel for this machine. */
+    /** Compile a kernel for this machine (memoized in the shared
+     *  schedule cache; repeated calls never recompile). */
     sched::CompiledKernel compile(const kernel::Kernel &k) const;
 
     /**

@@ -1,0 +1,12 @@
+#include "core/eval_engine.h"
+
+namespace sps::core {
+
+EvalEngine &
+EvalEngine::global()
+{
+    static EvalEngine engine;
+    return engine;
+}
+
+} // namespace sps::core

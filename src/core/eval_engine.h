@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The design-space evaluation engine: every figure/table in the
+ * paper's evaluation is a sweep over (C, N) design points, and this
+ * layer gives all of them one fast path. An EvalEngine owns a thread
+ * pool that evaluates independent design points concurrently and
+ * exposes the shared memoized schedule cache (sched::ScheduleCache)
+ * so a kernel compiled once for a machine configuration is never
+ * recompiled across experiments, benches, or repeated grid points.
+ *
+ * Determinism guarantee: map()/mapItems() write the result of index i
+ * into slot i of the output vector, so a series produced with N
+ * threads is byte-identical to the 1-thread (serial) series -- the
+ * pool changes when a point is evaluated, never what it computes.
+ */
+#ifndef SPS_CORE_EVAL_ENGINE_H
+#define SPS_CORE_EVAL_ENGINE_H
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "common/parallel.h"
+#include "sched/schedule_cache.h"
+
+namespace sps::core {
+
+class EvalEngine
+{
+  public:
+    /** threads == 0 sizes the pool to the hardware; threads == 1 is
+     *  the serial reference configuration. */
+    explicit EvalEngine(int threads = 0) : pool_(threads) {}
+
+    int threadCount() const { return pool_.threadCount(); }
+
+    /** The underlying pool (for the vlsi sweep helpers). */
+    ThreadPool &pool() { return pool_; }
+
+    /** The shared schedule cache all engines memoize through. */
+    sched::ScheduleCache &cache() const
+    {
+        return sched::ScheduleCache::global();
+    }
+
+    /** Run fn(i) for i in [0, n) on the pool; blocks until done. */
+    void forEach(size_t n, const std::function<void(size_t)> &fn)
+    {
+        pool_.forEach(n, fn);
+    }
+
+    /** out[i] = fn(i), evaluated concurrently, deterministic order. */
+    template <typename Fn>
+    auto map(size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(size_t{0}))>>
+    {
+        using R = std::decay_t<decltype(fn(size_t{0}))>;
+        std::vector<R> out(n);
+        pool_.forEach(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** out[i] = fn(items[i]), evaluated concurrently. */
+    template <typename Item, typename Fn>
+    auto mapItems(const std::vector<Item> &items, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(items[size_t{0}]))>>
+    {
+        using R = std::decay_t<decltype(fn(items[size_t{0}]))>;
+        std::vector<R> out(items.size());
+        pool_.forEach(items.size(),
+                      [&](size_t i) { out[i] = fn(items[i]); });
+        return out;
+    }
+
+    /** The process-wide default engine, sized to the hardware. */
+    static EvalEngine &global();
+
+  private:
+    ThreadPool pool_;
+};
+
+/** Resolve the optional engine argument the experiment drivers take. */
+inline EvalEngine &
+resolveEngine(EvalEngine *engine)
+{
+    return engine ? *engine : EvalEngine::global();
+}
+
+} // namespace sps::core
+
+#endif // SPS_CORE_EVAL_ENGINE_H

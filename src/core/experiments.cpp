@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/stats.h"
+#include "core/eval_engine.h"
 #include "workloads/suite.h"
 
 namespace sps::core {
@@ -20,22 +21,30 @@ kernelPerf(const workloads::KernelEntry &entry, vlsi::MachineSize size)
 
 KernelSpeedupData
 kernelSpeedups(const std::vector<vlsi::MachineSize> &sizes,
-               const std::vector<int> &axis)
+               const std::vector<int> &axis, EvalEngine &eng)
 {
     KernelSpeedupData out;
     out.axis = axis;
     auto suite = workloads::kernelSuite();
+    const size_t cols = sizes.size();
+    // One engine job per (kernel, size) pair; baselines are their own
+    // jobs. Slot indexing keeps the series order deterministic.
+    std::vector<double> base = eng.map(suite.size(), [&](size_t k) {
+        return kernelPerf(suite[k], kBaseline);
+    });
+    std::vector<double> perf =
+        eng.map(suite.size() * cols, [&](size_t idx) {
+            return kernelPerf(suite[idx / cols], sizes[idx % cols]);
+        });
     std::vector<std::vector<double>> speedups(
-        suite.size(), std::vector<double>(sizes.size(), 0.0));
-    for (size_t k = 0; k < suite.size(); ++k) {
-        double base = kernelPerf(suite[k], kBaseline);
-        for (size_t i = 0; i < sizes.size(); ++i)
-            speedups[k][i] = kernelPerf(suite[k], sizes[i]) / base;
-    }
+        suite.size(), std::vector<double>(cols, 0.0));
+    for (size_t k = 0; k < suite.size(); ++k)
+        for (size_t i = 0; i < cols; ++i)
+            speedups[k][i] = perf[k * cols + i] / base[k];
     for (size_t k = 0; k < suite.size(); ++k)
         out.series.push_back(SpeedupSeries{suite[k].name, speedups[k]});
-    std::vector<double> hm(sizes.size());
-    for (size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<double> hm(cols);
+    for (size_t i = 0; i < cols; ++i) {
         std::vector<double> col;
         col.reserve(suite.size());
         for (size_t k = 0; k < suite.size(); ++k)
@@ -49,37 +58,41 @@ kernelSpeedups(const std::vector<vlsi::MachineSize> &sizes,
 } // namespace
 
 KernelSpeedupData
-kernelIntraSpeedups(const std::vector<int> &n_values, int c)
+kernelIntraSpeedups(const std::vector<int> &n_values, int c,
+                    EvalEngine *engine)
 {
     std::vector<vlsi::MachineSize> sizes;
     for (int n : n_values)
         sizes.push_back(vlsi::MachineSize{c, n});
-    return kernelSpeedups(sizes, n_values);
+    return kernelSpeedups(sizes, n_values, resolveEngine(engine));
 }
 
 KernelSpeedupData
-kernelInterSpeedups(const std::vector<int> &c_values, int n)
+kernelInterSpeedups(const std::vector<int> &c_values, int n,
+                    EvalEngine *engine)
 {
     std::vector<vlsi::MachineSize> sizes;
     for (int c : c_values)
         sizes.push_back(vlsi::MachineSize{c, n});
-    return kernelSpeedups(sizes, c_values);
+    return kernelSpeedups(sizes, c_values, resolveEngine(engine));
 }
 
 PerfPerAreaData
 table5PerfPerArea(const std::vector<int> &n_values,
-                  const std::vector<int> &c_values)
+                  const std::vector<int> &c_values, EvalEngine *engine)
 {
+    EvalEngine &eng = resolveEngine(engine);
     PerfPerAreaData out;
     out.nValues = n_values;
     out.cValues = c_values;
     auto suite = workloads::kernelSuite();
     vlsi::Params p = vlsi::Params::imagine();
     const double alu_area = p.wAlu * p.h;
-    for (int n : n_values) {
-        std::vector<double> row;
-        for (int c : c_values) {
-            vlsi::MachineSize size{c, n};
+    const size_t cols = c_values.size();
+    std::vector<double> cells =
+        eng.map(n_values.size() * cols, [&](size_t idx) {
+            vlsi::MachineSize size{c_values[idx % cols],
+                                   n_values[idx / cols]};
             StreamProcessorDesign d(size);
             double area_alus = d.area().total() / alu_area;
             std::vector<double> per_kernel;
@@ -87,10 +100,11 @@ table5PerfPerArea(const std::vector<int> &n_values,
                 double ops = d.kernelOpsPerCycle(*entry.kernel);
                 per_kernel.push_back(ops / area_alus);
             }
-            row.push_back(harmonicMean(per_kernel));
-        }
-        out.value.push_back(std::move(row));
-    }
+            return harmonicMean(per_kernel);
+        });
+    for (size_t i = 0; i < n_values.size(); ++i)
+        out.value.emplace_back(cells.begin() + i * cols,
+                               cells.begin() + (i + 1) * cols);
     return out;
 }
 
@@ -124,43 +138,48 @@ runApp(const std::string &app_name, vlsi::MachineSize size)
 
 std::vector<AppPoint>
 appPerformance(const std::vector<int> &c_values,
-               const std::vector<int> &n_values)
+               const std::vector<int> &n_values, EvalEngine *engine)
 {
-    std::vector<AppPoint> out;
+    EvalEngine &eng = resolveEngine(engine);
     auto apps = workloads::appSuite();
 
-    for (const auto &app : apps) {
-        // Baseline run once per app.
-        StreamProcessorDesign base(kBaseline);
-        sim::StreamProcessor bproc = base.makeProcessor();
-        stream::StreamProgram bprog =
-            app.build(kBaseline, bproc.srf());
-        sim::SimResult bres = bproc.run(bprog);
+    // Baseline simulation once per app, then one job per grid point;
+    // index order matches the old nested app -> n -> c loops.
+    std::vector<int64_t> base_cycles =
+        eng.map(apps.size(), [&](size_t a) {
+            StreamProcessorDesign base(kBaseline);
+            sim::StreamProcessor bproc = base.makeProcessor();
+            stream::StreamProgram bprog =
+                apps[a].build(kBaseline, bproc.srf());
+            return bproc.run(bprog).cycles;
+        });
 
-        for (int n : n_values) {
-            for (int c : c_values) {
-                vlsi::MachineSize size{c, n};
-                StreamProcessorDesign d(size);
-                sim::StreamProcessor proc = d.makeProcessor();
-                stream::StreamProgram prog = app.build(size, proc.srf());
-                sim::SimResult res = proc.run(prog);
-                AppPoint pt;
-                pt.app = app.name;
-                pt.size = size;
-                pt.cycles = res.cycles;
-                pt.speedup = static_cast<double>(bres.cycles) /
-                             static_cast<double>(res.cycles);
-                pt.gops = res.gops(d.tech().clockGHz());
-                out.push_back(pt);
-            }
-        }
-    }
-    return out;
+    const size_t per_app = n_values.size() * c_values.size();
+    return eng.map(apps.size() * per_app, [&](size_t idx) {
+        const auto &app = apps[idx / per_app];
+        size_t rem = idx % per_app;
+        int n = n_values[rem / c_values.size()];
+        int c = c_values[rem % c_values.size()];
+        vlsi::MachineSize size{c, n};
+        StreamProcessorDesign d(size);
+        sim::StreamProcessor proc = d.makeProcessor();
+        stream::StreamProgram prog = app.build(size, proc.srf());
+        sim::SimResult res = proc.run(prog);
+        AppPoint pt;
+        pt.app = app.name;
+        pt.size = size;
+        pt.cycles = res.cycles;
+        pt.speedup = static_cast<double>(base_cycles[idx / per_app]) /
+                     static_cast<double>(res.cycles);
+        pt.gops = res.gops(d.tech().clockGHz());
+        return pt;
+    });
 }
 
 Headline
-headlineNumbers(bool include_apps)
+headlineNumbers(bool include_apps, EvalEngine *engine)
 {
+    EvalEngine &eng = resolveEngine(engine);
     Headline h;
     vlsi::MachineSize big640{128, 5};
     vlsi::MachineSize big1280{128, 10};
@@ -173,29 +192,51 @@ headlineNumbers(bool include_apps)
         1.0;
 
     auto suite = workloads::kernelSuite();
-    std::vector<double> sp640, sp1280, gops640;
+    struct KernelVals
+    {
+        double sp640 = 0.0;
+        double sp1280 = 0.0;
+        double gops640 = 0.0;
+    };
     StreamProcessorDesign d640(big640);
-    for (const auto &entry : suite) {
-        double base = kernelPerf(entry, kBaseline);
-        sp640.push_back(kernelPerf(entry, big640) / base);
-        sp1280.push_back(kernelPerf(entry, big1280) / base);
-        sched::CompiledKernel ck = d640.compile(*entry.kernel);
-        double subword = ck.aluOpsPerIteration > 0
-                             ? ck.gopsOpsPerIteration /
-                                   ck.aluOpsPerIteration
-                             : 1.0;
-        gops640.push_back(ck.aluOpsPerCycle() * subword *
-                          big640.clusters * d640.tech().clockGHz());
+    std::vector<KernelVals> vals =
+        eng.map(suite.size(), [&](size_t k) {
+            const auto &entry = suite[k];
+            double base = kernelPerf(entry, kBaseline);
+            KernelVals v;
+            v.sp640 = kernelPerf(entry, big640) / base;
+            v.sp1280 = kernelPerf(entry, big1280) / base;
+            sched::CompiledKernel ck = d640.compile(*entry.kernel);
+            double subword = ck.aluOpsPerIteration > 0
+                                 ? ck.gopsOpsPerIteration /
+                                       ck.aluOpsPerIteration
+                                 : 1.0;
+            v.gops640 = ck.aluOpsPerCycle() * subword *
+                        big640.clusters * d640.tech().clockGHz();
+            return v;
+        });
+    std::vector<double> sp640, sp1280, gops640;
+    for (const auto &v : vals) {
+        sp640.push_back(v.sp640);
+        sp1280.push_back(v.sp1280);
+        gops640.push_back(v.gops640);
     }
     h.kernelSpeedup640 = harmonicMean(sp640);
     h.kernelSpeedup1280 = harmonicMean(sp1280);
     h.kernelGops640 = arithmeticMean(gops640);
 
     if (include_apps) {
+        auto apps = workloads::appSuite();
+        std::vector<std::pair<double, double>> sp =
+            eng.map(apps.size(), [&](size_t a) {
+                return std::pair<double, double>{
+                    runApp(apps[a].name, big640).speedup,
+                    runApp(apps[a].name, big1280).speedup};
+            });
         std::vector<double> a640, a1280;
-        for (const auto &app : workloads::appSuite()) {
-            a640.push_back(runApp(app.name, big640).speedup);
-            a1280.push_back(runApp(app.name, big1280).speedup);
+        for (const auto &[s640, s1280] : sp) {
+            a640.push_back(s640);
+            a1280.push_back(s1280);
         }
         h.appSpeedup640 = harmonicMean(a640);
         h.appSpeedup1280 = harmonicMean(a1280);

@@ -4,6 +4,12 @@
  * and figure in the paper's evaluation (Figures 13-15, Table 5, plus
  * the headline comparisons). The bench binaries format these; the
  * integration tests assert their shapes.
+ *
+ * Every runner routes through an EvalEngine: design points evaluate
+ * concurrently on its thread pool and kernel compilations memoize in
+ * the shared schedule cache, while results are collected in the same
+ * deterministic axis order the old serial loops produced. Passing
+ * nullptr (the default) uses EvalEngine::global().
  */
 #ifndef SPS_CORE_EXPERIMENTS_H
 #define SPS_CORE_EXPERIMENTS_H
@@ -16,6 +22,8 @@
 #include "sim/stats.h"
 
 namespace sps::core {
+
+class EvalEngine;
 
 /** The reference machine all speedups are measured against. */
 constexpr vlsi::MachineSize kBaseline{8, 5};
@@ -38,11 +46,13 @@ struct KernelSpeedupData
 
 /** Figure 13: intracluster kernel speedups (C fixed). */
 KernelSpeedupData kernelIntraSpeedups(
-    const std::vector<int> &n_values = {2, 5, 10, 14}, int c = 8);
+    const std::vector<int> &n_values = {2, 5, 10, 14}, int c = 8,
+    EvalEngine *engine = nullptr);
 
 /** Figure 14: intercluster kernel speedups (N fixed). */
 KernelSpeedupData kernelInterSpeedups(
-    const std::vector<int> &c_values = {8, 16, 32, 64, 128}, int n = 5);
+    const std::vector<int> &c_values = {8, 16, 32, 64, 128}, int n = 5,
+    EvalEngine *engine = nullptr);
 
 /** Table 5: kernel performance per unit area. */
 struct PerfPerAreaData
@@ -56,7 +66,8 @@ struct PerfPerAreaData
 PerfPerAreaData
 table5PerfPerArea(const std::vector<int> &n_values = {2, 5, 10, 14},
                   const std::vector<int> &c_values = {8, 16, 32, 64,
-                                                      128});
+                                                      128},
+                  EvalEngine *engine = nullptr);
 
 /** One application measurement at one machine size. */
 struct AppPoint
@@ -71,7 +82,8 @@ struct AppPoint
 /** Figure 15: application performance across the (C, N) grid. */
 std::vector<AppPoint>
 appPerformance(const std::vector<int> &c_values = {8, 16, 32, 64, 128},
-               const std::vector<int> &n_values = {2, 5, 10, 14});
+               const std::vector<int> &n_values = {2, 5, 10, 14},
+               EvalEngine *engine = nullptr);
 
 /** Run one app at one size (helper for tests and examples). */
 AppPoint runApp(const std::string &app_name, vlsi::MachineSize size);
@@ -94,7 +106,8 @@ struct Headline
  * Compute the headline numbers; pass false to skip the (slower)
  * application simulations.
  */
-Headline headlineNumbers(bool include_apps = true);
+Headline headlineNumbers(bool include_apps = true,
+                         EvalEngine *engine = nullptr);
 
 } // namespace sps::core
 

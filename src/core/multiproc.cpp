@@ -3,19 +3,23 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "core/eval_engine.h"
 
 namespace sps::core {
 
 std::vector<MultiprocPoint>
 multiprocStudy(vlsi::MachineSize total, int kernels,
                const vlsi::CostModel &model,
-               double interproc_efficiency)
+               double interproc_efficiency, EvalEngine *engine)
 {
     SPS_ASSERT(kernels >= 1, "need at least one kernel stage");
-    std::vector<MultiprocPoint> out;
+    std::vector<int> ms;
     for (int m = 1; m <= total.clusters; m *= 2) {
         if (total.clusters % m != 0)
             break;
+        ms.push_back(m);
+    }
+    return resolveEngine(engine).mapItems(ms, [&](int m) {
         vlsi::MachineSize each{total.clusters / m,
                                total.alusPerCluster};
         MultiprocPoint pt;
@@ -45,9 +49,8 @@ multiprocStudy(vlsi::MachineSize total, int kernels,
         if (m > 1)
             multi *= interproc_efficiency;
         pt.pipelineThroughput = multi / single;
-        out.push_back(pt);
-    }
-    return out;
+        return pt;
+    });
 }
 
 } // namespace sps::core

@@ -21,6 +21,8 @@
 
 namespace sps::core {
 
+class EvalEngine;
+
 /** One multiprocessor partitioning of a fixed ALU budget. */
 struct MultiprocPoint
 {
@@ -56,7 +58,8 @@ struct MultiprocPoint
 std::vector<MultiprocPoint>
 multiprocStudy(vlsi::MachineSize total, int kernels,
                const vlsi::CostModel &model,
-               double interproc_efficiency = 0.85);
+               double interproc_efficiency = 0.85,
+               EvalEngine *engine = nullptr);
 
 } // namespace sps::core
 

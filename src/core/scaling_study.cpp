@@ -1,26 +1,27 @@
 #include "core/scaling_study.h"
 
+#include "core/eval_engine.h"
+
 namespace sps::core {
 
 std::vector<DesignPoint>
 evaluateDesigns(const std::vector<vlsi::MachineSize> &sizes,
-                vlsi::Params params, vlsi::Technology tech)
+                vlsi::Params params, vlsi::Technology tech,
+                EvalEngine *engine)
 {
-    std::vector<DesignPoint> out;
-    out.reserve(sizes.size());
-    for (const auto &size : sizes) {
-        StreamProcessorDesign d(size, params, tech);
-        DesignPoint pt;
-        pt.size = size;
-        pt.areaMm2 = d.areaMm2();
-        pt.powerWatts = d.powerWatts();
-        pt.peakGops = d.peakGops();
-        pt.areaPerAlu = d.areaPerAlu();
-        pt.energyPerAluOp = d.energyPerAluOp();
-        pt.commLatencyCycles = d.costModel().interCommCycles(size);
-        out.push_back(pt);
-    }
-    return out;
+    return resolveEngine(engine).mapItems(
+        sizes, [&](const vlsi::MachineSize &size) {
+            StreamProcessorDesign d(size, params, tech);
+            DesignPoint pt;
+            pt.size = size;
+            pt.areaMm2 = d.areaMm2();
+            pt.powerWatts = d.powerWatts();
+            pt.peakGops = d.peakGops();
+            pt.areaPerAlu = d.areaPerAlu();
+            pt.energyPerAluOp = d.energyPerAluOp();
+            pt.commLatencyCycles = d.costModel().interCommCycles(size);
+            return pt;
+        });
 }
 
 std::vector<vlsi::MachineSize>

@@ -14,6 +14,8 @@
 
 namespace sps::core {
 
+class EvalEngine;
+
 /** One evaluated design point. */
 struct DesignPoint
 {
@@ -26,11 +28,13 @@ struct DesignPoint
     int commLatencyCycles = 0;
 };
 
-/** Evaluate a list of sizes. */
+/** Evaluate a list of sizes (points run concurrently on the engine,
+ *  results in input order). */
 std::vector<DesignPoint>
 evaluateDesigns(const std::vector<vlsi::MachineSize> &sizes,
                 vlsi::Params params = vlsi::Params::imagine(),
-                vlsi::Technology tech = vlsi::Technology::fortyFiveNm());
+                vlsi::Technology tech = vlsi::Technology::fortyFiveNm(),
+                EvalEngine *engine = nullptr);
 
 /** The cross product of C and N ranges. */
 std::vector<vlsi::MachineSize>

@@ -1,0 +1,154 @@
+#include "sched/schedule_cache.h"
+
+namespace sps::sched {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+struct Fnv
+{
+    uint64_t h = kFnvOffset;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= kFnvPrime;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(static_cast<uint64_t>(s.size()));
+        for (char c : s) {
+            h ^= static_cast<uint8_t>(c);
+            h *= kFnvPrime;
+        }
+    }
+};
+
+} // namespace
+
+uint64_t
+machineConfigHash(const MachineModel &m)
+{
+    Fnv f;
+    f.mix(static_cast<uint64_t>(m.size().clusters));
+    f.mix(static_cast<uint64_t>(m.size().alusPerCluster));
+    for (isa::FuClass cls :
+         {isa::FuClass::Adder, isa::FuClass::Multiplier,
+          isa::FuClass::Dsq, isa::FuClass::Scratchpad,
+          isa::FuClass::Comm, isa::FuClass::SbPort})
+        f.mix(static_cast<uint64_t>(m.unitCount(cls)));
+    f.mix(static_cast<uint64_t>(m.intraExtraStages()));
+    f.mix(static_cast<uint64_t>(m.commLatency()));
+    return f.h;
+}
+
+uint64_t
+kernelFingerprint(const kernel::Kernel &k)
+{
+    Fnv f;
+    f.mix(k.name);
+    f.mix(static_cast<uint64_t>(k.dataClass));
+    f.mix(static_cast<uint64_t>(k.lengthDriver));
+    f.mix(static_cast<uint64_t>(k.scratchpadWords));
+    f.mix(static_cast<uint64_t>(k.streams.size()));
+    for (const auto &s : k.streams) {
+        f.mix(static_cast<uint64_t>(s.dir));
+        f.mix(static_cast<uint64_t>(s.recordWords));
+        f.mix(static_cast<uint64_t>(s.conditional));
+    }
+    f.mix(static_cast<uint64_t>(k.ops.size()));
+    for (const auto &op : k.ops) {
+        f.mix(static_cast<uint64_t>(op.code));
+        f.mix(static_cast<uint64_t>(op.args.size()));
+        for (auto a : op.args)
+            f.mix(static_cast<uint64_t>(a));
+        f.mix(static_cast<uint64_t>(op.imm.bits));
+        f.mix(static_cast<uint64_t>(op.stream));
+        f.mix(static_cast<uint64_t>(op.field));
+        f.mix(static_cast<uint64_t>(op.distance));
+        f.mix(static_cast<uint64_t>(op.init.bits));
+        f.mix(static_cast<uint64_t>(op.orderAfter.size()));
+        for (auto a : op.orderAfter)
+            f.mix(static_cast<uint64_t>(a));
+    }
+    return f.h;
+}
+
+uint64_t
+compileOptionsHash(const CompileOptions &opts)
+{
+    Fnv f;
+    f.mix(static_cast<uint64_t>(opts.unrollFactors.size()));
+    for (int u : opts.unrollFactors)
+        f.mix(static_cast<uint64_t>(u));
+    f.mix(static_cast<uint64_t>(opts.maxOps));
+    return f.h;
+}
+
+const CompiledKernel &
+ScheduleCache::get(const kernel::Kernel &k, const MachineModel &m,
+                   const CompileOptions &opts)
+{
+    Key key{kernelFingerprint(k), machineConfigHash(m),
+            compileOptionsHash(opts)};
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &slot = map_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    // Compile outside the map lock so distinct keys compile in
+    // parallel; call_once makes concurrent same-key requests block on
+    // the single winner.
+    bool compiled = false;
+    std::call_once(entry->once, [&] {
+        entry->ck = compileKernel(k, m, opts);
+        compiled = true;
+    });
+    if (compiled)
+        misses_.fetch_add(1, std::memory_order_relaxed);
+    else
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry->ck;
+}
+
+ScheduleCache::Counters
+ScheduleCache::counters() const
+{
+    return Counters{hits_.load(std::memory_order_relaxed),
+                    misses_.load(std::memory_order_relaxed)};
+}
+
+size_t
+ScheduleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+void
+ScheduleCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+ScheduleCache &
+ScheduleCache::global()
+{
+    static ScheduleCache cache;
+    return cache;
+}
+
+} // namespace sps::sched

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The shared, memoized schedule cache: compileKernel() results keyed by
+ * (kernel fingerprint, machine configuration hash, compile options).
+ * Every design-space sweep in the evaluation stack revisits the same
+ * (kernel, machine) pairs -- across figures, benches, repeated grid
+ * points, and the simulator's per-invocation compiles -- so a kernel
+ * compiled once for a given MachineSize / FU mix is never recompiled.
+ *
+ * Thread safety: get() may be called concurrently from any number of
+ * threads; a given key is compiled exactly once (concurrent requests
+ * for the same key block on the winner). Returned references stay
+ * valid until clear(), which must not race in-flight get() calls or
+ * outstanding references.
+ */
+#ifndef SPS_SCHED_SCHEDULE_CACHE_H
+#define SPS_SCHED_SCHEDULE_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sched/kernel_perf.h"
+
+namespace sps::sched {
+
+/**
+ * FNV-1a hash of every machine property the scheduler can observe:
+ * C, N, the per-class unit counts, the extra intracluster pipeline
+ * stages, and the COMM latency. Two MachineModels with equal hashes
+ * schedule any kernel identically (opcode timings derive from these
+ * plus static base timings).
+ */
+uint64_t machineConfigHash(const MachineModel &m);
+
+/**
+ * Structural fingerprint of a kernel graph: name, data class, stream
+ * signature, and the full op list (opcodes, operands, immediates,
+ * ordering edges). Distinguishes same-named kernels with different
+ * bodies (e.g. QRD's housegen, specialized per cluster count).
+ */
+uint64_t kernelFingerprint(const kernel::Kernel &k);
+
+/** Hash of the compile options that shape the schedule. */
+uint64_t compileOptionsHash(const CompileOptions &opts);
+
+class ScheduleCache
+{
+  public:
+    struct Counters
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+
+    /**
+     * The compiled schedule for (k, m, opts), compiling on first use.
+     * A call that performs the compilation counts as a miss; every
+     * other call (including ones that waited on a concurrent winner)
+     * counts as a hit.
+     */
+    const CompiledKernel &get(const kernel::Kernel &k,
+                              const MachineModel &m,
+                              const CompileOptions &opts = {});
+
+    Counters counters() const;
+    size_t size() const;
+
+    /** Drop all entries and reset the counters (not concurrency-safe
+     *  against in-flight get() calls or live references). */
+    void clear();
+
+    /** The process-wide cache shared by designs, sims, and engines. */
+    static ScheduleCache &global();
+
+  private:
+    struct Key
+    {
+        uint64_t kernelHash = 0;
+        uint64_t machineHash = 0;
+        uint64_t optionsHash = 0;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const
+        {
+            uint64_t h = k.kernelHash;
+            h ^= k.machineHash + 0x9e3779b97f4a7c15ull + (h << 6) +
+                 (h >> 2);
+            h ^= k.optionsHash + 0x9e3779b97f4a7c15ull + (h << 6) +
+                 (h >> 2);
+            return static_cast<size_t>(h);
+        }
+    };
+    struct Entry
+    {
+        std::once_flag once;
+        CompiledKernel ck;
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace sps::sched
+
+#endif // SPS_SCHED_SCHEDULE_CACHE_H

@@ -18,13 +18,7 @@ StreamProcessor::~StreamProcessor() = default;
 const sched::CompiledKernel &
 StreamProcessor::compile(const kernel::Kernel &k)
 {
-    auto it = compiled_.find(k.name);
-    if (it != compiled_.end())
-        return it->second;
-    auto [ins, ok] =
-        compiled_.emplace(k.name, sched::compileKernel(k, machine_));
-    SPS_ASSERT(ok, "duplicate kernel compilation");
-    return ins->second;
+    return sched::ScheduleCache::global().get(k, machine_);
 }
 
 SimResult

@@ -11,11 +11,11 @@
 #ifndef SPS_SIM_PROCESSOR_H
 #define SPS_SIM_PROCESSOR_H
 
-#include <map>
 #include <memory>
 
 #include "mem/stream_mem.h"
 #include "sched/kernel_perf.h"
+#include "sched/schedule_cache.h"
 #include "sim/microcontroller.h"
 #include "sim/stats.h"
 #include "srf/srf.h"
@@ -40,8 +40,10 @@ struct SimConfig
 };
 
 /**
- * A configured stream processor: compiles kernels on first use and
- * executes stream programs.
+ * A configured stream processor: compiles kernels on first use
+ * (through the shared schedule cache, so the simulator and the
+ * static-analysis path always see the same schedule for a given
+ * (kernel, machine) pair) and executes stream programs.
  */
 class StreamProcessor
 {
@@ -53,7 +55,7 @@ class StreamProcessor
     const srf::SrfModel &srf() const { return srf_; }
     const sched::MachineModel &machine() const { return machine_; }
 
-    /** Compile (and cache) a kernel for this machine. */
+    /** Compile a kernel for this machine via the shared cache. */
     const sched::CompiledKernel &compile(const kernel::Kernel &k);
 
     /** Execute a stream program; returns timing and statistics. */
@@ -65,7 +67,6 @@ class StreamProcessor
     sched::MachineModel machine_;
     srf::SrfModel srf_;
     mem::StreamMemSystem memSys_;
-    std::map<std::string, sched::CompiledKernel> compiled_;
 };
 
 } // namespace sps::sim

@@ -1,6 +1,7 @@
 #include "vlsi/sweep.h"
 
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace sps::vlsi {
 
@@ -17,6 +18,18 @@ evaluate(const CostModel &model, MachineSize size)
     pt.areaPerAlu = model.areaPerAlu(size);
     pt.energyPerAluOp = model.energyPerAluOp(size);
     return pt;
+}
+
+/** Evaluate all sizes on the pool; out[i] always belongs to sizes[i]. */
+std::vector<SweepPoint>
+evaluateAll(const CostModel &model,
+            const std::vector<MachineSize> &sizes, ThreadPool *pool)
+{
+    ThreadPool &p = pool ? *pool : ThreadPool::shared();
+    std::vector<SweepPoint> out(sizes.size());
+    p.forEach(sizes.size(),
+              [&](size_t i) { out[i] = evaluate(model, sizes[i]); });
+    return out;
 }
 
 } // namespace
@@ -47,48 +60,57 @@ SweepSeries::normalizedEnergyPerOp() const
 
 SweepSeries
 intraclusterSweep(const CostModel &model, int c,
-                  const std::vector<int> &n_values, int ref_n)
+                  const std::vector<int> &n_values, int ref_n,
+                  ThreadPool *pool)
 {
     SweepSeries series;
+    std::vector<MachineSize> sizes;
     bool found_ref = false;
     for (int n : n_values) {
         if (n == ref_n) {
-            series.refIndex = series.points.size();
+            series.refIndex = sizes.size();
             found_ref = true;
         }
-        series.points.push_back(evaluate(model, MachineSize{c, n}));
+        sizes.push_back(MachineSize{c, n});
     }
     SPS_ASSERT(found_ref, "reference N=%d not in sweep range", ref_n);
+    series.points = evaluateAll(model, sizes, pool);
     return series;
 }
 
 SweepSeries
 interclusterSweep(const CostModel &model, int n,
-                  const std::vector<int> &c_values, int ref_c)
+                  const std::vector<int> &c_values, int ref_c,
+                  ThreadPool *pool)
 {
     SweepSeries series;
+    std::vector<MachineSize> sizes;
     bool found_ref = false;
     for (int c : c_values) {
         if (c == ref_c) {
-            series.refIndex = series.points.size();
+            series.refIndex = sizes.size();
             found_ref = true;
         }
-        series.points.push_back(evaluate(model, MachineSize{c, n}));
+        sizes.push_back(MachineSize{c, n});
     }
     SPS_ASSERT(found_ref, "reference C=%d not in sweep range", ref_c);
+    series.points = evaluateAll(model, sizes, pool);
     return series;
 }
 
 SweepSeries
 combinedSweep(const CostModel &model, int n,
-              const std::vector<int> &c_values, MachineSize ref)
+              const std::vector<int> &c_values, MachineSize ref,
+              ThreadPool *pool)
 {
     SweepSeries series;
+    std::vector<MachineSize> sizes;
     for (int c : c_values)
-        series.points.push_back(evaluate(model, MachineSize{c, n}));
+        sizes.push_back(MachineSize{c, n});
     // Normalize against an external reference: stash it as an extra
     // trailing point so normalized*() can use it, then drop it.
-    series.points.push_back(evaluate(model, ref));
+    sizes.push_back(ref);
+    series.points = evaluateAll(model, sizes, pool);
     series.refIndex = series.points.size() - 1;
     return series;
 }

@@ -2,6 +2,11 @@
  * @file
  * Scaling-sweep utilities that evaluate the cost model across ranges of
  * C and N and produce the normalized series plotted in Figures 6-12.
+ *
+ * Sweep points evaluate concurrently on a thread pool (the same
+ * substrate core::EvalEngine runs on; pass nullptr for the shared
+ * pool) with results collected in axis order, so series are identical
+ * whatever the thread count.
  */
 #ifndef SPS_VLSI_SWEEP_H
 #define SPS_VLSI_SWEEP_H
@@ -10,6 +15,10 @@
 #include <vector>
 
 #include "vlsi/cost_model.h"
+
+namespace sps {
+class ThreadPool;
+}
 
 namespace sps::vlsi {
 
@@ -42,7 +51,8 @@ struct SweepSeries
  */
 SweepSeries intraclusterSweep(const CostModel &model, int c,
                               const std::vector<int> &n_values,
-                              int ref_n = 5);
+                              int ref_n = 5,
+                              ThreadPool *pool = nullptr);
 
 /**
  * Intercluster sweep: N fixed, C varies (Figures 9-11). The reference
@@ -50,7 +60,8 @@ SweepSeries intraclusterSweep(const CostModel &model, int c,
  */
 SweepSeries interclusterSweep(const CostModel &model, int n,
                               const std::vector<int> &c_values,
-                              int ref_c = 8);
+                              int ref_c = 8,
+                              ThreadPool *pool = nullptr);
 
 /**
  * Combined sweep for one N across a list of C values (Figure 12), with
@@ -59,7 +70,8 @@ SweepSeries interclusterSweep(const CostModel &model, int n,
  */
 SweepSeries combinedSweep(const CostModel &model, int n,
                           const std::vector<int> &c_values,
-                          MachineSize ref);
+                          MachineSize ref,
+                          ThreadPool *pool = nullptr);
 
 /** The standard N values plotted in Figures 6-8. */
 std::vector<int> defaultIntraRange();

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "common/log.h"
 #include "kernel/builder.h"
@@ -63,7 +64,11 @@ makeHousegen(int clusters)
 const Kernel &
 housegenKernel(int clusters)
 {
+    // Guarded: concurrent design points build QRD for different
+    // cluster counts; node-based map keeps returned refs stable.
+    static std::mutex mu;
     static std::map<int, Kernel> cache;
+    std::lock_guard<std::mutex> lock(mu);
     auto it = cache.find(clusters);
     if (it == cache.end())
         it = cache.emplace(clusters, makeHousegen(clusters)).first;

@@ -1,5 +1,6 @@
 #include "workloads/kernels/kernels.h"
 
+#include <array>
 #include <cmath>
 
 #include "common/log.h"
@@ -17,17 +18,18 @@ namespace {
 const int32_t *
 dctTable()
 {
-    static int32_t table[64];
-    static bool init = false;
-    if (!init) {
+    // Magic-static init: safe under the concurrent first use the
+    // evaluation engine's thread pool can produce.
+    static const std::array<int32_t, 64> table = [] {
+        std::array<int32_t, 64> t{};
         for (int k = 0; k < 8; ++k)
             for (int n = 0; n < 8; ++n)
-                table[k * 8 + n] = static_cast<int32_t>(std::lround(
+                t[k * 8 + n] = static_cast<int32_t>(std::lround(
                     std::cos((2 * n + 1) * k * M_PI / 16.0) *
                     (1 << kDctShift)));
-        init = true;
-    }
-    return table;
+        return t;
+    }();
+    return table.data();
 }
 
 } // namespace

@@ -1,0 +1,129 @@
+#include "sched/schedule_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "workloads/suite.h"
+
+namespace sps::sched {
+namespace {
+
+MachineModel
+machine(int c, int n)
+{
+    return MachineModel::forSize(vlsi::MachineSize{c, n});
+}
+
+TEST(ScheduleCacheTest, SecondLookupHits)
+{
+    ScheduleCache cache;
+    MachineModel m = machine(8, 5);
+    const kernel::Kernel &k = workloads::convolveKernel();
+    const CompiledKernel &a = cache.get(k, m);
+    const CompiledKernel &b = cache.get(k, m);
+    EXPECT_EQ(&a, &b) << "same entry must be returned";
+    auto ctr = cache.counters();
+    EXPECT_EQ(ctr.misses, 1u);
+    EXPECT_EQ(ctr.hits, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScheduleCacheTest, MatchesDirectCompilation)
+{
+    ScheduleCache cache;
+    MachineModel m = machine(16, 10);
+    const kernel::Kernel &k = workloads::fftKernel();
+    const CompiledKernel &cached = cache.get(k, m);
+    CompiledKernel direct = compileKernel(k, m);
+    EXPECT_EQ(cached.unroll, direct.unroll);
+    EXPECT_EQ(cached.ii, direct.ii);
+    EXPECT_EQ(cached.stages, direct.stages);
+    EXPECT_EQ(cached.length, direct.length);
+    EXPECT_EQ(cached.listLength, direct.listLength);
+    EXPECT_EQ(cached.ii1, direct.ii1);
+    EXPECT_EQ(cached.aluOpsPerIteration, direct.aluOpsPerIteration);
+    EXPECT_EQ(cached.gopsOpsPerIteration, direct.gopsOpsPerIteration);
+}
+
+TEST(ScheduleCacheTest, DistinctMachinesMiss)
+{
+    ScheduleCache cache;
+    const kernel::Kernel &k = workloads::updateKernel();
+    cache.get(k, machine(8, 5));
+    cache.get(k, machine(128, 5)); // C changes the COMM latency
+    cache.get(k, machine(8, 14));  // N changes the FU mix
+    auto ctr = cache.counters();
+    EXPECT_EQ(ctr.misses, 3u);
+    EXPECT_EQ(ctr.hits, 0u);
+}
+
+TEST(ScheduleCacheTest, MachineHashSeparatesSizes)
+{
+    MachineModel a = machine(8, 5);
+    MachineModel b = machine(16, 5);
+    MachineModel c = machine(8, 10);
+    EXPECT_EQ(machineConfigHash(a), machineConfigHash(machine(8, 5)));
+    EXPECT_NE(machineConfigHash(a), machineConfigHash(b));
+    EXPECT_NE(machineConfigHash(a), machineConfigHash(c));
+}
+
+TEST(ScheduleCacheTest, FingerprintSeparatesKernels)
+{
+    uint64_t conv =
+        kernelFingerprint(workloads::convolveKernel());
+    uint64_t fft = kernelFingerprint(workloads::fftKernel());
+    EXPECT_NE(conv, fft);
+    // Same-named kernels with different bodies must not collide:
+    // housegen is specialized per cluster count.
+    EXPECT_NE(kernelFingerprint(workloads::housegenKernel(8)),
+              kernelFingerprint(workloads::housegenKernel(16)));
+}
+
+TEST(ScheduleCacheTest, OptionsArePartOfTheKey)
+{
+    ScheduleCache cache;
+    MachineModel m = machine(8, 5);
+    const kernel::Kernel &k = workloads::blocksadKernel();
+    CompileOptions narrow;
+    narrow.unrollFactors = {1};
+    const CompiledKernel &a = cache.get(k, m);
+    const CompiledKernel &b = cache.get(k, m, narrow);
+    EXPECT_EQ(cache.counters().misses, 2u);
+    EXPECT_EQ(b.unroll, 1);
+    EXPECT_GE(a.aluOpsPerCycle(), b.aluOpsPerCycle());
+}
+
+TEST(ScheduleCacheTest, ConcurrentSameKeyCompilesOnce)
+{
+    ScheduleCache cache;
+    MachineModel m = machine(32, 5);
+    const kernel::Kernel &k = workloads::noiseKernel();
+    std::vector<std::thread> threads;
+    std::vector<const CompiledKernel *> seen(8, nullptr);
+    for (size_t t = 0; t < seen.size(); ++t)
+        threads.emplace_back(
+            [&, t] { seen[t] = &cache.get(k, m); });
+    for (auto &th : threads)
+        th.join();
+    auto ctr = cache.counters();
+    EXPECT_EQ(ctr.misses, 1u);
+    EXPECT_EQ(ctr.hits, seen.size() - 1);
+    for (const auto *p : seen)
+        EXPECT_EQ(p, seen[0]);
+}
+
+TEST(ScheduleCacheTest, ClearResetsEverything)
+{
+    ScheduleCache cache;
+    cache.get(workloads::dctKernel(), machine(8, 5));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    auto ctr = cache.counters();
+    EXPECT_EQ(ctr.hits, 0u);
+    EXPECT_EQ(ctr.misses, 0u);
+}
+
+} // namespace
+} // namespace sps::sched
