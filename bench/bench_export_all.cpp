@@ -16,6 +16,7 @@
 #include "common/csv.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "trace/counters_csv.h"
 #include "vlsi/sweep.h"
 
 namespace {
@@ -141,6 +142,18 @@ exportFig15()
                std::to_string(pt.gops)});
     }
     w.writeFile(path("fig15_apps.csv"));
+
+    // Per-run hardware counters for every grid point (the data behind
+    // any "why is this point slow" question about Figure 15).
+    sps::CsvWriter counters;
+    sps::trace::beginCountersCsv(counters, {"app", "C", "N"});
+    for (const auto &pt : pts)
+        sps::trace::appendCountersRow(
+            counters,
+            {pt.app, std::to_string(pt.size.clusters),
+             std::to_string(pt.size.alusPerCluster)},
+            pt.result);
+    counters.writeFile(path("fig15_app_counters.csv"));
 }
 
 } // namespace

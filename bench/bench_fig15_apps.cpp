@@ -4,23 +4,110 @@
  * cycle-accurate stream-level simulator -- speedup over the C=8 N=5
  * machine per configuration, with sustained GOPS annotated at the
  * corner points, plus the harmonic-mean row.
+ *
+ * Observability options:
+ *   --trace FILE       record one application run (default RENDER at
+ *                      the C=8 N=5 baseline) as a Chrome trace_event
+ *                      JSON, loadable in Perfetto / chrome://tracing
+ *   --trace-app NAME   which application --trace records
+ *   --counters FILE    per-run hardware-counter CSV for every (app,
+ *                      C, N) grid point
  */
 #include <cstdio>
+#include <cstring>
 #include <map>
 
+#include "common/csv.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "core/design.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "trace/chrome_trace.h"
+#include "trace/counters_csv.h"
+#include "trace/tracer.h"
+#include "workloads/suite.h"
+
+namespace {
+
+/** Run one app at the baseline with the tracer attached and export. */
+int
+exportTrace(const std::string &app_name, const std::string &path)
+{
+    for (const auto &app : sps::workloads::appSuite()) {
+        if (app.name != app_name)
+            continue;
+        sps::core::StreamProcessorDesign d(sps::core::kBaseline);
+        sps::sim::StreamProcessor proc = d.makeProcessor();
+        sps::stream::StreamProgram prog =
+            app.build(sps::core::kBaseline, proc.srf());
+        sps::trace::Tracer tracer;
+        sps::sim::RunOptions opts;
+        opts.tracer = &tracer;
+        sps::sim::SimResult res = proc.run(prog, opts);
+        if (!sps::trace::writeChromeTrace(tracer, path)) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("wrote %zu trace events for %s (%lld cycles) to "
+                    "%s -- open in https://ui.perfetto.dev\n",
+                    tracer.size(), app_name.c_str(),
+                    static_cast<long long>(res.cycles), path.c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "unknown application %s\n", app_name.c_str());
+    return 1;
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using sps::TextTable;
+    std::string trace_path, trace_app = "RENDER", counters_path;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs an argument\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--trace") == 0)
+            trace_path = need("--trace");
+        else if (std::strcmp(argv[i], "--trace-app") == 0)
+            trace_app = need("--trace-app");
+        else if (std::strcmp(argv[i], "--counters") == 0)
+            counters_path = need("--counters");
+        else {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 1;
+        }
+    }
+
     std::vector<int> cs{8, 16, 32, 64, 128};
     std::vector<int> ns{2, 5, 10, 14};
     auto points = sps::core::appPerformance(
         cs, ns, &sps::core::EvalEngine::global());
+
+    if (!counters_path.empty()) {
+        sps::CsvWriter w;
+        sps::trace::beginCountersCsv(w, {"app", "C", "N"});
+        for (const auto &pt : points)
+            sps::trace::appendCountersRow(
+                w,
+                {pt.app, std::to_string(pt.size.clusters),
+                 std::to_string(pt.size.alusPerCluster)},
+                pt.result);
+        if (!w.writeFile(counters_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         counters_path.c_str());
+            return 1;
+        }
+        std::printf("wrote per-run hardware counters to %s\n",
+                    counters_path.c_str());
+    }
 
     std::map<std::string, std::map<std::pair<int, int>,
                                    sps::core::AppPoint>> by_app;
@@ -65,5 +152,8 @@ main()
     std::printf("Figure 15: application speedups over C=8 N=5 "
                 "(tables above) and sustained GOPS:\n\n%s\n",
                 g.toString().c_str());
+
+    if (!trace_path.empty())
+        return exportTrace(trace_app, trace_path);
     return 0;
 }

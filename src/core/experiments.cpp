@@ -131,6 +131,7 @@ runApp(const std::string &app_name, vlsi::MachineSize size)
         pt.speedup = static_cast<double>(bres.cycles) /
                      static_cast<double>(res.cycles);
         pt.gops = res.gops(d.tech().clockGHz());
+        pt.result = std::move(res);
         return pt;
     }
     fatal("unknown application %s", app_name.c_str());
@@ -172,6 +173,7 @@ appPerformance(const std::vector<int> &c_values,
         pt.speedup = static_cast<double>(base_cycles[idx / per_app]) /
                      static_cast<double>(res.cycles);
         pt.gops = res.gops(d.tech().clockGHz());
+        pt.result = std::move(res);
         return pt;
     });
 }

@@ -77,6 +77,8 @@ struct AppPoint
     int64_t cycles = 0;
     double speedup = 0.0; ///< vs the C=8 N=5 baseline
     double gops = 0.0;    ///< sustained at the 45nm 1 GHz clock
+    /** Full simulation result (hardware counters, timeline). */
+    sim::SimResult result;
 };
 
 /** Figure 15: application performance across the (C, N) grid. */

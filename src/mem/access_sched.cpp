@@ -1,15 +1,16 @@
 #include "mem/access_sched.h"
 
+#include <algorithm>
 #include <cstddef>
 
 namespace sps::mem {
 
 using std::size_t;
 
-int64_t
-AccessScheduler::run(const std::vector<MemRequest> &requests)
+SchedRunStats
+AccessScheduler::runStats(const std::vector<MemRequest> &requests)
 {
-    int64_t cycles = 0;
+    SchedRunStats stats;
     size_t next = 0;
     std::deque<MemRequest> window;
     auto fill = [&] {
@@ -19,7 +20,9 @@ AccessScheduler::run(const std::vector<MemRequest> &requests)
     };
     fill();
     while (!window.empty()) {
-        // First-ready: oldest row hit, else oldest request.
+        // First-ready: oldest row hit, else oldest request. The window
+        // is in arrival order, so the pick's index is the number of
+        // older requests it bypasses.
         size_t pick = 0;
         for (size_t i = 0; i < window.size(); ++i) {
             if (channel_.isRowHit(window[i])) {
@@ -27,13 +30,22 @@ AccessScheduler::run(const std::vector<MemRequest> &requests)
                 break;
             }
         }
-        cycles += channel_.service(window[pick]);
+        stats.busyCycles += channel_.service(window[pick]);
+        stats.reorderSum += static_cast<int64_t>(pick);
+        stats.reorderMax =
+            std::max(stats.reorderMax, static_cast<int64_t>(pick));
         window.erase(window.begin() +
                      static_cast<std::deque<MemRequest>::difference_type>(
                          pick));
         fill();
     }
-    return cycles;
+    return stats;
+}
+
+int64_t
+AccessScheduler::run(const std::vector<MemRequest> &requests)
+{
+    return runStats(requests).busyCycles;
 }
 
 } // namespace sps::mem

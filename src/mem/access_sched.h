@@ -14,6 +14,17 @@
 
 namespace sps::mem {
 
+/** Statistics of one scheduled request-list run. */
+struct SchedRunStats
+{
+    /** Total busy cycles on the channel's pins. */
+    int64_t busyCycles = 0;
+    /** Sum over picks of how many older requests each bypassed. */
+    int64_t reorderSum = 0;
+    /** Largest number of older requests one pick bypassed. */
+    int64_t reorderMax = 0;
+};
+
 /**
  * FR-FCFS scheduler over one channel: first-ready (row hit) requests
  * are serviced before older row misses, within a bounded window.
@@ -30,6 +41,12 @@ class AccessScheduler
      * total busy cycles on the channel's pins.
      */
     int64_t run(const std::vector<MemRequest> &requests);
+
+    /**
+     * Like run(), but also reports how far the scheduler reordered
+     * requests (its pick's index within the in-order window).
+     */
+    SchedRunStats runStats(const std::vector<MemRequest> &requests);
 
   private:
     DramChannel &channel_;

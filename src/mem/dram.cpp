@@ -44,6 +44,9 @@ DramChannel::service(const MemRequest &req)
     if (open != row) {
         cycles += (open >= 0 ? timing_.tPre : 0) + timing_.tRas;
         open = row;
+        ++rowMisses_;
+    } else {
+        ++rowHits_;
     }
     return cycles;
 }

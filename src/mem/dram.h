@@ -37,7 +37,8 @@ struct MemRequest
 
 /**
  * One DRAM channel: tracks open rows per bank and charges timing for
- * a request stream presented in service order.
+ * a request stream presented in service order. Counts row hits and
+ * misses so the memory system can report row-hit rate.
  */
 class DramChannel
 {
@@ -59,12 +60,21 @@ class DramChannel
      */
     int service(const MemRequest &req);
 
-    /** Close all rows (e.g. between independent transfers). */
+    /** Requests serviced that hit an open row. */
+    int64_t rowHits() const { return rowHits_; }
+
+    /** Requests serviced that missed (activate, maybe precharge). */
+    int64_t rowMisses() const { return rowMisses_; }
+
+    /** Close all rows (e.g. between independent transfers); the
+     *  hit/miss counters keep accumulating across resets. */
     void reset();
 
   private:
     DramTiming timing_;
     std::vector<int64_t> openRow_; // -1 = closed
+    int64_t rowHits_ = 0;
+    int64_t rowMisses_ = 0;
 };
 
 } // namespace sps::mem

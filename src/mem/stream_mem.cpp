@@ -23,7 +23,8 @@ StreamMemSystem::StreamMemSystem(StreamMemConfig cfg) : cfg_(cfg)
 }
 
 TransferResult
-StreamMemSystem::transfer(int64_t words, int64_t stride) const
+StreamMemSystem::transfer(int64_t words, int64_t stride,
+                          const TransferTrace *tr) const
 {
     TransferResult r;
     if (words <= 0)
@@ -42,18 +43,43 @@ StreamMemSystem::transfer(int64_t words, int64_t stride) const
             req);
     }
     int64_t busy = 0;
+    int64_t hits = 0;
     for (auto &reqs : per_channel) {
         DramChannel chan(cfg_.timing);
         AccessScheduler sched(chan);
-        busy = std::max(busy, sched.run(reqs));
+        SchedRunStats stats = sched.runStats(reqs);
+        busy = std::max(busy, stats.busyCycles);
+        hits += chan.rowHits();
+        r.dramReorderSum += stats.reorderSum;
+        r.dramReorderMax = std::max(r.dramReorderMax, stats.reorderMax);
     }
-    // Extrapolate if capped.
-    if (sim_words < words)
+    // Extrapolate if capped, keeping the counter identities exact:
+    // accesses == words and hits + misses == accesses.
+    if (sim_words < words) {
         busy = busy * words / sim_words;
+        hits = hits * words / sim_words;
+        r.dramReorderSum = r.dramReorderSum * words / sim_words;
+    }
+    r.dramAccesses = words;
+    r.dramRowHits = hits;
+    r.dramRowMisses = words - hits;
     r.busyCycles = busy;
     r.cycles = busy + cfg_.latencyCycles;
     r.wordsPerCycle =
         static_cast<double>(words) / static_cast<double>(r.cycles);
+
+    if (tr && SPS_TRACE_ENABLED(tr->tracer)) {
+        tr->tracer->span(
+            "mem", tr->label.empty() ? "transfer" : tr->label,
+            tr->startCycle, tr->startCycle + r.cycles, tr->opId,
+            trace::kTrackMem,
+            {{"words", words},
+             {"stride", stride},
+             {"busy_cycles", r.busyCycles},
+             {"row_hits", r.dramRowHits},
+             {"row_misses", r.dramRowMisses},
+             {"reorder_max", r.dramReorderMax}});
+    }
     return r;
 }
 

@@ -11,9 +11,11 @@
 #define SPS_MEM_STREAM_MEM_H
 
 #include <cstdint>
+#include <string>
 
 #include "mem/access_sched.h"
 #include "mem/dram.h"
+#include "trace/tracer.h"
 
 namespace sps::mem {
 
@@ -38,6 +40,29 @@ struct TransferResult
     int64_t cycles = 0;        ///< total duration including latency
     int64_t busyCycles = 0;    ///< pin-limited portion
     double wordsPerCycle = 0;  ///< achieved bandwidth
+
+    // DRAM behaviour over the whole transfer (summed across channels;
+    // extrapolated transfers scale these so hits + misses always
+    // equals accesses and accesses equals the words moved).
+    int64_t dramAccesses = 0;
+    int64_t dramRowHits = 0;
+    int64_t dramRowMisses = 0;
+    /** Sum of access-scheduler reorder distances. */
+    int64_t dramReorderSum = 0;
+    /** Largest single reorder distance. */
+    int64_t dramReorderMax = 0;
+};
+
+/** Optional tracing context for one transfer (see trace/tracer.h). */
+struct TransferTrace
+{
+    trace::Tracer *tracer = nullptr;
+    /** Simulated cycle the transfer's busy portion starts. */
+    int64_t startCycle = 0;
+    /** Event name (typically the stream op's label). */
+    std::string label;
+    /** Program-order op id, recorded as the event's async id. */
+    int opId = -1;
 };
 
 /**
@@ -54,9 +79,12 @@ class StreamMemSystem
     /**
      * Duration of transferring `words` words with the given word
      * stride (1 = dense). Transfers larger than the simulation cap are
-     * extrapolated linearly from a simulated prefix.
+     * extrapolated linearly from a simulated prefix. When `tr` carries
+     * a tracer, the transfer records a "mem" event with its DRAM
+     * behaviour.
      */
-    TransferResult transfer(int64_t words, int64_t stride = 1) const;
+    TransferResult transfer(int64_t words, int64_t stride = 1,
+                            const TransferTrace *tr = nullptr) const;
 
     /** Shorthand: cycles for a dense transfer. */
     int64_t transferCycles(int64_t words) const;

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Functional execution context for the stream-level simulator. The
+ * simulator's timing model is data-oblivious; attaching a
+ * FunctionalContext to a run (sim::RunOptions) makes every kernel call
+ * also execute functionally through the SIMD interpreter
+ * (interp::runKernel), with stream contents keyed by program stream
+ * id. This is what lets the differential tests assert that a program
+ * pushed through the cycle-accurate simulator produces exactly the
+ * streams the functional interpreter produces.
+ */
+#ifndef SPS_SIM_FUNCTIONAL_H
+#define SPS_SIM_FUNCTIONAL_H
+
+#include <map>
+
+#include "interp/interpreter.h"
+
+namespace sps::sim {
+
+/** Stream contents for a functional simulation run. */
+struct FunctionalContext
+{
+    /** Stream data by program stream id. Callers seed the inputs
+     *  (memory-backed streams hold their data here from the start);
+     *  kernel calls write their outputs back into the map. */
+    std::map<int, interp::StreamData> streams;
+
+    bool has(int stream_id) const
+    {
+        return streams.count(stream_id) != 0;
+    }
+
+    const interp::StreamData &
+    get(int stream_id) const
+    {
+        return streams.at(stream_id);
+    }
+};
+
+} // namespace sps::sim
+
+#endif // SPS_SIM_FUNCTIONAL_H

@@ -2,12 +2,13 @@
 
 namespace sps::sim {
 
-int64_t
-Microcontroller::callCycles(const std::string &kernel_name,
-                            const sched::CompiledKernel &ck,
-                            int64_t records)
+Microcontroller::CallTiming
+Microcontroller::call(const std::string &kernel_name,
+                      const sched::CompiledKernel &ck, int64_t records,
+                      int64_t start, trace::Tracer *tracer, int op_id)
 {
-    int64_t cycles = cfg_.pipeFillCycles;
+    CallTiming t;
+    t.overheadCycles = cfg_.pipeFillCycles;
     if (!resident_[kernel_name]) {
         // First use: load the kernel's VLIW instructions. The schedule
         // occupies roughly ii * stages instruction slots (the unrolled
@@ -15,12 +16,32 @@ Microcontroller::callCycles(const std::string &kernel_name,
         // size.
         int64_t instructions =
             2LL * ck.ii * ck.stages + ck.listLength;
-        cycles += instructions * cfg_.loadCyclesPerInstruction;
+        t.overheadCycles += instructions * cfg_.loadCyclesPerInstruction;
+        t.microcodeLoaded = true;
         resident_[kernel_name] = true;
     }
-    int64_t iterations = (records + clusters_ - 1) / clusters_;
-    cycles += ck.loopCycles(iterations);
-    return cycles;
+    t.iterations = (records + clusters_ - 1) / clusters_;
+    t.cycles = t.overheadCycles + ck.loopCycles(t.iterations);
+
+    if (SPS_TRACE_ENABLED(tracer)) {
+        tracer->span("kernel", kernel_name, start, start + t.cycles,
+                     op_id, trace::kTrackClusters,
+                     {{"records", records},
+                      {"iterations", t.iterations},
+                      {"overhead_cycles", t.overheadCycles},
+                      {"microcode_loaded", t.microcodeLoaded ? 1 : 0},
+                      {"ii", ck.ii},
+                      {"unroll", ck.unroll}});
+    }
+    return t;
+}
+
+int64_t
+Microcontroller::callCycles(const std::string &kernel_name,
+                            const sched::CompiledKernel &ck,
+                            int64_t records)
+{
+    return call(kernel_name, ck, records).cycles;
 }
 
 } // namespace sps::sim

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "sched/kernel_perf.h"
+#include "trace/tracer.h"
 
 namespace sps::sim {
 
@@ -42,12 +43,35 @@ class Microcontroller
         : cfg_(cfg), clusters_(clusters)
     {}
 
+    /** Timing of one kernel call, split into overhead and loop time. */
+    struct CallTiming
+    {
+        /** Total cycles charged for the call. */
+        int64_t cycles = 0;
+        /** Fixed overhead: pipeline fill plus any microcode load. */
+        int64_t overheadCycles = 0;
+        /** Inner-loop iterations executed. */
+        int64_t iterations = 0;
+        /** True if this call paid the first-use microcode load. */
+        bool microcodeLoaded = false;
+    };
+
     /**
      * Cycles for one call of a compiled kernel over `records` stream
      * records. Includes the first-use microcode load.
      */
     int64_t callCycles(const std::string &kernel_name,
                        const sched::CompiledKernel &ck, int64_t records);
+
+    /**
+     * Like callCycles() but reports the timing breakdown, and (when a
+     * tracer is attached) records the call as a "kernel" event on the
+     * clusters track starting at `start`.
+     */
+    CallTiming call(const std::string &kernel_name,
+                    const sched::CompiledKernel &ck, int64_t records,
+                    int64_t start = 0,
+                    trace::Tracer *tracer = nullptr, int op_id = -1);
 
     /** Forget resident kernels (new program). */
     void reset() { resident_.clear(); }

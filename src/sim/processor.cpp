@@ -24,10 +24,19 @@ StreamProcessor::compile(const kernel::Kernel &k)
 SimResult
 StreamProcessor::run(const stream::StreamProgram &prog)
 {
+    return run(prog, RunOptions{});
+}
+
+SimResult
+StreamProcessor::run(const stream::StreamProgram &prog,
+                     const RunOptions &opts)
+{
     ControllerConfig ctrl;
     ctrl.clusters = cfg_.size.clusters;
+    ctrl.alusPerCluster = cfg_.size.alusPerCluster;
     ctrl.hostIssueCycles = cfg_.hostIssueCycles;
     ctrl.scoreboardDepth = cfg_.scoreboardDepth;
+    ctrl.srfPeakWordsPerCycle = srf_.peakWordsPerCycle;
 
     Microcontroller uc(cfg_.ucConfig, cfg_.size.clusters);
     srf::Allocator alloc(srf_.capacityWords);
@@ -35,7 +44,8 @@ StreamProcessor::run(const stream::StreamProgram &prog)
         prog, ctrl, memSys_, uc, alloc,
         [this](const kernel::Kernel &k) -> const sched::CompiledKernel & {
             return compile(k);
-        });
+        },
+        opts);
 }
 
 } // namespace sps::sim

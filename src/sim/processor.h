@@ -18,6 +18,7 @@
 #include "sched/schedule_cache.h"
 #include "sim/microcontroller.h"
 #include "sim/stats.h"
+#include "sim/stream_controller.h"
 #include "srf/srf.h"
 #include "stream/program.h"
 #include "vlsi/cost_model.h"
@@ -60,6 +61,14 @@ class StreamProcessor
 
     /** Execute a stream program; returns timing and statistics. */
     SimResult run(const stream::StreamProgram &prog);
+
+    /**
+     * Execute with observability hooks: an attached tracer records
+     * per-component events, an attached FunctionalContext executes
+     * kernels functionally through the interpreter.
+     */
+    SimResult run(const stream::StreamProgram &prog,
+                  const RunOptions &opts);
 
   private:
     SimConfig cfg_;

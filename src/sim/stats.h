@@ -1,6 +1,9 @@
 /**
  * @file
- * Execution statistics of one simulated stream program.
+ * Execution statistics of one simulated stream program: the headline
+ * aggregates (cycles, ops, words), the per-op timeline, and the
+ * hardware counter set (SimCounters) the observability layer fills in
+ * -- cycle breakdown, issue stalls, SRF traffic, and DRAM behaviour.
  */
 #ifndef SPS_SIM_STATS_H
 #define SPS_SIM_STATS_H
@@ -11,12 +14,83 @@
 
 namespace sps::sim {
 
+/** Coarse class of one stream-level op (for timeline/trace export). */
+enum class OpClass { Load, Store, Kernel, Other };
+
 /** Start/end cycle of one stream-level operation. */
 struct OpInterval
 {
     int64_t start = 0;
     int64_t end = 0;
     std::string label;
+    /**
+     * Program-order op id (index into StreamProgram::ops). Labels
+     * repeat across strip-mined batches; the id keeps overlapping
+     * intervals from double-buffered loads distinguishable in trace
+     * exports.
+     */
+    int opId = -1;
+    OpClass kind = OpClass::Other;
+};
+
+/**
+ * Hardware counters of one simulation. Event counts are exact
+ * (deterministic for a given program and configuration); derived rates
+ * live on SimResult as accessors.
+ */
+struct SimCounters
+{
+    // --- Cycle breakdown: sums exactly to SimResult::cycles. ---
+    /** Cycles only kernel execution (microcontroller) was busy. */
+    int64_t kernelOnlyCycles = 0;
+    /** Cycles only the memory system's pins were busy. */
+    int64_t memOnlyCycles = 0;
+    /** Cycles both were busy (load/store overlapped with a kernel). */
+    int64_t overlapCycles = 0;
+    /** Cycles neither was busy (dependence / issue / latency gaps). */
+    int64_t idleCycles = 0;
+
+    // --- Stream controller / host interface. ---
+    int64_t kernelCalls = 0;
+    int64_t loads = 0;
+    int64_t stores = 0;
+    /** Host channel occupancy issuing stream instructions. */
+    int64_t hostIssueBusyCycles = 0;
+    /** Issue stalled because the scoreboard was full. */
+    int64_t scoreboardStallCycles = 0;
+    /** Op issued but waiting on dependences (sum over ops). */
+    int64_t depStallCycles = 0;
+    /** Load/store ready but the memory pipe was still busy. */
+    int64_t memPipeStallCycles = 0;
+    /** Kernel ready but the microcontroller was still busy. */
+    int64_t ucPipeStallCycles = 0;
+
+    // --- Microcontroller. ---
+    /** Per-call overhead: pipeline fill plus microcode loads. */
+    int64_t ucOverheadCycles = 0;
+
+    // --- Cluster ALUs. ---
+    /** Total ALU issue slots: cycles * clusters * ALUs per cluster. */
+    int64_t aluIssueSlots = 0;
+    /** Slots during kernel execution only: ucBusy * C * N. */
+    int64_t kernelAluSlots = 0;
+
+    // --- SRF / streambuffers. ---
+    /** Words read out of the SRF (kernel inputs + stores). */
+    int64_t srfReadWords = 0;
+    /** Words written into the SRF (kernel outputs + loads). */
+    int64_t srfWriteWords = 0;
+    /** Extra kernel cycles implied by SRF bandwidth saturation. */
+    int64_t srfBwStallCycles = 0;
+
+    // --- DRAM (accumulated over all stream transfers). ---
+    int64_t dramAccesses = 0;
+    int64_t dramRowHits = 0;
+    int64_t dramRowMisses = 0;
+    /** Sum of access-scheduler reorder distances (requests bypassed). */
+    int64_t dramReorderSum = 0;
+    /** Largest single reorder distance observed. */
+    int64_t dramReorderMax = 0;
 };
 
 /** Results of one simulation. */
@@ -38,6 +112,8 @@ struct SimResult
     int64_t srfHighWater = 0;
     /** Per-op execution intervals, in program order. */
     std::vector<OpInterval> timeline;
+    /** Hardware counters (see SimCounters). */
+    SimCounters counters;
 
     /** Sustained GOPS at a clock frequency in GHz. */
     double
@@ -56,6 +132,65 @@ struct SimResult
     ucBusyFraction() const
     {
         return cycles > 0 ? static_cast<double>(ucBusy) / cycles : 0.0;
+    }
+
+    // --- Derived counter rates. ---
+
+    /** ALU occupancy over the whole run (ops / issue slots). */
+    double
+    aluOccupancy() const
+    {
+        return counters.aluIssueSlots > 0
+                   ? static_cast<double>(aluOps) / counters.aluIssueSlots
+                   : 0.0;
+    }
+
+    /** ALU occupancy while kernels were running. */
+    double
+    kernelAluOccupancy() const
+    {
+        return counters.kernelAluSlots > 0
+                   ? static_cast<double>(aluOps) /
+                         counters.kernelAluSlots
+                   : 0.0;
+    }
+
+    /** SRF read bandwidth over the run (words per cycle). */
+    double
+    srfReadBandwidth() const
+    {
+        return cycles > 0
+                   ? static_cast<double>(counters.srfReadWords) / cycles
+                   : 0.0;
+    }
+
+    /** SRF write bandwidth over the run (words per cycle). */
+    double
+    srfWriteBandwidth() const
+    {
+        return cycles > 0
+                   ? static_cast<double>(counters.srfWriteWords) / cycles
+                   : 0.0;
+    }
+
+    /** Fraction of DRAM accesses that hit an open row. */
+    double
+    dramRowHitRate() const
+    {
+        return counters.dramAccesses > 0
+                   ? static_cast<double>(counters.dramRowHits) /
+                         counters.dramAccesses
+                   : 0.0;
+    }
+
+    /** Mean access-scheduler reorder distance per DRAM access. */
+    double
+    dramAvgReorderDistance() const
+    {
+        return counters.dramAccesses > 0
+                   ? static_cast<double>(counters.dramReorderSum) /
+                         counters.dramAccesses
+                   : 0.0;
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "common/log.h"
 
@@ -10,31 +11,127 @@ namespace sps::sim {
 using stream::OpKind;
 using stream::StreamOp;
 
+namespace {
+
+/** One closed-open busy interval on a serialized resource. */
+struct BusyInterval
+{
+    int64_t start = 0;
+    int64_t end = 0;
+};
+
+/**
+ * Exact cycle breakdown from the (disjoint, sorted) busy intervals of
+ * the memory pins and the microcontroller: kernel-only / mem-only /
+ * overlapped / idle, summing to `cycles`.
+ */
+void
+fillCycleBreakdown(const std::vector<BusyInterval> &mem,
+                   const std::vector<BusyInterval> &uc, int64_t cycles,
+                   SimCounters &c)
+{
+    int64_t mem_total = 0, uc_total = 0, overlap = 0;
+    for (const auto &iv : mem)
+        mem_total += iv.end - iv.start;
+    for (const auto &iv : uc)
+        uc_total += iv.end - iv.start;
+    size_t i = 0, j = 0;
+    while (i < mem.size() && j < uc.size()) {
+        int64_t lo = std::max(mem[i].start, uc[j].start);
+        int64_t hi = std::min(mem[i].end, uc[j].end);
+        if (lo < hi)
+            overlap += hi - lo;
+        if (mem[i].end < uc[j].end)
+            ++i;
+        else
+            ++j;
+    }
+    c.overlapCycles = overlap;
+    c.memOnlyCycles = mem_total - overlap;
+    c.kernelOnlyCycles = uc_total - overlap;
+    c.idleCycles =
+        cycles - c.memOnlyCycles - c.kernelOnlyCycles - c.overlapCycles;
+}
+
+/**
+ * Execute one kernel call functionally: gather bound input streams
+ * from the context, run the interpreter, write outputs back.
+ */
+void
+runKernelFunctionally(const StreamOp &op, int clusters,
+                      FunctionalContext &ctx,
+                      const stream::StreamProgram &prog)
+{
+    const kernel::Kernel &k = *op.k;
+    std::vector<interp::StreamData> inputs;
+    std::vector<int> out_streams;
+    for (size_t p = 0; p < k.streams.size(); ++p) {
+        int bound = op.args[p];
+        if (k.streams[p].dir == kernel::PortDir::In) {
+            if (!ctx.has(bound))
+                fatal("program %s: functional run of kernel %s needs "
+                      "data for stream %s",
+                      prog.name().c_str(), k.name.c_str(),
+                      prog.streams()[static_cast<size_t>(bound)]
+                          .name.c_str());
+            inputs.push_back(ctx.get(bound));
+        } else {
+            out_streams.push_back(bound);
+        }
+    }
+    interp::ExecResult exec =
+        interp::runKernel(k, clusters, inputs);
+    SPS_ASSERT(exec.outputs.size() == out_streams.size(),
+               "kernel %s: output count mismatch", k.name.c_str());
+    for (size_t o = 0; o < out_streams.size(); ++o)
+        ctx.streams[out_streams[o]] = std::move(exec.outputs[o]);
+}
+
+} // namespace
+
 SimResult
 executeProgram(const stream::StreamProgram &prog,
                const ControllerConfig &cfg,
                const mem::StreamMemSystem &mem_sys, Microcontroller &uc,
-               srf::Allocator &alloc, const CompileFn &compile)
+               srf::Allocator &alloc, const CompileFn &compile,
+               const RunOptions &opts)
 {
     stream::ProgramDeps deps = stream::analyzeDeps(prog);
     const auto &ops = prog.ops();
     const auto &streams = prog.streams();
+    trace::Tracer *tracer = opts.tracer;
 
     SimResult result;
+    SimCounters &ctr = result.counters;
     result.timeline.reserve(ops.size());
     std::vector<int64_t> complete(ops.size(), 0);
+    std::vector<BusyInterval> mem_busy_ivs, uc_busy_ivs;
 
     int64_t issue_time = 0;
     int64_t mem_free = 0;
     int64_t uc_free = 0;
     bool warned_overflow = false;
 
+    if (SPS_TRACE_ENABLED(tracer)) {
+        tracer->setTrackName(trace::kTrackHost,
+                             "host / stream controller");
+        tracer->setTrackName(trace::kTrackMem, "streaming memory");
+        tracer->setTrackName(trace::kTrackClusters,
+                             "microcontroller + clusters");
+        tracer->setTrackName(trace::kTrackSrf, "SRF");
+    }
+
     // Completion times of in-flight ops, for the finite scoreboard.
     std::priority_queue<int64_t, std::vector<int64_t>,
                         std::greater<int64_t>>
         in_flight;
 
-    auto ensure_resident = [&](int s) {
+    auto srf_counter_sample = [&](int64_t when) {
+        if (SPS_TRACE_ENABLED(tracer))
+            tracer->counter("srf_used_words", when, alloc.used());
+    };
+
+    auto ensure_resident = [&](int s, int64_t when) {
         if (alloc.resident(s))
             return;
         int64_t words = streams[static_cast<size_t>(s)].words();
@@ -52,81 +149,169 @@ executeProgram(const stream::StreamProgram &prog,
             }
             alloc.forceAllocate(s, words);
         }
+        srf_counter_sample(when);
     };
 
     for (size_t i = 0; i < ops.size(); ++i) {
         const StreamOp &op = ops[i];
+        const int op_id = static_cast<int>(i);
 
         // Host issue: serialized stream instructions over the finite
         // host channel, stalling when the scoreboard is full.
         while (static_cast<int>(in_flight.size()) >=
                cfg.scoreboardDepth) {
-            issue_time = std::max(issue_time, in_flight.top());
+            int64_t retire = in_flight.top();
             in_flight.pop();
+            if (retire > issue_time) {
+                ctr.scoreboardStallCycles += retire - issue_time;
+                if (SPS_TRACE_ENABLED(tracer))
+                    tracer->complete("host", "scoreboard stall",
+                                     issue_time, retire,
+                                     trace::kTrackHost);
+                issue_time = retire;
+            }
         }
+        int64_t issue_start = issue_time;
         issue_time += cfg.hostIssueCycles;
+        ctr.hostIssueBusyCycles += cfg.hostIssueCycles;
+        if (SPS_TRACE_ENABLED(tracer))
+            tracer->complete("host", "issue " + op.label, issue_start,
+                             issue_time, trace::kTrackHost,
+                             {{"op_id", op_id}});
 
         int64_t ready = issue_time;
         for (int d : deps.deps[i])
             ready = std::max(ready, complete[static_cast<size_t>(d)]);
+        ctr.depStallCycles += ready - issue_time;
 
         int64_t start = 0, end = 0;
+        OpClass kind = OpClass::Other;
         switch (op.kind) {
           case OpKind::Load: {
-            ensure_resident(op.stream);
-            int64_t words =
-                streams[static_cast<size_t>(op.stream)].memWords();
-            mem::TransferResult tr = mem_sys.transfer(words);
+            kind = OpClass::Load;
+            ++ctr.loads;
+            ensure_resident(op.stream, ready);
+            const auto &info = streams[static_cast<size_t>(op.stream)];
+            int64_t words = info.memWords();
             start = std::max(ready, mem_free);
+            ctr.memPipeStallCycles += start - ready;
+            mem::TransferTrace ttr{tracer, start, op.label, op_id};
+            mem::TransferResult tr =
+                mem_sys.transfer(words, 1, tracer ? &ttr : nullptr);
             end = start + tr.cycles;
             // Pins busy for the bandwidth-limited portion; the fixed
             // latency of the next transfer can overlap.
             mem_free = start + tr.busyCycles;
+            if (tr.busyCycles > 0)
+                mem_busy_ivs.push_back({start, mem_free});
             result.memBusy += tr.busyCycles;
             result.memWords += words;
+            // The SRF receives the unpacked stream.
+            ctr.srfWriteWords += info.words();
+            ctr.dramAccesses += tr.dramAccesses;
+            ctr.dramRowHits += tr.dramRowHits;
+            ctr.dramRowMisses += tr.dramRowMisses;
+            ctr.dramReorderSum += tr.dramReorderSum;
+            ctr.dramReorderMax =
+                std::max(ctr.dramReorderMax, tr.dramReorderMax);
             break;
           }
           case OpKind::Store: {
-            int64_t words =
-                streams[static_cast<size_t>(op.stream)].memWords();
-            mem::TransferResult tr = mem_sys.transfer(words);
+            kind = OpClass::Store;
+            ++ctr.stores;
+            const auto &info = streams[static_cast<size_t>(op.stream)];
+            int64_t words = info.memWords();
             start = std::max(ready, mem_free);
+            ctr.memPipeStallCycles += start - ready;
+            mem::TransferTrace ttr{tracer, start, op.label, op_id};
+            mem::TransferResult tr =
+                mem_sys.transfer(words, 1, tracer ? &ttr : nullptr);
             end = start + tr.cycles;
             mem_free = start + tr.busyCycles;
+            if (tr.busyCycles > 0)
+                mem_busy_ivs.push_back({start, mem_free});
             result.memBusy += tr.busyCycles;
             result.memWords += words;
+            ctr.srfReadWords += info.words();
+            ctr.dramAccesses += tr.dramAccesses;
+            ctr.dramRowHits += tr.dramRowHits;
+            ctr.dramRowMisses += tr.dramRowMisses;
+            ctr.dramReorderSum += tr.dramReorderSum;
+            ctr.dramReorderMax =
+                std::max(ctr.dramReorderMax, tr.dramReorderMax);
             break;
           }
           case OpKind::Kernel: {
+            kind = OpClass::Kernel;
+            ++ctr.kernelCalls;
             // Outputs materialize in the SRF.
             for (int s : deps.writes[i])
-                ensure_resident(s);
+                ensure_resident(s, ready);
             for (int s : deps.reads[i])
-                ensure_resident(s);
+                ensure_resident(s, ready);
             const sched::CompiledKernel &ck = compile(*op.k);
-            int64_t dur = uc.callCycles(op.k->name, ck, op.records);
             start = std::max(ready, uc_free);
-            end = start + dur;
+            ctr.ucPipeStallCycles += start - ready;
+            Microcontroller::CallTiming t = uc.call(
+                op.k->name, ck, op.records, start, tracer, op_id);
+            end = start + t.cycles;
             uc_free = end;
-            result.ucBusy += dur;
+            if (t.cycles > 0)
+                uc_busy_ivs.push_back({start, end});
+            result.ucBusy += t.cycles;
+            ctr.ucOverheadCycles += t.overheadCycles;
             result.aluOps += ck.aluOpsPerIteration * op.records;
             result.gopsOps += ck.gopsOpsPerIteration *
                               static_cast<double>(op.records);
+            // SRF traffic: every bound input is read, every bound
+            // output written, through the streambuffers.
+            int64_t srf_words = 0;
+            for (int s : deps.reads[i]) {
+                int64_t w = streams[static_cast<size_t>(s)].words();
+                ctr.srfReadWords += w;
+                srf_words += w;
+            }
+            for (int s : deps.writes[i]) {
+                int64_t w = streams[static_cast<size_t>(s)].words();
+                ctr.srfWriteWords += w;
+                srf_words += w;
+            }
+            // Saturation accounting: cycles this call's stream demand
+            // would need beyond its duration at peak SRF bandwidth.
+            if (cfg.srfPeakWordsPerCycle > 0 && t.cycles > 0) {
+                auto needed = static_cast<int64_t>(
+                    static_cast<double>(srf_words) /
+                    cfg.srfPeakWordsPerCycle);
+                if (needed > t.cycles)
+                    ctr.srfBwStallCycles += needed - t.cycles;
+            }
+            if (opts.functional)
+                runKernelFunctionally(op, cfg.clusters,
+                                      *opts.functional, prog);
             break;
           }
         }
 
         complete[i] = end;
         in_flight.push(end);
-        result.timeline.push_back(OpInterval{start, end, op.label});
+        result.timeline.push_back(
+            OpInterval{start, end, op.label, op_id, kind});
         result.cycles = std::max(result.cycles, end);
         result.srfHighWater =
             std::max(result.srfHighWater, alloc.highWater());
 
         // Streams dead after this op release their SRF space.
-        for (int s : deps.lastUseOf[i])
+        for (int s : deps.lastUseOf[i]) {
             alloc.release(s);
+            srf_counter_sample(end);
+        }
     }
+
+    fillCycleBreakdown(mem_busy_ivs, uc_busy_ivs, result.cycles, ctr);
+    ctr.aluIssueSlots =
+        result.cycles * cfg.clusters * cfg.alusPerCluster;
+    ctr.kernelAluSlots =
+        result.ucBusy * cfg.clusters * cfg.alusPerCluster;
     return result;
 }
 

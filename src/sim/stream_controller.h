@@ -4,6 +4,12 @@
  * order through a finite scoreboard, resolving dependences and
  * resource conflicts (memory system, microcontroller), and tracking
  * SRF residency. This is the engine behind StreamProcessor::run().
+ *
+ * Observability: every run fills SimResult::counters (cycle breakdown,
+ * issue stalls, SRF traffic, DRAM behaviour); attaching a
+ * trace::Tracer through RunOptions additionally records per-component
+ * events, and a FunctionalContext makes kernel calls execute
+ * functionally through the interpreter.
  */
 #ifndef SPS_SIM_STREAM_CONTROLLER_H
 #define SPS_SIM_STREAM_CONTROLLER_H
@@ -11,11 +17,13 @@
 #include <functional>
 
 #include "mem/stream_mem.h"
+#include "sim/functional.h"
 #include "sim/microcontroller.h"
 #include "sim/stats.h"
 #include "srf/allocator.h"
 #include "stream/deps.h"
 #include "stream/program.h"
+#include "trace/tracer.h"
 
 namespace sps::sim {
 
@@ -27,8 +35,21 @@ using CompileFn =
 struct ControllerConfig
 {
     int clusters = 8;
+    int alusPerCluster = 5;
     int hostIssueCycles = 16;
     int scoreboardDepth = 16;
+    /** Peak SRF bandwidth (words/cycle), for saturation accounting;
+     *  <= 0 disables the srfBwStallCycles counter. */
+    double srfPeakWordsPerCycle = 0.0;
+};
+
+/** Optional per-run observability hooks. */
+struct RunOptions
+{
+    /** Event tracer; null (the default) records nothing. */
+    trace::Tracer *tracer = nullptr;
+    /** Functional stream contents; null runs timing-only. */
+    FunctionalContext *functional = nullptr;
 };
 
 /**
@@ -39,7 +60,8 @@ SimResult executeProgram(const stream::StreamProgram &prog,
                          const ControllerConfig &cfg,
                          const mem::StreamMemSystem &mem_sys,
                          Microcontroller &uc, srf::Allocator &alloc,
-                         const CompileFn &compile);
+                         const CompileFn &compile,
+                         const RunOptions &opts = {});
 
 } // namespace sps::sim
 

@@ -1,0 +1,117 @@
+#include "trace/counters_csv.h"
+
+#include <cstdio>
+
+namespace sps::trace {
+
+namespace {
+
+void
+addExact(std::vector<CounterValue> &out, const char *name, int64_t v)
+{
+    out.push_back(CounterValue{name, static_cast<double>(v), true});
+}
+
+void
+addRate(std::vector<CounterValue> &out, const char *name, double v)
+{
+    out.push_back(CounterValue{name, v, false});
+}
+
+} // namespace
+
+std::string
+CounterValue::toCell() const
+{
+    char buf[48];
+    if (exact)
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+    else
+        std::snprintf(buf, sizeof buf, "%.9g", value);
+    return buf;
+}
+
+std::vector<CounterValue>
+counterValues(const sim::SimResult &r)
+{
+    const sim::SimCounters &c = r.counters;
+    std::vector<CounterValue> out;
+    out.reserve(40);
+    // Headline aggregates.
+    addExact(out, "cycles", r.cycles);
+    addExact(out, "alu_ops", r.aluOps);
+    addExact(out, "mem_words", r.memWords);
+    addExact(out, "mem_busy_cycles", r.memBusy);
+    addExact(out, "uc_busy_cycles", r.ucBusy);
+    addExact(out, "srf_high_water_words", r.srfHighWater);
+    // Cycle breakdown (sums to cycles).
+    addExact(out, "kernel_only_cycles", c.kernelOnlyCycles);
+    addExact(out, "mem_only_cycles", c.memOnlyCycles);
+    addExact(out, "overlap_cycles", c.overlapCycles);
+    addExact(out, "idle_cycles", c.idleCycles);
+    // Stream controller / host interface.
+    addExact(out, "kernel_calls", c.kernelCalls);
+    addExact(out, "loads", c.loads);
+    addExact(out, "stores", c.stores);
+    addExact(out, "host_issue_busy_cycles", c.hostIssueBusyCycles);
+    addExact(out, "scoreboard_stall_cycles", c.scoreboardStallCycles);
+    addExact(out, "dep_stall_cycles", c.depStallCycles);
+    addExact(out, "mem_pipe_stall_cycles", c.memPipeStallCycles);
+    addExact(out, "uc_pipe_stall_cycles", c.ucPipeStallCycles);
+    addExact(out, "uc_overhead_cycles", c.ucOverheadCycles);
+    // Cluster ALUs.
+    addExact(out, "alu_issue_slots", c.aluIssueSlots);
+    addExact(out, "kernel_alu_slots", c.kernelAluSlots);
+    // SRF.
+    addExact(out, "srf_read_words", c.srfReadWords);
+    addExact(out, "srf_write_words", c.srfWriteWords);
+    addExact(out, "srf_bw_stall_cycles", c.srfBwStallCycles);
+    // DRAM.
+    addExact(out, "dram_accesses", c.dramAccesses);
+    addExact(out, "dram_row_hits", c.dramRowHits);
+    addExact(out, "dram_row_misses", c.dramRowMisses);
+    addExact(out, "dram_reorder_sum", c.dramReorderSum);
+    addExact(out, "dram_reorder_max", c.dramReorderMax);
+    // Derived rates (tolerance-compared).
+    addRate(out, "alu_occupancy", r.aluOccupancy());
+    addRate(out, "kernel_alu_occupancy", r.kernelAluOccupancy());
+    addRate(out, "srf_read_bw_words_per_cycle", r.srfReadBandwidth());
+    addRate(out, "srf_write_bw_words_per_cycle",
+            r.srfWriteBandwidth());
+    addRate(out, "dram_row_hit_rate", r.dramRowHitRate());
+    addRate(out, "dram_avg_reorder_distance",
+            r.dramAvgReorderDistance());
+    addRate(out, "mem_busy_fraction", r.memBusyFraction());
+    addRate(out, "uc_busy_fraction", r.ucBusyFraction());
+    addRate(out, "gops_ops", r.gopsOps);
+    return out;
+}
+
+std::vector<std::string>
+counterNames()
+{
+    std::vector<std::string> names;
+    for (const CounterValue &cv : counterValues(sim::SimResult{}))
+        names.push_back(cv.name);
+    return names;
+}
+
+void
+beginCountersCsv(CsvWriter &w, std::vector<std::string> key_columns)
+{
+    for (const std::string &name : counterNames())
+        key_columns.push_back(name);
+    w.header(std::move(key_columns));
+}
+
+void
+appendCountersRow(CsvWriter &w, std::vector<std::string> key_cells,
+                  const sim::SimResult &r)
+{
+    for (const CounterValue &cv : counterValues(r))
+        key_cells.push_back(cv.toCell());
+    w.row(std::move(key_cells));
+}
+
+} // namespace sps::trace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The canonical hardware-counter table of one simulation run: a named,
+ * ordered list of counter values extracted from a SimResult. This is
+ * the single source of truth shared by the per-run counters CSV the
+ * benches export and the golden-counter regression tests (exact
+ * comparison for event counts, tolerance for derived rates).
+ */
+#ifndef SPS_TRACE_COUNTERS_CSV_H
+#define SPS_TRACE_COUNTERS_CSV_H
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "sim/stats.h"
+
+namespace sps::trace {
+
+/** One named counter extracted from a run. */
+struct CounterValue
+{
+    std::string name;
+    double value = 0.0;
+    /** True for event counts (integers, compared exactly); false for
+     *  derived rates (compared with a small tolerance). */
+    bool exact = true;
+
+    /** Canonical cell rendering (integers for exact counters). */
+    std::string toCell() const;
+};
+
+/** All counters of one run, in canonical order. */
+std::vector<CounterValue> counterValues(const sim::SimResult &r);
+
+/** The canonical column names (order matches counterValues()). */
+std::vector<std::string> counterNames();
+
+/**
+ * Start a per-run counters CSV: header is `key_columns` (e.g. app, C,
+ * N) followed by the canonical counter columns.
+ */
+void beginCountersCsv(CsvWriter &w,
+                      std::vector<std::string> key_columns);
+
+/** Append one run: key cells followed by the counter cells. */
+void appendCountersRow(CsvWriter &w, std::vector<std::string> key_cells,
+                       const sim::SimResult &r);
+
+} // namespace sps::trace
+
+#endif // SPS_TRACE_COUNTERS_CSV_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Counter-consistency property tests: the hardware-counter identities
+ * must hold at every (application, C, N) design point, and the counter
+ * values collected through the parallel evaluation engine must be
+ * identical to a serial run.
+ */
+#include <gtest/gtest.h>
+
+#include "core/design.h"
+#include "core/eval_engine.h"
+#include "trace/counters_csv.h"
+#include "workloads/suite.h"
+
+namespace sps {
+namespace {
+
+struct SweepPoint
+{
+    std::string app;
+    vlsi::MachineSize size;
+    int64_t srfCapacity = 0;
+    sim::SimResult result;
+};
+
+const std::vector<vlsi::MachineSize> &
+sweepSizes()
+{
+    static const std::vector<vlsi::MachineSize> sizes{
+        {8, 3}, {8, 5}, {16, 5}, {32, 10}, {64, 5}};
+    return sizes;
+}
+
+std::vector<SweepPoint>
+runSweep(core::EvalEngine &eng)
+{
+    auto apps = workloads::appSuite();
+    const auto &sizes = sweepSizes();
+    return eng.map(apps.size() * sizes.size(), [&](size_t idx) {
+        const auto &app = apps[idx / sizes.size()];
+        vlsi::MachineSize size = sizes[idx % sizes.size()];
+        core::StreamProcessorDesign d(size);
+        sim::StreamProcessor proc = d.makeProcessor();
+        stream::StreamProgram prog = app.build(size, proc.srf());
+        SweepPoint pt;
+        pt.app = app.name;
+        pt.size = size;
+        pt.srfCapacity = proc.srf().capacityWords;
+        pt.result = proc.run(prog);
+        return pt;
+    });
+}
+
+class CounterPropertiesTest : public ::testing::Test
+{
+  protected:
+    static const std::vector<SweepPoint> &
+    points()
+    {
+        static const std::vector<SweepPoint> pts = [] {
+            core::EvalEngine eng(0);
+            return runSweep(eng);
+        }();
+        return pts;
+    }
+
+    static std::string
+    label(const SweepPoint &pt)
+    {
+        return pt.app + " @ C=" + std::to_string(pt.size.clusters) +
+               " N=" + std::to_string(pt.size.alusPerCluster);
+    }
+};
+
+TEST_F(CounterPropertiesTest, CycleBreakdownSumsToTotalEverywhere)
+{
+    for (const SweepPoint &pt : points()) {
+        const sim::SimCounters &c = pt.result.counters;
+        EXPECT_EQ(c.kernelOnlyCycles + c.memOnlyCycles +
+                      c.overlapCycles + c.idleCycles,
+                  pt.result.cycles)
+            << label(pt);
+        EXPECT_EQ(c.memOnlyCycles + c.overlapCycles, pt.result.memBusy)
+            << label(pt);
+        EXPECT_EQ(c.kernelOnlyCycles + c.overlapCycles,
+                  pt.result.ucBusy)
+            << label(pt);
+        for (int64_t v : {c.kernelOnlyCycles, c.memOnlyCycles,
+                          c.overlapCycles, c.idleCycles})
+            EXPECT_GE(v, 0) << label(pt);
+    }
+}
+
+TEST_F(CounterPropertiesTest, SrfHighWaterWithinCapacity)
+{
+    for (const SweepPoint &pt : points()) {
+        EXPECT_GT(pt.result.srfHighWater, 0) << label(pt);
+        EXPECT_LE(pt.result.srfHighWater, pt.srfCapacity) << label(pt);
+    }
+}
+
+TEST_F(CounterPropertiesTest, DramAccessesDecomposeIntoHitsAndMisses)
+{
+    for (const SweepPoint &pt : points()) {
+        const sim::SimCounters &c = pt.result.counters;
+        EXPECT_EQ(c.dramAccesses, pt.result.memWords) << label(pt);
+        EXPECT_EQ(c.dramRowHits + c.dramRowMisses, c.dramAccesses)
+            << label(pt);
+        EXPECT_GE(c.dramRowHits, 0) << label(pt);
+        EXPECT_GE(c.dramRowMisses, 0) << label(pt);
+        double rate = pt.result.dramRowHitRate();
+        EXPECT_GE(rate, 0.0) << label(pt);
+        EXPECT_LE(rate, 1.0) << label(pt);
+    }
+}
+
+TEST_F(CounterPropertiesTest, DerivedRatesStayInRange)
+{
+    for (const SweepPoint &pt : points()) {
+        EXPECT_GE(pt.result.aluOccupancy(), 0.0) << label(pt);
+        EXPECT_LE(pt.result.aluOccupancy(), 1.0) << label(pt);
+        EXPECT_GE(pt.result.kernelAluOccupancy(),
+                  pt.result.aluOccupancy())
+            << label(pt);
+        EXPECT_GE(pt.result.dramAvgReorderDistance(), 0.0) << label(pt);
+        EXPECT_LE(pt.result.counters.dramReorderMax, 16) << label(pt);
+    }
+}
+
+TEST_F(CounterPropertiesTest, HostIssueAndStallAccounting)
+{
+    for (const SweepPoint &pt : points()) {
+        const sim::SimCounters &c = pt.result.counters;
+        EXPECT_GT(c.loads + c.stores + c.kernelCalls, 0) << label(pt);
+        EXPECT_GT(c.hostIssueBusyCycles, 0) << label(pt);
+        EXPECT_LE(c.hostIssueBusyCycles +
+                      c.scoreboardStallCycles,
+                  pt.result.cycles)
+            << label(pt);
+        EXPECT_GE(c.depStallCycles, 0) << label(pt);
+        EXPECT_GE(c.srfBwStallCycles, 0) << label(pt);
+    }
+}
+
+/**
+ * The whole counter set must be deterministic under the parallel
+ * engine: serial and parallel sweeps agree cell-for-cell in the CSV
+ * rendering (the strictest comparison we export).
+ */
+TEST_F(CounterPropertiesTest, ParallelSweepMatchesSerial)
+{
+    core::EvalEngine serial(1);
+    std::vector<SweepPoint> serial_pts = runSweep(serial);
+    const std::vector<SweepPoint> &par_pts = points();
+    ASSERT_EQ(serial_pts.size(), par_pts.size());
+    for (size_t i = 0; i < serial_pts.size(); ++i) {
+        auto sv = trace::counterValues(serial_pts[i].result);
+        auto pv = trace::counterValues(par_pts[i].result);
+        ASSERT_EQ(sv.size(), pv.size());
+        for (size_t j = 0; j < sv.size(); ++j)
+            EXPECT_EQ(sv[j].toCell(), pv[j].toCell())
+                << label(par_pts[i]) << " counter " << sv[j].name;
+    }
+}
+
+} // namespace
+} // namespace sps
