@@ -10,15 +10,25 @@
  * figure-suite computation serial vs parallel and cold vs warm
  * schedule cache, with the recompilation counts that prove the warm
  * runs compile nothing.
+ *
+ * Finally reports functional-interpreter throughput (words/sec per
+ * Table-4 kernel, reference vs lowered engine) and writes the numbers
+ * to BENCH_interp.json so the perf trajectory is recorded across PRs.
  */
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "core/design.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "interp/interpreter.h"
+#include "interp/lowered.h"
+#include "interp_bench_util.h"
 #include "vlsi/sweep.h"
+#include "workloads/suite.h"
 
 namespace {
 
@@ -42,6 +52,96 @@ runFigureSuite(sps::core::EvalEngine &eng)
     std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     return dt.count();
+}
+
+/** Seconds per call of `fn`, measured over at least 0.1 s. */
+template <typename Fn>
+double
+secondsPerRun(Fn &&fn)
+{
+    fn(); // warm caches outside the timed region
+    int reps = 0;
+    double secs = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    do {
+        fn();
+        ++reps;
+        secs = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    } while (secs < 0.1 && reps < 10000);
+    return secs / reps;
+}
+
+struct InterpRow
+{
+    std::string name;
+    int64_t words = 0;
+    double refWps = 0.0;
+    double loweredWps = 0.0;
+};
+
+/**
+ * Interpreter throughput per Table-4 kernel at C = 8: stream words
+ * moved per second (inputs + outputs) through the reference engine
+ * and the lowered engine. The aggregate speedup is total reference
+ * time over total lowered time for the whole suite (one run each).
+ */
+std::vector<InterpRow>
+interpThroughput(int c, int64_t records, double *aggregate)
+{
+    std::vector<InterpRow> rows;
+    double ref_total = 0.0, lowered_total = 0.0;
+    for (const auto &entry : sps::workloads::kernelSuite()) {
+        auto inputs = sps::bench::makeTable4Inputs(entry.name, records);
+        InterpRow row;
+        row.name = entry.name;
+        row.words = sps::bench::wordsPerRun(
+            inputs, sps::interp::runKernel(*entry.kernel, c, inputs));
+        double ref = secondsPerRun([&] {
+            sps::interp::runKernelReference(*entry.kernel, c, inputs);
+        });
+        double lowered = secondsPerRun([&] {
+            sps::interp::runKernel(*entry.kernel, c, inputs);
+        });
+        row.refWps = static_cast<double>(row.words) / ref;
+        row.loweredWps = static_cast<double>(row.words) / lowered;
+        ref_total += ref;
+        lowered_total += lowered;
+        rows.push_back(row);
+    }
+    *aggregate = lowered_total > 0.0 ? ref_total / lowered_total : 0.0;
+    return rows;
+}
+
+void
+writeInterpJson(const char *path, int c, int64_t records,
+                const std::vector<InterpRow> &rows, double aggregate)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"clusters\": %d,\n  \"records\": %lld,\n"
+                 "  \"kernels\": [\n",
+                 c, static_cast<long long>(records));
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const InterpRow &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"words_per_run\": %lld, "
+            "\"reference_words_per_sec\": %.4e, "
+            "\"lowered_words_per_sec\": %.4e, \"speedup\": %.3f}%s\n",
+            r.name.c_str(), static_cast<long long>(r.words), r.refWps,
+            r.loweredWps,
+            r.refWps > 0.0 ? r.loweredWps / r.refWps : 0.0,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"aggregate_speedup\": %.3f\n}\n",
+                 aggregate);
+    std::fclose(f);
 }
 
 } // namespace
@@ -123,5 +223,32 @@ main()
                 cold_parallel > 0.0 ? cold_serial / cold_parallel
                                     : 0.0,
                 warm_serial > 0.0 ? cold_serial / warm_serial : 0.0);
+
+    // --- Interpreter throughput: reference vs lowered engine ---
+    const int interp_c = 8;
+    const int64_t interp_records = 8192;
+    double aggregate = 0.0;
+    std::vector<InterpRow> rows =
+        interpThroughput(interp_c, interp_records, &aggregate);
+
+    TextTable it;
+    it.header({"Kernel", "ref Mwords/s", "lowered Mwords/s",
+               "speedup"});
+    for (const InterpRow &r : rows)
+        it.row({r.name, TextTable::num(r.refWps / 1e6, 1),
+                TextTable::num(r.loweredWps / 1e6, 1),
+                TextTable::num(r.refWps > 0.0
+                                   ? r.loweredWps / r.refWps
+                                   : 0.0,
+                               2) +
+                    "x"});
+    std::printf("\nInterpreter throughput: Table-4 kernels at C=%d, "
+                "%lld records\n\n%s\n"
+                "aggregate lowered-vs-reference speedup: %.2fx "
+                "(written to BENCH_interp.json)\n",
+                interp_c, static_cast<long long>(interp_records),
+                it.toString().c_str(), aggregate);
+    writeInterpJson("BENCH_interp.json", interp_c, interp_records,
+                    rows, aggregate);
     return 0;
 }

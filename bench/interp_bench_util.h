@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared input builders for the interpreter-throughput benchmarks
+ * (bench_micro and bench_headline): deterministic Table-4 kernel
+ * inputs at an arbitrary record count, plus the words-per-run
+ * accounting used to report words/sec.
+ */
+#ifndef SPS_BENCH_INTERP_BENCH_UTIL_H
+#define SPS_BENCH_INTERP_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "interp/interpreter.h"
+#include "workloads/kernels/kernels.h"
+
+namespace sps::bench {
+
+/** Deterministic inputs for one Table-4 kernel. */
+inline std::vector<interp::StreamData>
+makeTable4Inputs(const std::string &name, int64_t records)
+{
+    using interp::StreamData;
+    Prng rng{0xBE7C4ull};
+    auto ints = [&](int per_record, int32_t lo, int32_t hi) {
+        std::vector<int32_t> v;
+        v.reserve(static_cast<size_t>(records) * per_record);
+        for (int64_t i = 0; i < records * per_record; ++i)
+            v.push_back(lo + static_cast<int32_t>(rng.below(
+                                 static_cast<uint32_t>(hi - lo))));
+        return StreamData::fromInts(v, per_record);
+    };
+    auto floats = [&](int per_record, float lo, float hi) {
+        std::vector<float> v;
+        v.reserve(static_cast<size_t>(records) * per_record);
+        for (int64_t i = 0; i < records * per_record; ++i)
+            v.push_back(rng.uniform(lo, hi));
+        return StreamData::fromFloats(v, per_record);
+    };
+
+    if (name == "blocksad")
+        return {ints(workloads::kPixelsPerRecord, 0, 255),
+                ints(workloads::kPixelsPerRecord, 0, 255)};
+    if (name == "convolve")
+        return {ints(workloads::kPixelsPerRecord, -512, 512)};
+    if (name == "update")
+        return {floats(2, -2.0f, 2.0f),
+                floats(workloads::kUpdateRank, -1.0f, 1.0f)};
+    if (name == "fft") {
+        StreamData x = floats(8, -1.0f, 1.0f);
+        std::vector<float> tw;
+        tw.reserve(static_cast<size_t>(records) * 6);
+        for (int64_t i = 0; i < records; ++i) {
+            for (int q = 0; q < 3; ++q) {
+                float ang = rng.uniform(0.0f, 6.283f);
+                tw.push_back(std::cos(ang));
+                tw.push_back(std::sin(ang));
+            }
+        }
+        return {x, StreamData::fromFloats(tw, 6)};
+    }
+    if (name == "noise")
+        return {floats(2, -20.0f, 20.0f)};
+    if (name == "irast")
+        return {ints(5, 0, 256)};
+    return {};
+}
+
+/** Stream words moved by one run: all input plus all output words. */
+inline int64_t
+wordsPerRun(const std::vector<interp::StreamData> &inputs,
+            const interp::ExecResult &result)
+{
+    int64_t words = 0;
+    for (const auto &s : inputs)
+        words += static_cast<int64_t>(s.words.size());
+    for (const auto &s : result.outputs)
+        words += static_cast<int64_t>(s.words.size());
+    return words;
+}
+
+} // namespace sps::bench
+
+#endif // SPS_BENCH_INTERP_BENCH_UTIL_H

@@ -18,4 +18,16 @@ commExchange(const std::vector<isa::Word> &sent, int c,
     }
 }
 
+void
+commExchange(const isa::Word *sent, int c, const isa::Word *src_sel,
+             isa::Word *dst)
+{
+    for (int cl = 0; cl < c; ++cl) {
+        int src = src_sel[cl].asInt() % c;
+        if (src < 0)
+            src += c;
+        dst[cl] = sent[static_cast<size_t>(src)];
+    }
+}
+
 } // namespace sps::interp

@@ -28,6 +28,15 @@ void commExchange(const std::vector<isa::Word> &sent, int c,
                   const std::function<int(int)> &src_of,
                   const std::function<void(int, isa::Word)> &deliver);
 
+/**
+ * Contiguous-layout overload for the lowered engine: `sent`,
+ * `src_sel`, and `dst` are C adjacent words (one per cluster);
+ * dst[cl] = sent[src_sel[cl] mod c]. `dst` must not alias `sent`
+ * (guaranteed by SSA: an op never defines one of its own operands).
+ */
+void commExchange(const isa::Word *sent, int c,
+                  const isa::Word *src_sel, isa::Word *dst);
+
 } // namespace sps::interp
 
 #endif // SPS_INTERP_COMM_H

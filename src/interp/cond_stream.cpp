@@ -31,4 +31,31 @@ condWriteStep(StreamData &out, int c,
     }
 }
 
+void
+condReadStep(const StreamData &in, int64_t &cursor, int c,
+             const isa::Word *pred, isa::Word *dst)
+{
+    const int64_t avail = static_cast<int64_t>(in.words.size());
+    for (int cl = 0; cl < c; ++cl) {
+        if (pred[cl].asInt() == 0) {
+            dst[cl] = isa::Word{};
+            continue;
+        }
+        dst[cl] = cursor < avail
+                      ? in.words[static_cast<size_t>(cursor)]
+                      : isa::Word{};
+        ++cursor;
+    }
+}
+
+void
+condWriteStep(StreamData &out, int c, const isa::Word *pred,
+              const isa::Word *values)
+{
+    for (int cl = 0; cl < c; ++cl) {
+        if (pred[cl].asInt() != 0)
+            out.words.push_back(values[cl]);
+    }
+}
+
 } // namespace sps::interp

@@ -30,6 +30,16 @@ void condWriteStep(StreamData &out, int c,
                    const std::function<bool(int)> &pred,
                    const std::function<isa::Word(int)> &value);
 
+/**
+ * Contiguous-layout overloads for the lowered engine: `pred`, `dst`,
+ * and `values` are C adjacent words (one per cluster); a cluster is
+ * predicated on when its word is non-zero as an integer.
+ */
+void condReadStep(const StreamData &in, int64_t &cursor, int c,
+                  const isa::Word *pred, isa::Word *dst);
+void condWriteStep(StreamData &out, int c, const isa::Word *pred,
+                   const isa::Word *values);
+
 } // namespace sps::interp
 
 #endif // SPS_INTERP_COND_STREAM_H

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "interp/comm.h"
 #include "interp/cond_stream.h"
+#include "interp/lowered.h"
 #include "kernel/validate.h"
 
 namespace sps::interp {
@@ -61,7 +62,7 @@ StreamData::toInts() const
 namespace {
 
 Word
-evalScalar(const Op &op, const std::vector<Word> &a)
+evalScalar(const Op &op, const Word *a)
 {
     auto I = [](Word w) { return w.asInt(); };
     auto F = [](Word w) { return w.asFloat(); };
@@ -113,6 +114,13 @@ evalScalar(const Op &op, const std::vector<Word> &a)
 
 ExecResult
 runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs)
+{
+    return executeLowered(LoweredCache::global().get(k), c, inputs);
+}
+
+ExecResult
+runKernelReference(const Kernel &k, int c,
+                   const std::vector<StreamData> &inputs)
 {
     SPS_ASSERT(c >= 1, "need at least one cluster");
     kernel::validateKernel(k);
@@ -177,7 +185,10 @@ runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs)
     // Conditional stream cursors (shared across clusters).
     std::vector<int64_t> cond_cursor(k.streams.size(), 0);
 
-    std::vector<Word> args;
+    // Scalar-op argument staging: a fixed stack buffer reused for
+    // every op on every cluster (max arity is 3), so the hot default
+    // case never touches the heap.
+    Word args[3];
     std::vector<Word> comm_src(static_cast<size_t>(c));
     for (int64_t iter = 0; iter < iterations; ++iter) {
         for (size_t i = 0; i < nops; ++i) {
@@ -285,9 +296,11 @@ runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs)
                 break;
               }
               default: {
-                args.resize(op.args.size());
+                const size_t nargs = op.args.size();
+                SPS_ASSERT(nargs <= 3, "kernel %s op %zu: arity %zu > 3",
+                           k.name.c_str(), i, nargs);
                 for (int cl = 0; cl < c; ++cl) {
-                    for (size_t a = 0; a < op.args.size(); ++a)
+                    for (size_t a = 0; a < nargs; ++a)
                         args[a] = val[cl][op.args[a]];
                     val[cl][i] = evalScalar(op, args);
                 }

@@ -58,11 +58,26 @@ struct ExecResult
 /**
  * Execute `k` on `c` clusters.
  *
+ * Runs through the lowered execution engine (interp/lowered.h): the
+ * kernel is lowered once into a flat instruction array (memoized in
+ * the process-wide LoweredCache) and executed over contiguous
+ * structure-of-arrays cluster state. Outputs are bit-identical to
+ * runKernelReference().
+ *
  * @param inputs input streams in kernel input-port order; each must
  *        match its port's record width.
  */
 ExecResult runKernel(const kernel::Kernel &k, int c,
                      const std::vector<StreamData> &inputs);
+
+/**
+ * Reference interpreter: the original op-at-a-time engine that walks
+ * the kernel IR directly, re-decoding each op every iteration. Kept
+ * as the semantic oracle for the lowered engine's equivalence suite
+ * and for throughput comparisons; new callers should use runKernel().
+ */
+ExecResult runKernelReference(const kernel::Kernel &k, int c,
+                              const std::vector<StreamData> &inputs);
 
 } // namespace sps::interp
 

@@ -1,0 +1,515 @@
+#include "interp/lowered.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "interp/comm.h"
+#include "interp/cond_stream.h"
+#include "kernel/fingerprint.h"
+#include "kernel/validate.h"
+
+namespace sps::interp {
+
+using isa::Opcode;
+using isa::Word;
+using kernel::Kernel;
+using kernel::Op;
+using kernel::PortDir;
+
+LoweredKernel
+lowerKernel(const Kernel &k)
+{
+    kernel::validateKernel(k);
+
+    LoweredKernel lk;
+    lk.name = k.name;
+    lk.nops = static_cast<int>(k.ops.size());
+    lk.spWords = std::max(1, k.scratchpadWords);
+    lk.nStreams = static_cast<int>(k.streams.size());
+
+    lk.ports.reserve(k.streams.size());
+    for (const kernel::StreamPort &port : k.streams) {
+        LoweredKernel::PortInfo pi;
+        pi.name = port.name;
+        pi.isInput = port.dir == PortDir::In;
+        pi.conditional = port.conditional;
+        pi.recordWords = port.recordWords;
+        pi.ordinal = pi.isInput ? lk.nIn++ : lk.nOut++;
+        lk.ports.push_back(std::move(pi));
+    }
+    lk.driverOrdinal = lk.ports[static_cast<size_t>(k.lengthDriver)].ordinal;
+
+    for (size_t i = 0; i < k.ops.size(); ++i) {
+        const Op &op = k.ops[i];
+        LoweredInsn insn;
+        insn.code = op.code;
+        insn.dst = static_cast<kernel::ValueId>(i);
+        if (op.args.size() > 0)
+            insn.a0 = op.args[0];
+        if (op.args.size() > 1)
+            insn.a1 = op.args[1];
+        if (op.args.size() > 2)
+            insn.a2 = op.args[2];
+        insn.imm = op.code == Opcode::Phi ? op.init : op.imm;
+        insn.field = op.field;
+        insn.distance = op.distance;
+        if (isa::isSrfAccess(op.code)) {
+            insn.stream = op.stream;
+            const auto &port = lk.ports[static_cast<size_t>(op.stream)];
+            insn.ordinal = port.ordinal;
+            insn.recordWords = port.recordWords;
+        }
+        switch (op.code) {
+          case Opcode::ConstInt:
+          case Opcode::ConstFloat:
+          case Opcode::ClusterId:
+          case Opcode::NumClusters:
+            // Iteration-invariant: hoisted into the preamble. Safe
+            // because the IR is SSA (no other op writes these slots)
+            // and forward references are only legal to Phi ops.
+            lk.preamble.push_back(insn);
+            continue;
+          case Opcode::Phi:
+            insn.histBase = lk.histRows;
+            lk.histRows += op.distance;
+            lk.latches.push_back(
+                {op.args[0], op.distance, insn.histBase});
+            break;
+          case Opcode::SbRead:
+            if (std::find(lk.steadyReadOrdinals.begin(),
+                          lk.steadyReadOrdinals.end(),
+                          insn.ordinal) == lk.steadyReadOrdinals.end())
+                lk.steadyReadOrdinals.push_back(insn.ordinal);
+            break;
+          default:
+            break;
+        }
+        lk.body.push_back(insn);
+    }
+    return lk;
+}
+
+namespace {
+
+Word
+wi(int64_t v)
+{
+    return Word::fromInt(static_cast<int32_t>(v));
+}
+
+Word
+wf(float v)
+{
+    return Word::fromFloat(v);
+}
+
+/**
+ * Execute iterations [from, to). Guarded = true keeps the reference
+ * interpreter's per-record bounds checks (the tail path); false is
+ * the steady-state path where every strip is full (all C records in
+ * range for the driver and every unconditionally-read input), so
+ * SbRead/SbWrite run without per-record checks and single-word
+ * records move as whole blocks.
+ */
+template <bool Guarded>
+void
+runSpan(const LoweredKernel &lk, int c, int64_t from, int64_t to,
+        int64_t driver_records, const std::vector<StreamData> &inputs,
+        ExecResult &result, Word *val, Word *scratch, Word *hist,
+        int64_t *cond_cursor)
+{
+    const size_t cw = static_cast<size_t>(c);
+    const int sp_words = lk.spWords;
+
+// Binary/unary sweeps over adjacent words: x, y, z name the operand
+// words of one cluster; the expression produces the result word.
+#define SPS_UN(EXPR)                                                   \
+    {                                                                  \
+        const Word *A0 = val + static_cast<size_t>(insn.a0) * cw;      \
+        for (int cl = 0; cl < c; ++cl) {                               \
+            const Word x = A0[cl];                                     \
+            D[cl] = (EXPR);                                            \
+        }                                                              \
+    }                                                                  \
+    break
+#define SPS_BIN(EXPR)                                                  \
+    {                                                                  \
+        const Word *A0 = val + static_cast<size_t>(insn.a0) * cw;      \
+        const Word *A1 = val + static_cast<size_t>(insn.a1) * cw;      \
+        for (int cl = 0; cl < c; ++cl) {                               \
+            const Word x = A0[cl];                                     \
+            const Word y = A1[cl];                                     \
+            D[cl] = (EXPR);                                            \
+        }                                                              \
+    }                                                                  \
+    break
+
+    for (int64_t iter = from; iter < to; ++iter) {
+        for (const LoweredInsn &insn : lk.body) {
+            Word *D = val + static_cast<size_t>(insn.dst) * cw;
+            switch (insn.code) {
+              case Opcode::IAdd:
+                SPS_BIN(wi(static_cast<int64_t>(x.asInt()) + y.asInt()));
+              case Opcode::ISub:
+                SPS_BIN(wi(static_cast<int64_t>(x.asInt()) - y.asInt()));
+              case Opcode::IMul:
+                SPS_BIN(wi(static_cast<int64_t>(x.asInt()) * y.asInt()));
+              case Opcode::IAnd:
+                SPS_BIN(wi(x.asInt() & y.asInt()));
+              case Opcode::IOr:
+                SPS_BIN(wi(x.asInt() | y.asInt()));
+              case Opcode::IXor:
+                SPS_BIN(wi(x.asInt() ^ y.asInt()));
+              case Opcode::IShl:
+                SPS_BIN(wi(static_cast<int64_t>(x.asInt())
+                           << (y.asInt() & 31)));
+              case Opcode::IShr:
+                SPS_BIN(wi(x.asInt() >> (y.asInt() & 31)));
+              case Opcode::IAbs:
+                SPS_UN(wi(std::abs(static_cast<int64_t>(x.asInt()))));
+              case Opcode::IMin:
+                SPS_BIN(wi(std::min(x.asInt(), y.asInt())));
+              case Opcode::IMax:
+                SPS_BIN(wi(std::max(x.asInt(), y.asInt())));
+              case Opcode::ICmpEq:
+                SPS_BIN(wi(x.asInt() == y.asInt() ? 1 : 0));
+              case Opcode::ICmpLt:
+                SPS_BIN(wi(x.asInt() < y.asInt() ? 1 : 0));
+              case Opcode::ICmpLe:
+                SPS_BIN(wi(x.asInt() <= y.asInt() ? 1 : 0));
+              case Opcode::Select: {
+                const Word *A0 =
+                    val + static_cast<size_t>(insn.a0) * cw;
+                const Word *A1 =
+                    val + static_cast<size_t>(insn.a1) * cw;
+                const Word *A2 =
+                    val + static_cast<size_t>(insn.a2) * cw;
+                for (int cl = 0; cl < c; ++cl)
+                    D[cl] = A0[cl].asInt() != 0 ? A1[cl] : A2[cl];
+                break;
+              }
+              case Opcode::FAdd:
+                SPS_BIN(wf(x.asFloat() + y.asFloat()));
+              case Opcode::FSub:
+                SPS_BIN(wf(x.asFloat() - y.asFloat()));
+              case Opcode::FMul:
+                SPS_BIN(wf(x.asFloat() * y.asFloat()));
+              case Opcode::FDiv:
+                SPS_BIN(wf(x.asFloat() / y.asFloat()));
+              case Opcode::FSqrt:
+                SPS_UN(wf(std::sqrt(x.asFloat())));
+              case Opcode::FRsqrt:
+                SPS_UN(wf(1.0f / std::sqrt(x.asFloat())));
+              case Opcode::FAbs:
+                SPS_UN(wf(std::fabs(x.asFloat())));
+              case Opcode::FNeg:
+                SPS_UN(wf(-x.asFloat()));
+              case Opcode::FMin:
+                SPS_BIN(wf(std::fmin(x.asFloat(), y.asFloat())));
+              case Opcode::FMax:
+                SPS_BIN(wf(std::fmax(x.asFloat(), y.asFloat())));
+              case Opcode::FCmpEq:
+                SPS_BIN(wi(x.asFloat() == y.asFloat() ? 1 : 0));
+              case Opcode::FCmpLt:
+                SPS_BIN(wi(x.asFloat() < y.asFloat() ? 1 : 0));
+              case Opcode::FCmpLe:
+                SPS_BIN(wi(x.asFloat() <= y.asFloat() ? 1 : 0));
+              case Opcode::FToI:
+                SPS_UN(wi(static_cast<int32_t>(x.asFloat())));
+              case Opcode::IToF:
+                SPS_UN(wf(static_cast<float>(x.asInt())));
+              case Opcode::FFloor:
+                SPS_UN(wf(std::floor(x.asFloat())));
+              case Opcode::LoopIndex: {
+                const Word w = Word::fromInt(static_cast<int32_t>(iter));
+                std::fill(D, D + c, w);
+                break;
+              }
+              case Opcode::Phi: {
+                if (iter >= insn.distance) {
+                    const Word *row =
+                        hist + (static_cast<size_t>(insn.histBase) +
+                                static_cast<size_t>(
+                                    iter % insn.distance)) *
+                                   cw;
+                    std::copy(row, row + c, D);
+                } else {
+                    std::fill(D, D + c, insn.imm);
+                }
+                break;
+              }
+              case Opcode::SbRead: {
+                const StreamData &in =
+                    inputs[static_cast<size_t>(insn.ordinal)];
+                const size_t rw =
+                    static_cast<size_t>(insn.recordWords);
+                if constexpr (!Guarded) {
+                    const Word *src =
+                        in.words.data() +
+                        static_cast<size_t>(iter) * cw * rw +
+                        static_cast<size_t>(insn.field);
+                    if (rw == 1) {
+                        std::copy(src, src + c, D);
+                    } else {
+                        for (int cl = 0; cl < c; ++cl)
+                            D[cl] = src[static_cast<size_t>(cl) * rw];
+                    }
+                } else {
+                    const int64_t nrec = in.records();
+                    for (int cl = 0; cl < c; ++cl) {
+                        const int64_t rec = iter * c + cl;
+                        D[cl] = rec < nrec
+                                    ? in.words[static_cast<size_t>(
+                                          rec * insn.recordWords +
+                                          insn.field)]
+                                    : Word{};
+                    }
+                }
+                break;
+              }
+              case Opcode::SbWrite: {
+                StreamData &out =
+                    result.outputs[static_cast<size_t>(insn.ordinal)];
+                const Word *S =
+                    val + static_cast<size_t>(insn.a0) * cw;
+                const size_t rw =
+                    static_cast<size_t>(insn.recordWords);
+                if constexpr (!Guarded) {
+                    Word *dst = out.words.data() +
+                                static_cast<size_t>(iter) * cw * rw +
+                                static_cast<size_t>(insn.field);
+                    if (rw == 1) {
+                        std::copy(S, S + c, dst);
+                    } else {
+                        for (int cl = 0; cl < c; ++cl)
+                            dst[static_cast<size_t>(cl) * rw] = S[cl];
+                    }
+                } else {
+                    for (int cl = 0; cl < c; ++cl) {
+                        const int64_t rec = iter * c + cl;
+                        if (rec < driver_records)
+                            out.words[static_cast<size_t>(
+                                rec * insn.recordWords +
+                                insn.field)] = S[cl];
+                    }
+                }
+                break;
+              }
+              case Opcode::SbCondRead: {
+                const StreamData &in =
+                    inputs[static_cast<size_t>(insn.ordinal)];
+                condReadStep(in,
+                             cond_cursor[static_cast<size_t>(
+                                 insn.stream)],
+                             c, val + static_cast<size_t>(insn.a0) * cw,
+                             D);
+                break;
+              }
+              case Opcode::SbCondWrite: {
+                StreamData &out =
+                    result.outputs[static_cast<size_t>(insn.ordinal)];
+                condWriteStep(out, c,
+                              val + static_cast<size_t>(insn.a1) * cw,
+                              val + static_cast<size_t>(insn.a0) * cw);
+                break;
+              }
+              case Opcode::SpRead: {
+                const Word *A0 =
+                    val + static_cast<size_t>(insn.a0) * cw;
+                for (int cl = 0; cl < c; ++cl) {
+                    const int32_t addr = A0[cl].asInt();
+                    SPS_ASSERT(addr >= 0 && addr < sp_words,
+                               "kernel %s: SP read at %d out of %d",
+                               lk.name.c_str(), addr, sp_words);
+                    D[cl] = scratch[static_cast<size_t>(cl) *
+                                        static_cast<size_t>(sp_words) +
+                                    static_cast<size_t>(addr)];
+                }
+                break;
+              }
+              case Opcode::SpWrite: {
+                const Word *A0 =
+                    val + static_cast<size_t>(insn.a0) * cw;
+                const Word *A1 =
+                    val + static_cast<size_t>(insn.a1) * cw;
+                for (int cl = 0; cl < c; ++cl) {
+                    const int32_t addr = A0[cl].asInt();
+                    SPS_ASSERT(addr >= 0 && addr < sp_words,
+                               "kernel %s: SP write at %d out of %d",
+                               lk.name.c_str(), addr, sp_words);
+                    scratch[static_cast<size_t>(cl) *
+                                static_cast<size_t>(sp_words) +
+                            static_cast<size_t>(addr)] = A1[cl];
+                }
+                break;
+              }
+              case Opcode::CommPerm:
+                // SSA guarantees dst != a0/a1, so the exchange can
+                // read the send row in place (no staging copy).
+                commExchange(val + static_cast<size_t>(insn.a0) * cw, c,
+                             val + static_cast<size_t>(insn.a1) * cw,
+                             D);
+                break;
+              default:
+                panic("lowered execute: unexpected opcode %s in body",
+                      std::string(isa::mnemonic(insn.code)).c_str());
+            }
+        }
+        // Latch phi sources for future iterations.
+        for (const LoweredKernel::PhiLatch &latch : lk.latches) {
+            Word *row =
+                hist + (static_cast<size_t>(latch.histBase) +
+                        static_cast<size_t>(iter % latch.distance)) *
+                           cw;
+            const Word *src =
+                val + static_cast<size_t>(latch.src) * cw;
+            std::copy(src, src + c, row);
+        }
+    }
+
+#undef SPS_UN
+#undef SPS_BIN
+}
+
+} // namespace
+
+ExecResult
+executeLowered(const LoweredKernel &lk, int c,
+               const std::vector<StreamData> &inputs)
+{
+    SPS_ASSERT(c >= 1, "need at least one cluster");
+    SPS_ASSERT(static_cast<int>(inputs.size()) == lk.nIn,
+               "kernel %s expects %d inputs, got %zu", lk.name.c_str(),
+               lk.nIn, inputs.size());
+    for (const auto &port : lk.ports) {
+        if (!port.isInput)
+            continue;
+        SPS_ASSERT(inputs[static_cast<size_t>(port.ordinal)]
+                           .recordWords == port.recordWords,
+                   "kernel %s stream %s: record width mismatch",
+                   lk.name.c_str(), port.name.c_str());
+    }
+
+    const int64_t driver_records =
+        inputs[static_cast<size_t>(lk.driverOrdinal)].records();
+    const int64_t iterations = (driver_records + c - 1) / c;
+
+    ExecResult result;
+    result.iterations = iterations;
+    result.outputs.resize(static_cast<size_t>(lk.nOut));
+    for (const auto &port : lk.ports) {
+        if (port.isInput)
+            continue;
+        StreamData &out =
+            result.outputs[static_cast<size_t>(port.ordinal)];
+        out.recordWords = port.recordWords;
+        if (!port.conditional)
+            out.words.assign(static_cast<size_t>(driver_records) *
+                                 static_cast<size_t>(port.recordWords),
+                             Word{});
+    }
+
+    // Structure-of-arrays state: row `op`, C adjacent cluster words.
+    const size_t cw = static_cast<size_t>(c);
+    std::vector<Word> val(static_cast<size_t>(lk.nops) * cw);
+    std::vector<Word> scratch(static_cast<size_t>(lk.spWords) * cw);
+    std::vector<Word> hist(static_cast<size_t>(lk.histRows) * cw);
+    std::vector<int64_t> cond_cursor(static_cast<size_t>(lk.nStreams),
+                                     0);
+
+    for (const LoweredInsn &insn : lk.preamble) {
+        Word *D = val.data() + static_cast<size_t>(insn.dst) * cw;
+        switch (insn.code) {
+          case Opcode::ConstInt:
+          case Opcode::ConstFloat:
+            std::fill(D, D + c, insn.imm);
+            break;
+          case Opcode::ClusterId:
+            for (int cl = 0; cl < c; ++cl)
+                D[cl] = Word::fromInt(cl);
+            break;
+          case Opcode::NumClusters:
+            std::fill(D, D + c, Word::fromInt(c));
+            break;
+          default:
+            panic("lowered execute: unexpected opcode %s in preamble",
+                  std::string(isa::mnemonic(insn.code)).c_str());
+        }
+    }
+
+    // Steady-state strips: every iteration where the driver and all
+    // unconditionally-read inputs have a full strip of C records.
+    int64_t steady = driver_records / c;
+    for (int ord : lk.steadyReadOrdinals)
+        steady = std::min(
+            steady, inputs[static_cast<size_t>(ord)].records() / c);
+    steady = std::min(steady, iterations);
+
+    runSpan<false>(lk, c, 0, steady, driver_records, inputs, result,
+                   val.data(), scratch.data(), hist.data(),
+                   cond_cursor.data());
+    runSpan<true>(lk, c, steady, iterations, driver_records, inputs,
+                  result, val.data(), scratch.data(), hist.data(),
+                  cond_cursor.data());
+    return result;
+}
+
+const LoweredKernel &
+LoweredCache::get(const Kernel &k)
+{
+    const uint64_t key = kernel::fingerprint(k);
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &slot = map_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    // Lower outside the map lock so distinct kernels lower in
+    // parallel; call_once makes concurrent same-kernel requests block
+    // on the single winner.
+    bool lowered = false;
+    std::call_once(entry->once, [&] {
+        entry->lk = lowerKernel(k);
+        lowered = true;
+    });
+    if (lowered)
+        misses_.fetch_add(1, std::memory_order_relaxed);
+    else
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry->lk;
+}
+
+LoweredCache::Counters
+LoweredCache::counters() const
+{
+    return Counters{hits_.load(std::memory_order_relaxed),
+                    misses_.load(std::memory_order_relaxed)};
+}
+
+size_t
+LoweredCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+void
+LoweredCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+LoweredCache &
+LoweredCache::global()
+{
+    static LoweredCache cache;
+    return cache;
+}
+
+} // namespace sps::interp

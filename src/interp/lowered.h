@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Lowered SIMD execution engine: a one-time lowering pass from
+ * kernel::Kernel to a flat, cache-friendly LoweredKernel, plus an
+ * executor that stores all values as one contiguous
+ * structure-of-arrays buffer (val[op * C + cluster]) so each opcode's
+ * per-cluster loop is a branch-free sweep over adjacent words.
+ *
+ * Lowering pre-resolves everything the interpreter's inner loop used
+ * to recompute per op per iteration: stream indices become
+ * input/output ordinals, phi history becomes ring-row offsets into a
+ * single shared buffer, argument lists become fixed slots, and
+ * iteration-invariant ops (ConstInt/ConstFloat/ClusterId/NumClusters)
+ * move to a preamble executed once. Execution splits into a
+ * steady-state path over full strips of C records with no per-record
+ * bounds checks and a tail path that keeps the original guarded
+ * semantics, so outputs are bit-identical to the reference
+ * interpreter (interp::runKernelReference) for every kernel.
+ *
+ * Lowered kernels are memoized in LoweredCache (keyed by the
+ * structural kernel::fingerprint, thread-safe like
+ * sched::ScheduleCache), so repeated runs across EvalEngine threads
+ * lower and validate each kernel exactly once.
+ */
+#ifndef SPS_INTERP_LOWERED_H
+#define SPS_INTERP_LOWERED_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "kernel/ir.h"
+
+namespace sps::interp {
+
+/** One lowered instruction: opcode plus fully pre-resolved operands. */
+struct LoweredInsn
+{
+    isa::Opcode code = isa::Opcode::ConstInt;
+    /** Destination value slot (row `dst` of the SoA value buffer). */
+    kernel::ValueId dst = 0;
+    /** Argument value slots (kNoValue when unused). */
+    kernel::ValueId a0 = kernel::kNoValue;
+    kernel::ValueId a1 = kernel::kNoValue;
+    kernel::ValueId a2 = kernel::kNoValue;
+    /** Constant payload, or the Phi init value. */
+    isa::Word imm;
+    /** Kernel stream index for Sb* ops (conditional cursor key). */
+    int32_t stream = -1;
+    /** Pre-resolved input/output ordinal for Sb* ops. */
+    int32_t ordinal = -1;
+    /** Record field for SbRead/SbWrite. */
+    int32_t field = 0;
+    /** Record width of the accessed stream. */
+    int32_t recordWords = 1;
+    /** Phi dependence distance. */
+    int32_t distance = 0;
+    /** Phi: first ring row in the shared history buffer. */
+    int32_t histBase = 0;
+};
+
+/**
+ * A kernel lowered to flat execution form. Independent of the cluster
+ * count C: per-run buffers are sized C-wide at execution time, so one
+ * lowering serves every design point of a sweep.
+ */
+struct LoweredKernel
+{
+    std::string name;
+    int nops = 0;
+    /** Scratchpad words per cluster (>= 1 so the buffer is non-empty). */
+    int spWords = 1;
+    /** Total phi-history ring rows across all phis. */
+    int histRows = 0;
+    int nStreams = 0;
+    int nIn = 0;
+    int nOut = 0;
+    /** Input ordinal of the length-driving stream. */
+    int driverOrdinal = 0;
+
+    /** Iteration-invariant ops, executed once before the loop. */
+    std::vector<LoweredInsn> preamble;
+    /** Loop body, executed every iteration in program order. */
+    std::vector<LoweredInsn> body;
+
+    /** End-of-iteration phi latch: hist row <- value of `src`. */
+    struct PhiLatch
+    {
+        kernel::ValueId src = 0;
+        int32_t distance = 1;
+        int32_t histBase = 0;
+    };
+    std::vector<PhiLatch> latches;
+
+    /** Stream ports in kernel stream order. */
+    struct PortInfo
+    {
+        std::string name;
+        bool isInput = true;
+        bool conditional = false;
+        int recordWords = 1;
+        int ordinal = 0;
+    };
+    std::vector<PortInfo> ports;
+
+    /**
+     * Input ordinals read by unconditional SbRead ops; together with
+     * the driver length they bound the steady-state strip count.
+     */
+    std::vector<int> steadyReadOrdinals;
+};
+
+/** Lower `k` (validating it once). Uncached; see LoweredCache. */
+LoweredKernel lowerKernel(const kernel::Kernel &k);
+
+/** Execute a lowered kernel on `c` clusters. */
+ExecResult executeLowered(const LoweredKernel &lk, int c,
+                          const std::vector<StreamData> &inputs);
+
+/**
+ * Thread-safe memoized lowering cache keyed by the structural kernel
+ * fingerprint. get() may be called concurrently from any number of
+ * threads; a given kernel is lowered exactly once (concurrent
+ * requests block on the winner). Returned references stay valid until
+ * clear(), which must not race in-flight get() calls or outstanding
+ * references.
+ */
+class LoweredCache
+{
+  public:
+    struct Counters
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+
+    /** The lowered form of `k`, lowering on first use. */
+    const LoweredKernel &get(const kernel::Kernel &k);
+
+    Counters counters() const;
+    size_t size() const;
+
+    /** Drop all entries and reset the counters (not concurrency-safe
+     *  against in-flight get() calls or live references). */
+    void clear();
+
+    /** The process-wide cache shared by all interpreter callers. */
+    static LoweredCache &global();
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        LoweredKernel lk;
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, std::shared_ptr<Entry>> map_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace sps::interp
+
+#endif // SPS_INTERP_LOWERED_H

@@ -1,0 +1,39 @@
+#include "kernel/fingerprint.h"
+
+#include "common/fnv.h"
+
+namespace sps::kernel {
+
+uint64_t
+fingerprint(const Kernel &k)
+{
+    Fnv f;
+    f.mix(k.name);
+    f.mix(static_cast<uint64_t>(k.dataClass));
+    f.mix(static_cast<uint64_t>(k.lengthDriver));
+    f.mix(static_cast<uint64_t>(k.scratchpadWords));
+    f.mix(static_cast<uint64_t>(k.streams.size()));
+    for (const auto &s : k.streams) {
+        f.mix(static_cast<uint64_t>(s.dir));
+        f.mix(static_cast<uint64_t>(s.recordWords));
+        f.mix(static_cast<uint64_t>(s.conditional));
+    }
+    f.mix(static_cast<uint64_t>(k.ops.size()));
+    for (const auto &op : k.ops) {
+        f.mix(static_cast<uint64_t>(op.code));
+        f.mix(static_cast<uint64_t>(op.args.size()));
+        for (auto a : op.args)
+            f.mix(static_cast<uint64_t>(a));
+        f.mix(static_cast<uint64_t>(op.imm.bits));
+        f.mix(static_cast<uint64_t>(op.stream));
+        f.mix(static_cast<uint64_t>(op.field));
+        f.mix(static_cast<uint64_t>(op.distance));
+        f.mix(static_cast<uint64_t>(op.init.bits));
+        f.mix(static_cast<uint64_t>(op.orderAfter.size()));
+        for (auto a : op.orderAfter)
+            f.mix(static_cast<uint64_t>(a));
+    }
+    return f.h;
+}
+
+} // namespace sps::kernel

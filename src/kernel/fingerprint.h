@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Structural fingerprint of a kernel graph: name, data class, stream
+ * signature, and the full op list (opcodes, operands, immediates,
+ * ordering edges). Two kernels with equal fingerprints compute the
+ * same function and schedule identically, so the fingerprint keys
+ * every structural cache in the stack (sched::ScheduleCache,
+ * interp::LoweredCache). Distinguishes same-named kernels with
+ * different bodies (e.g. QRD's housegen, specialized per cluster
+ * count).
+ */
+#ifndef SPS_KERNEL_FINGERPRINT_H
+#define SPS_KERNEL_FINGERPRINT_H
+
+#include <cstdint>
+
+#include "kernel/ir.h"
+
+namespace sps::kernel {
+
+/** FNV-1a hash of the kernel's complete structure. */
+uint64_t fingerprint(const Kernel &k);
+
+} // namespace sps::kernel
+
+#endif // SPS_KERNEL_FINGERPRINT_H

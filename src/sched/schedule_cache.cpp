@@ -1,37 +1,9 @@
 #include "sched/schedule_cache.h"
 
+#include "common/fnv.h"
+#include "kernel/fingerprint.h"
+
 namespace sps::sched {
-
-namespace {
-
-constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr uint64_t kFnvPrime = 0x100000001b3ull;
-
-struct Fnv
-{
-    uint64_t h = kFnvOffset;
-
-    void
-    mix(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (i * 8)) & 0xff;
-            h *= kFnvPrime;
-        }
-    }
-
-    void
-    mix(const std::string &s)
-    {
-        mix(static_cast<uint64_t>(s.size()));
-        for (char c : s) {
-            h ^= static_cast<uint8_t>(c);
-            h *= kFnvPrime;
-        }
-    }
-};
-
-} // namespace
 
 uint64_t
 machineConfigHash(const MachineModel &m)
@@ -52,33 +24,7 @@ machineConfigHash(const MachineModel &m)
 uint64_t
 kernelFingerprint(const kernel::Kernel &k)
 {
-    Fnv f;
-    f.mix(k.name);
-    f.mix(static_cast<uint64_t>(k.dataClass));
-    f.mix(static_cast<uint64_t>(k.lengthDriver));
-    f.mix(static_cast<uint64_t>(k.scratchpadWords));
-    f.mix(static_cast<uint64_t>(k.streams.size()));
-    for (const auto &s : k.streams) {
-        f.mix(static_cast<uint64_t>(s.dir));
-        f.mix(static_cast<uint64_t>(s.recordWords));
-        f.mix(static_cast<uint64_t>(s.conditional));
-    }
-    f.mix(static_cast<uint64_t>(k.ops.size()));
-    for (const auto &op : k.ops) {
-        f.mix(static_cast<uint64_t>(op.code));
-        f.mix(static_cast<uint64_t>(op.args.size()));
-        for (auto a : op.args)
-            f.mix(static_cast<uint64_t>(a));
-        f.mix(static_cast<uint64_t>(op.imm.bits));
-        f.mix(static_cast<uint64_t>(op.stream));
-        f.mix(static_cast<uint64_t>(op.field));
-        f.mix(static_cast<uint64_t>(op.distance));
-        f.mix(static_cast<uint64_t>(op.init.bits));
-        f.mix(static_cast<uint64_t>(op.orderAfter.size()));
-        for (auto a : op.orderAfter)
-            f.mix(static_cast<uint64_t>(a));
-    }
-    return f.h;
+    return kernel::fingerprint(k);
 }
 
 uint64_t

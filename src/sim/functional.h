@@ -8,6 +8,12 @@
  * id. This is what lets the differential tests assert that a program
  * pushed through the cycle-accurate simulator produces exactly the
  * streams the functional interpreter produces.
+ *
+ * Kernel calls execute through the lowered engine (interp/lowered.h):
+ * each kernel is lowered once into the process-wide LoweredCache and
+ * every strip-mined call replays the flat form, so functional runs
+ * inside design-space sweeps pay the interpretive overhead once per
+ * kernel instead of once per op per iteration.
  */
 #ifndef SPS_SIM_FUNCTIONAL_H
 #define SPS_SIM_FUNCTIONAL_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Equivalence property suite: every Table-4 kernel runs through both
+ * the reference interpreter (runKernelReference) and the lowered
+ * engine (runKernel) at C in {1, 3, 8, 16} with randomized stream
+ * lengths -- including empty streams and lengths that are not a
+ * multiple of C -- and the outputs and iteration counts must be
+ * bit-identical. Exercises the process-wide LoweredCache on every
+ * run, so the TSan CI job covers the cache through this suite too.
+ */
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "interp/interpreter.h"
+#include "workloads/kernels/kernels.h"
+#include "workloads/suite.h"
+
+namespace sps {
+namespace {
+
+using interp::StreamData;
+
+/**
+ * Inputs for one Table-4 kernel with `records` records per input
+ * stream, drawn from the same value ranges the differential suite
+ * uses (keeps scratchpad addressing and numerics in kernel range).
+ */
+std::vector<StreamData>
+makeInputs(const std::string &name, int64_t records, Prng &rng)
+{
+    auto ints = [&](int per_record, auto gen) {
+        std::vector<int32_t> v;
+        v.reserve(static_cast<size_t>(records) * per_record);
+        for (int64_t i = 0; i < records * per_record; ++i)
+            v.push_back(gen());
+        return StreamData::fromInts(v, per_record);
+    };
+    auto floats = [&](int per_record, float lo, float hi) {
+        std::vector<float> v;
+        v.reserve(static_cast<size_t>(records) * per_record);
+        for (int64_t i = 0; i < records * per_record; ++i)
+            v.push_back(rng.uniform(lo, hi));
+        return StreamData::fromFloats(v, per_record);
+    };
+    auto pixel = [&] { return static_cast<int32_t>(rng.below(255)); };
+
+    if (name == "blocksad")
+        return {ints(workloads::kPixelsPerRecord, pixel),
+                ints(workloads::kPixelsPerRecord, pixel)};
+    if (name == "convolve")
+        return {ints(workloads::kPixelsPerRecord, [&] {
+            return static_cast<int32_t>(rng.below(1024)) - 512;
+        })};
+    if (name == "update")
+        return {floats(2, -2.0f, 2.0f),
+                floats(workloads::kUpdateRank, -1.0f, 1.0f)};
+    if (name == "fft") {
+        StreamData x = floats(8, -1.0f, 1.0f);
+        std::vector<float> tw;
+        tw.reserve(static_cast<size_t>(records) * 6);
+        for (int64_t i = 0; i < records; ++i) {
+            for (int q = 0; q < 3; ++q) {
+                float ang = rng.uniform(0.0f, 6.283f);
+                tw.push_back(std::cos(ang));
+                tw.push_back(std::sin(ang));
+            }
+        }
+        return {x, StreamData::fromFloats(tw, 6)};
+    }
+    if (name == "noise")
+        return {floats(2, -20.0f, 20.0f)};
+    if (name == "irast") {
+        std::vector<int32_t> spans;
+        spans.reserve(static_cast<size_t>(records) * 5);
+        for (int64_t i = 0; i < records; ++i) {
+            spans.push_back(static_cast<int32_t>(rng.below(5)));
+            spans.push_back(static_cast<int32_t>(rng.below(200)));
+            spans.push_back(static_cast<int32_t>(rng.below(8)));
+            spans.push_back(static_cast<int32_t>(rng.below(256)));
+            spans.push_back(static_cast<int32_t>(rng.below(16)));
+        }
+        return {StreamData::fromInts(spans, 5)};
+    }
+    ADD_FAILURE() << "no input generator for kernel " << name;
+    return {};
+}
+
+class LoweredEquivalenceAtC : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LoweredEquivalenceAtC, Table4KernelsBitIdentical)
+{
+    const int c = GetParam();
+    Prng rng{0xC0FFEEull + static_cast<uint64_t>(c)};
+    for (const workloads::KernelEntry &entry :
+         workloads::kernelSuite()) {
+        // Lengths: empty, single record, a full multiple of C, and
+        // randomized lengths biased to miss multiples of C.
+        std::vector<int64_t> lengths{0, 1, 4 * c, c + 1};
+        for (int draw = 0; draw < 4; ++draw)
+            lengths.push_back(
+                static_cast<int64_t>(rng.below(97)) + 1);
+        for (int64_t records : lengths) {
+            SCOPED_TRACE(entry.name + " @ C=" + std::to_string(c) +
+                         " records=" + std::to_string(records));
+            auto inputs = makeInputs(entry.name, records, rng);
+            auto want =
+                interp::runKernelReference(*entry.kernel, c, inputs);
+            auto got = interp::runKernel(*entry.kernel, c, inputs);
+            EXPECT_EQ(got.iterations, want.iterations);
+            ASSERT_EQ(got.outputs.size(), want.outputs.size());
+            for (size_t o = 0; o < want.outputs.size(); ++o) {
+                EXPECT_EQ(got.outputs[o].recordWords,
+                          want.outputs[o].recordWords)
+                    << "output " << o;
+                EXPECT_EQ(got.outputs[o].words, want.outputs[o].words)
+                    << "output " << o;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, LoweredEquivalenceAtC,
+                         ::testing::Values(1, 3, 8, 16));
+
+} // namespace
+} // namespace sps
