@@ -54,10 +54,8 @@ memoryBandwidthSweep()
     using namespace sps;
     using sps::TextTable;
     TextTable t;
-    t.header({"mem GB/s", "DEPTH speedup", "CONV speedup",
-              "RENDER speedup"});
-    // Baselines at the paper's 16 GB/s.
-    std::map<std::string, int64_t> base;
+    t.header({"mem GB/s", "DEPTH speedup", "mem busy", "CONV speedup",
+              "mem busy", "RENDER speedup", "mem busy"});
     for (double gbs : {4.0, 16.0, 64.0}) {
         std::vector<std::string> row{TextTable::num(gbs, 0)};
         for (const char *name : {"DEPTH", "CONV", "RENDER"}) {
@@ -69,20 +67,25 @@ memoryBandwidthSweep()
                     cfg.size = size;
                     cfg.memConfig.peakWordsPerCycle = gbs / 4.0;
                     sim::StreamProcessor proc(cfg);
-                    return proc
-                        .run(app.build(size, proc.srf()))
-                        .cycles;
+                    return proc.run(app.build(size, proc.srf()));
                 };
+                sim::SimResult small = run({8, 5});
+                sim::SimResult big = run({128, 10});
                 double speedup =
-                    static_cast<double>(run({8, 5})) /
-                    static_cast<double>(run({128, 10}));
+                    static_cast<double>(small.cycles) /
+                    static_cast<double>(big.cycles);
                 row.push_back(TextTable::num(speedup, 1) + "x");
+                // Memory-pin occupancy of the big machine: near 1.0
+                // means the app has gone memory-bound at this
+                // bandwidth point.
+                row.push_back(
+                    TextTable::num(big.memBusyFraction(), 2));
             }
         }
         t.row(row);
     }
-    std::printf("(2) C=128 N=10 app speedup vs memory bandwidth "
-                "(paper point: 16 GB/s)\n\n%s\n",
+    std::printf("(2) C=128 N=10 app speedup and memory occupancy vs "
+                "bandwidth (paper point: 16 GB/s)\n\n%s\n",
                 t.toString().c_str());
 }
 

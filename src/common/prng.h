@@ -46,11 +46,26 @@ class Prng
         return lo + static_cast<float>(uniform()) * (hi - lo);
     }
 
-    /** Uniform integer in [0, bound). */
+    /**
+     * Uniform integer in [0, bound). Rejection sampling: a plain
+     * `next() % bound` favours small residues whenever 2^64 is not a
+     * multiple of bound. Values below `2^64 mod bound` are redrawn,
+     * leaving an exact multiple of bound equally likely outcomes (at
+     * most one redraw expected; for bounds far below 2^64 a redraw is
+     * vanishingly rare, so existing deterministic streams are
+     * unaffected in practice).
+     */
     uint32_t
     below(uint32_t bound)
     {
-        return static_cast<uint32_t>(next() % bound);
+        if (bound == 0)
+            return 0;
+        uint64_t b = bound;
+        uint64_t threshold = (0 - b) % b; // == 2^64 mod bound
+        uint64_t r = next();
+        while (r < threshold)
+            r = next();
+        return static_cast<uint32_t>(r % b);
     }
 
   private:

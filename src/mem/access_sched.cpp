@@ -7,36 +7,59 @@ namespace sps::mem {
 
 using std::size_t;
 
+WindowService
+AccessWindow::serviceNext()
+{
+    // First-ready: oldest row hit, else oldest request. The window is
+    // in arrival order, so the pick's index is the number of older
+    // requests it bypasses. The age cap overrides first-ready: once
+    // the oldest request has been bypassed maxBypass_ times it goes
+    // next, bounding starvation under a row-hit flood (the oldest
+    // entry always has the largest bypass count, so checking the head
+    // suffices).
+    size_t pick = 0;
+    if (win_.front().bypassed < maxBypass_) {
+        for (size_t i = 0; i < win_.size(); ++i) {
+            if (channel_.isRowHit(win_[i].req)) {
+                pick = i;
+                break;
+            }
+        }
+    }
+    for (size_t i = 0; i < pick; ++i)
+        ++win_[i].bypassed;
+
+    Entry e = win_[pick];
+    WindowService s;
+    s.tag = e.tag;
+    s.pickIndex = static_cast<int64_t>(pick);
+    s.bypassed = e.bypassed;
+    s.rowHit = channel_.isRowHit(e.req);
+    s.bankConflict = !s.rowHit && channel_.isBankOpen(e.req);
+    s.cycles = channel_.service(e.req);
+    win_.erase(win_.begin() +
+               static_cast<std::deque<Entry>::difference_type>(pick));
+    return s;
+}
+
 SchedRunStats
 AccessScheduler::runStats(const std::vector<MemRequest> &requests)
 {
     SchedRunStats stats;
     size_t next = 0;
-    std::deque<MemRequest> window;
+    AccessWindow window(channel_, window_, maxBypass_);
     auto fill = [&] {
-        while (static_cast<int>(window.size()) < window_ &&
-               next < requests.size())
-            window.push_back(requests[next++]);
+        while (window.wantsMore() && next < requests.size())
+            window.push(requests[next++], 0);
     };
     fill();
     while (!window.empty()) {
-        // First-ready: oldest row hit, else oldest request. The window
-        // is in arrival order, so the pick's index is the number of
-        // older requests it bypasses.
-        size_t pick = 0;
-        for (size_t i = 0; i < window.size(); ++i) {
-            if (channel_.isRowHit(window[i])) {
-                pick = i;
-                break;
-            }
-        }
-        stats.busyCycles += channel_.service(window[pick]);
-        stats.reorderSum += static_cast<int64_t>(pick);
-        stats.reorderMax =
-            std::max(stats.reorderMax, static_cast<int64_t>(pick));
-        window.erase(window.begin() +
-                     static_cast<std::deque<MemRequest>::difference_type>(
-                         pick));
+        WindowService s = window.serviceNext();
+        stats.busyCycles += s.cycles;
+        stats.reorderSum += s.pickIndex;
+        stats.reorderMax = std::max(stats.reorderMax, s.pickIndex);
+        stats.maxBypassed = std::max(stats.maxBypassed, s.bypassed);
+        stats.bankConflicts += s.bankConflict ? 1 : 0;
         fill();
     }
     return stats;

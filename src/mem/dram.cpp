@@ -34,6 +34,12 @@ DramChannel::isRowHit(const MemRequest &req) const
     return openRow_[static_cast<size_t>(bank)] == rowOf(req.wordAddr);
 }
 
+bool
+DramChannel::isBankOpen(const MemRequest &req) const
+{
+    return openRow_[static_cast<size_t>(bankOf(req.wordAddr))] >= 0;
+}
+
 int
 DramChannel::service(const MemRequest &req)
 {

@@ -53,6 +53,10 @@ class DramChannel
     /** True if the request hits the currently open row of its bank. */
     bool isRowHit(const MemRequest &req) const;
 
+    /** True if the request's bank has any row open (a miss here is a
+     *  bank conflict: the open row must be precharged first). */
+    bool isBankOpen(const MemRequest &req) const;
+
     /**
      * Service one request now; returns the cycles the channel's data
      * pins are busy (row hits cost tCol; misses add precharge and

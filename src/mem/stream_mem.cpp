@@ -1,7 +1,8 @@
 #include "mem/stream_mem.h"
 
 #include <algorithm>
-#include <vector>
+#include <cmath>
+#include <limits>
 
 #include "common/log.h"
 
@@ -10,81 +11,342 @@ namespace sps::mem {
 namespace {
 /** Words beyond which a transfer is extrapolated from a prefix. */
 constexpr int64_t kSimCap = 8192;
+
+/** Round-to-nearest scaling used by the extrapolation path. */
+int64_t
+scaleCount(int64_t sim_value, double factor)
+{
+    return std::llround(static_cast<double>(sim_value) * factor);
+}
 } // namespace
 
 StreamMemSystem::StreamMemSystem(StreamMemConfig cfg) : cfg_(cfg)
 {
     SPS_ASSERT(cfg_.channels >= 1, "need at least one channel");
     SPS_ASSERT(cfg_.peakWordsPerCycle > 0, "bad peak bandwidth");
+    SPS_ASSERT(cfg_.schedWindow >= 1 && cfg_.schedMaxBypass >= 1,
+               "bad scheduler window");
     // Column access time so that all channels together sustain the
     // configured aggregate peak on row hits.
     double tcol = cfg_.channels / cfg_.peakWordsPerCycle;
     cfg_.timing.tCol = std::max(1, static_cast<int>(tcol + 0.5));
+    beginProgram();
+}
+
+void
+StreamMemSystem::beginProgram()
+{
+    SPS_ASSERT(pending_.empty(),
+               "beginProgram with unresolved transfers");
+    ch_.clear();
+    chStats_.clear();
+    for (int c = 0; c < cfg_.channels; ++c) {
+        ch_.push_back(Channel{DramChannel(cfg_.timing), 0});
+        chStats_.push_back(ChannelStats{});
+    }
+    results_.clear();
+    busyIvs_.clear();
+}
+
+int
+StreamMemSystem::submit(const TransferDesc &desc,
+                        const TransferTrace *tr)
+{
+    SPS_ASSERT(desc.words >= 0, "bad transfer size %lld",
+               static_cast<long long>(desc.words));
+    SPS_ASSERT(desc.baseWord >= 0 && desc.recordWords >= 1 &&
+                   desc.strideWords >= 0,
+               "bad transfer addressing (base %lld stride %lld rec %lld)",
+               static_cast<long long>(desc.baseWord),
+               static_cast<long long>(desc.strideWords),
+               static_cast<long long>(desc.recordWords));
+    int ticket = static_cast<int>(results_.size());
+    results_.push_back(TransferResult{});
+    results_[static_cast<size_t>(ticket)].startCycle = desc.startCycle;
+    Pending p;
+    p.desc = desc;
+    if (tr != nullptr && SPS_TRACE_ENABLED(tr->tracer)) {
+        p.trace = *tr;
+        p.traced = true;
+    }
+    p.ticket = ticket;
+    pending_.push_back(std::move(p));
+    return ticket;
+}
+
+bool
+StreamMemSystem::resolved(int ticket) const
+{
+    for (const Pending &p : pending_)
+        if (p.ticket == ticket)
+            return false;
+    return ticket >= 0 &&
+           ticket < static_cast<int>(results_.size());
+}
+
+const TransferResult &
+StreamMemSystem::result(int ticket)
+{
+    if (!resolved(ticket))
+        resolveAll();
+    SPS_ASSERT(ticket >= 0 &&
+                   ticket < static_cast<int>(results_.size()),
+               "bad transfer ticket %d", ticket);
+    return results_[static_cast<size_t>(ticket)];
+}
+
+std::vector<BusyInterval>
+StreamMemSystem::takeBusyIntervals()
+{
+    std::vector<BusyInterval> out = std::move(busyIvs_);
+    busyIvs_.clear();
+    return out;
+}
+
+void
+StreamMemSystem::resolveAll()
+{
+    if (pending_.empty())
+        return;
+    const int C = cfg_.channels;
+    const size_t nt = pending_.size();
+    constexpr int64_t kFar = std::numeric_limits<int64_t>::max();
+
+    // --- Address generation: expand each transfer (capped at the
+    // simulation prefix) and assign requests to channels by word
+    // address. Channel-local addresses (wordAddr / channels) are what
+    // the per-channel DRAM geometry sees, the classic interleaved
+    // decomposition. Requests stay in per-transfer queues so the
+    // service loop can interleave concurrent transfers.
+    std::vector<std::vector<std::vector<MemRequest>>> chq(
+        static_cast<size_t>(C),
+        std::vector<std::vector<MemRequest>>(nt));
+    std::vector<double> factor(nt, 1.0);
+    std::vector<int64_t> simWords(nt, 0);
+    for (size_t t = 0; t < nt; ++t) {
+        const TransferDesc &d = pending_[t].desc;
+        int64_t sim = std::min(d.words, kSimCap);
+        simWords[t] = sim;
+        factor[t] = sim > 0 ? static_cast<double>(d.words) /
+                                  static_cast<double>(sim)
+                            : 1.0;
+        int64_t rec = std::max<int64_t>(1, d.recordWords);
+        int64_t stride = d.strideWords > 0 ? d.strideWords : rec;
+        for (int64_t i = 0; i < sim; ++i) {
+            int64_t addr = d.baseWord + (i / rec) * stride + i % rec;
+            auto ch = static_cast<size_t>(addr % C);
+            chq[ch][t].push_back(MemRequest{addr / C, d.write});
+        }
+    }
+
+    // --- Joint service: one FR-FCFS window per channel over all
+    // transfers in the batch.
+    std::vector<std::vector<int64_t>> busyTC(
+        nt, std::vector<int64_t>(static_cast<size_t>(C), 0));
+    std::vector<std::vector<int64_t>> lastEndTC(
+        nt, std::vector<int64_t>(static_cast<size_t>(C), -1));
+    std::vector<std::vector<int64_t>> doneTC = lastEndTC;
+    std::vector<int64_t> svcStart(nt, kFar);
+    std::vector<int64_t> simHits(nt, 0), simConflicts(nt, 0),
+        simReorderSum(nt, 0);
+
+    for (size_t c = 0; c < static_cast<size_t>(C); ++c) {
+        auto &q = chq[c];
+        size_t remaining = 0;
+        for (const auto &tq : q)
+            remaining += tq.size();
+        if (remaining == 0)
+            continue;
+        Channel &chan = ch_[c];
+        ChannelStats &cs = chStats_[c];
+        AccessWindow window(chan.dram, cfg_.schedWindow,
+                            cfg_.schedMaxBypass);
+        int64_t now = chan.freeCycle;
+        std::vector<size_t> next(nt, 0);
+        size_t rr = 0; // round-robin admission cursor
+        int64_t runStart = -1;
+        auto close_run = [&] {
+            if (runStart >= 0 && now > runStart)
+                busyIvs_.push_back(BusyInterval{runStart, now});
+            runStart = -1;
+        };
+        while (!window.empty() || remaining > 0) {
+            // Admit requests round-robin across transfers that have
+            // started, one per sweep, so concurrent transfers
+            // interleave through the shared window instead of
+            // queueing whole-transfer-at-a-time.
+            bool admitted = true;
+            while (window.wantsMore() && admitted) {
+                admitted = false;
+                for (size_t k = 0; k < nt; ++k) {
+                    size_t t = (rr + k) % nt;
+                    if (next[t] < q[t].size() &&
+                        pending_[t].desc.startCycle <= now) {
+                        window.push(q[t][next[t]++],
+                                    static_cast<int>(t));
+                        --remaining;
+                        rr = (t + 1) % nt;
+                        admitted = true;
+                        break;
+                    }
+                }
+            }
+            if (window.empty()) {
+                // Idle until the next transfer becomes ready.
+                int64_t nxt = kFar;
+                for (size_t t = 0; t < nt; ++t)
+                    if (next[t] < q[t].size())
+                        nxt = std::min(nxt,
+                                       pending_[t].desc.startCycle);
+                close_run();
+                now = std::max(now, nxt);
+                continue;
+            }
+            if (runStart < 0)
+                runStart = now;
+            WindowService s = window.serviceNext();
+            auto t = static_cast<size_t>(s.tag);
+            svcStart[t] = std::min(svcStart[t], now);
+            now += s.cycles;
+            busyTC[t][c] += s.cycles;
+            lastEndTC[t][c] = now;
+            simHits[t] += s.rowHit ? 1 : 0;
+            simConflicts[t] += s.bankConflict ? 1 : 0;
+            simReorderSum[t] += s.pickIndex;
+            TransferResult &r =
+                results_[static_cast<size_t>(pending_[t].ticket)];
+            r.dramReorderMax =
+                std::max(r.dramReorderMax, s.pickIndex);
+            cs.busyCycles += s.cycles;
+            ++cs.accesses;
+            cs.rowHits += s.rowHit ? 1 : 0;
+            cs.bankConflicts += s.bankConflict ? 1 : 0;
+        }
+        close_run();
+
+        // Extrapolation stretch: capped transfers own f-times their
+        // simulated pin time, so later service on this channel (and
+        // the channel's free cursor) shifts by the accumulated extra,
+        // ordered by when each transfer's prefix finished.
+        struct Stretch
+        {
+            size_t t;
+            int64_t lastEnd;
+            int64_t extra;
+        };
+        std::vector<Stretch> st;
+        int64_t total_extra = 0;
+        for (size_t t = 0; t < nt; ++t) {
+            if (lastEndTC[t][c] < 0)
+                continue;
+            int64_t extra =
+                scaleCount(busyTC[t][c], factor[t] - 1.0);
+            st.push_back(Stretch{t, lastEndTC[t][c], extra});
+            total_extra += extra;
+        }
+        std::stable_sort(st.begin(), st.end(),
+                         [](const Stretch &a, const Stretch &b) {
+                             return a.lastEnd < b.lastEnd;
+                         });
+        int64_t prefix = 0;
+        for (const Stretch &s : st) {
+            prefix += s.extra;
+            doneTC[s.t][c] = s.lastEnd + prefix;
+        }
+        if (total_extra > 0) {
+            chan.freeCycle = now + total_extra;
+            cs.busyCycles += total_extra;
+            if (!busyIvs_.empty())
+                busyIvs_.back().end += total_extra;
+        } else {
+            chan.freeCycle = now;
+        }
+    }
+
+    // --- Per-transfer results.
+    for (size_t t = 0; t < nt; ++t) {
+        const Pending &p = pending_[t];
+        const TransferDesc &d = p.desc;
+        TransferResult &r =
+            results_[static_cast<size_t>(p.ticket)];
+        r.startCycle = d.startCycle;
+        if (d.words <= 0) {
+            r.serviceStart = d.startCycle;
+            r.doneCycle = d.startCycle;
+            continue;
+        }
+        double f = factor[t];
+        int64_t busy_total = 0, busy_max = 0, done = d.startCycle;
+        for (size_t c = 0; c < static_cast<size_t>(C); ++c) {
+            int64_t true_busy = scaleCount(busyTC[t][c], f);
+            busy_total += true_busy;
+            busy_max = std::max(busy_max, true_busy);
+            if (doneTC[t][c] >= 0)
+                done = std::max(done, doneTC[t][c]);
+        }
+        r.serviceStart = svcStart[t] == kFar ? d.startCycle
+                                             : svcStart[t];
+        r.doneCycle = done + cfg_.latencyCycles;
+        r.cycles = r.doneCycle - r.startCycle;
+        r.busyCycles = busy_max;
+        r.aliasStallCycles = C * busy_max - busy_total;
+        // Counters: exact identities under extrapolation
+        // (hits + misses == accesses == words).
+        r.dramAccesses = d.words;
+        r.dramRowHits = std::clamp<int64_t>(scaleCount(simHits[t], f),
+                                            0, d.words);
+        r.dramRowMisses = d.words - r.dramRowHits;
+        r.bankConflicts = std::clamp<int64_t>(
+            scaleCount(simConflicts[t], f), 0, r.dramRowMisses);
+        r.dramReorderSum = scaleCount(simReorderSum[t], f);
+        r.wordsPerCycle =
+            r.cycles > 0 ? static_cast<double>(d.words) /
+                               static_cast<double>(r.cycles)
+                         : 0.0;
+        if (p.traced) {
+            p.trace.tracer->span(
+                "mem",
+                p.trace.label.empty() ? "transfer" : p.trace.label,
+                r.serviceStart, r.doneCycle, p.trace.opId,
+                trace::kTrackMem,
+                {{"words", d.words},
+                 {"stride", d.strideWords},
+                 {"busy_cycles", r.busyCycles},
+                 {"row_hits", r.dramRowHits},
+                 {"row_misses", r.dramRowMisses},
+                 {"bank_conflicts", r.bankConflicts},
+                 {"alias_stall_cycles", r.aliasStallCycles},
+                 {"reorder_max", r.dramReorderMax}});
+        }
+    }
+    pending_.clear();
 }
 
 TransferResult
 StreamMemSystem::transfer(int64_t words, int64_t stride,
-                          const TransferTrace *tr) const
+                          const TransferTrace *tr)
 {
-    TransferResult r;
-    if (words <= 0)
-        return r;
     SPS_ASSERT(stride >= 1, "bad stride %lld",
                static_cast<long long>(stride));
-
-    int64_t sim_words = std::min(words, kSimCap);
-    // Word-interleave the transfer across channels.
-    std::vector<std::vector<MemRequest>> per_channel(
-        static_cast<size_t>(cfg_.channels));
-    for (int64_t i = 0; i < sim_words; ++i) {
-        MemRequest req;
-        req.wordAddr = (i * stride) / cfg_.channels;
-        per_channel[static_cast<size_t>(i % cfg_.channels)].push_back(
-            req);
-    }
-    int64_t busy = 0;
-    int64_t hits = 0;
-    for (auto &reqs : per_channel) {
-        DramChannel chan(cfg_.timing);
-        AccessScheduler sched(chan);
-        SchedRunStats stats = sched.runStats(reqs);
-        busy = std::max(busy, stats.busyCycles);
-        hits += chan.rowHits();
-        r.dramReorderSum += stats.reorderSum;
-        r.dramReorderMax = std::max(r.dramReorderMax, stats.reorderMax);
-    }
-    // Extrapolate if capped, keeping the counter identities exact:
-    // accesses == words and hits + misses == accesses.
-    if (sim_words < words) {
-        busy = busy * words / sim_words;
-        hits = hits * words / sim_words;
-        r.dramReorderSum = r.dramReorderSum * words / sim_words;
-    }
-    r.dramAccesses = words;
-    r.dramRowHits = hits;
-    r.dramRowMisses = words - hits;
-    r.busyCycles = busy;
-    r.cycles = busy + cfg_.latencyCycles;
-    r.wordsPerCycle =
-        static_cast<double>(words) / static_cast<double>(r.cycles);
-
-    if (tr && SPS_TRACE_ENABLED(tr->tracer)) {
-        tr->tracer->span(
-            "mem", tr->label.empty() ? "transfer" : tr->label,
-            tr->startCycle, tr->startCycle + r.cycles, tr->opId,
-            trace::kTrackMem,
-            {{"words", words},
-             {"stride", stride},
-             {"busy_cycles", r.busyCycles},
-             {"row_hits", r.dramRowHits},
-             {"row_misses", r.dramRowMisses},
-             {"reorder_max", r.dramReorderMax}});
-    }
-    return r;
+    resolveAll();
+    // Standalone semantics: idle channels, closed rows, cycle 0 --
+    // results do not depend on earlier standalone calls.
+    beginProgram();
+    if (words <= 0)
+        return TransferResult{};
+    TransferDesc d;
+    d.words = words;
+    d.baseWord = 0;
+    d.strideWords = stride;
+    d.recordWords = 1;
+    d.startCycle = 0;
+    int ticket = submit(d, tr);
+    resolveAll();
+    return results_[static_cast<size_t>(ticket)];
 }
 
 int64_t
-StreamMemSystem::transferCycles(int64_t words) const
+StreamMemSystem::transferCycles(int64_t words)
 {
     return transfer(words, 1).cycles;
 }

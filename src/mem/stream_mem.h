@@ -1,17 +1,34 @@
 /**
  * @file
  * The streaming memory system: stream loads and stores between
- * external DRAM and the SRF. Word-interleaves each transfer across the
- * channels, runs the per-channel access scheduler, and reports the
- * transfer's duration and bandwidth. Configured for the paper's 2007
- * technology point (eight channels, 16 GB/s, 55-cycle latency) or the
- * Imagine-era defaults.
+ * external DRAM and the SRF.
+ *
+ * Transfers carry real word addresses: a per-stream address generator
+ * expands (base, record stride, record length) into MemRequests, and
+ * each request is assigned to channel `wordAddr % channels` (word
+ * interleaving by address, so stride-aliased streams collapse onto a
+ * subset of the channels instead of being credited full aggregate
+ * bandwidth). Channel state -- open rows, bank contents, and the
+ * per-channel busy cursor -- is owned by the StreamMemSystem and
+ * persists across transfers within one program run.
+ *
+ * Contention is modelled by batched joint service: transfers submitted
+ * between two resolve points are interleaved request-by-request into
+ * one FR-FCFS access-scheduler window per channel (mem/access_sched.h),
+ * so overlapping transfers share bandwidth and fight for row buffers
+ * exactly where they overlap. The stream controller submits a transfer
+ * at issue and resolves the batch when a dependent op (or the
+ * scoreboard) needs a completion time.
+ *
+ * Configured for the paper's 2007 technology point (eight channels,
+ * 16 GB/s, 55-cycle latency) by default.
  */
 #ifndef SPS_MEM_STREAM_MEM_H
 #define SPS_MEM_STREAM_MEM_H
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mem/access_sched.h"
 #include "mem/dram.h"
@@ -29,28 +46,75 @@ struct StreamMemConfig
     int latencyCycles = 55;
     /** Per-channel DRAM timing template (tCol derived from peak). */
     DramTiming timing = DramTiming{};
+    /** FR-FCFS reorder window per channel. */
+    int schedWindow = kSchedWindow;
+    /** Starvation bound: max times one request may be bypassed. */
+    int schedMaxBypass = kSchedMaxBypass;
 
     /** The paper's 45nm / 2007 configuration: 16 GB/s at 1 GHz. */
     static StreamMemConfig fortyFiveNm() { return StreamMemConfig{}; }
 };
 
+/** One stream transfer, as submitted by the stream controller. */
+struct TransferDesc
+{
+    /** Words moved over the external interface. */
+    int64_t words = 0;
+    /** Word address of the first record. */
+    int64_t baseWord = 0;
+    /** Start-to-start distance between consecutive records in words;
+     *  0 means dense (== recordWords). */
+    int64_t strideWords = 0;
+    /** Contiguous words per record. */
+    int64_t recordWords = 1;
+    /** Earliest cycle any request of this transfer may be serviced. */
+    int64_t startCycle = 0;
+    bool write = false;
+};
+
+/** One closed-open interval during which the memory pins were busy. */
+struct BusyInterval
+{
+    int64_t start = 0;
+    int64_t end = 0;
+};
+
 /** Result of one stream transfer. */
 struct TransferResult
 {
-    int64_t cycles = 0;        ///< total duration including latency
-    int64_t busyCycles = 0;    ///< pin-limited portion
-    double wordsPerCycle = 0;  ///< achieved bandwidth
+    int64_t startCycle = 0;   ///< requested start (TransferDesc)
+    int64_t serviceStart = 0; ///< first cycle pins worked for it
+    int64_t doneCycle = 0;    ///< last word serviced + access latency
+    int64_t cycles = 0;       ///< doneCycle - startCycle
+    int64_t busyCycles = 0;   ///< critical-channel pin cycles
+    double wordsPerCycle = 0; ///< achieved bandwidth
 
     // DRAM behaviour over the whole transfer (summed across channels;
-    // extrapolated transfers scale these so hits + misses always
-    // equals accesses and accesses equals the words moved).
+    // extrapolated transfers scale these with round-to-nearest so
+    // hits + misses always equals accesses and accesses equals the
+    // words moved).
     int64_t dramAccesses = 0;
     int64_t dramRowHits = 0;
     int64_t dramRowMisses = 0;
+    /** Row misses that had to precharge an open row first. */
+    int64_t bankConflicts = 0;
     /** Sum of access-scheduler reorder distances. */
     int64_t dramReorderSum = 0;
     /** Largest single reorder distance. */
     int64_t dramReorderMax = 0;
+    /** Idle channel-cycles caused by address aliasing: channels *
+     *  critical-channel busy minus total busy across channels. Zero
+     *  for a perfectly balanced transfer. */
+    int64_t aliasStallCycles = 0;
+};
+
+/** Per-channel counters accumulated over one program run. */
+struct ChannelStats
+{
+    int64_t busyCycles = 0;
+    int64_t accesses = 0;
+    int64_t rowHits = 0;
+    int64_t bankConflicts = 0;
 };
 
 /** Optional tracing context for one transfer (see trace/tracer.h). */
@@ -66,8 +130,16 @@ struct TransferTrace
 };
 
 /**
- * Streaming memory system model. Stateless between transfers (each
- * stream transfer opens its own rows).
+ * Streaming memory system model with persistent channel state.
+ *
+ * Program-run usage (the stream controller): beginProgram(), then
+ * submit() each transfer at issue and resolveAll() when a completion
+ * is needed; transfers submitted between resolves are serviced
+ * jointly, sharing the per-channel scheduler window.
+ *
+ * Standalone usage (tests, quick estimates): transfer() services one
+ * transfer against freshly reset channels, so results do not depend
+ * on call history.
  */
 class StreamMemSystem
 {
@@ -76,21 +148,76 @@ class StreamMemSystem
 
     const StreamMemConfig &config() const { return cfg_; }
 
+    /** Reset channel state (rows closed, busy cursors and per-channel
+     *  counters to zero) for a new program run at cycle 0. */
+    void beginProgram();
+
     /**
-     * Duration of transferring `words` words with the given word
-     * stride (1 = dense). Transfers larger than the simulation cap are
-     * extrapolated linearly from a simulated prefix. When `tr` carries
-     * a tracer, the transfer records a "mem" event with its DRAM
-     * behaviour.
+     * Submit a transfer for joint service; returns a ticket valid
+     * until the next beginProgram(). When `tr` carries a tracer, the
+     * resolved transfer records a "mem" event with its DRAM
+     * behaviour. Transfers larger than the simulation cap are
+     * extrapolated from a simulated prefix with round-to-nearest
+     * scaling (counter identities stay exact).
+     */
+    int submit(const TransferDesc &desc,
+               const TransferTrace *tr = nullptr);
+
+    /** Jointly service all unresolved transfers. */
+    void resolveAll();
+
+    /** True once the ticket's transfer has been resolved. */
+    bool resolved(int ticket) const;
+
+    /** The resolved result for a ticket (resolves if needed). */
+    const TransferResult &result(int ticket);
+
+    /**
+     * Busy intervals (union over channels, in service order per
+     * resolve batch) accumulated since the last call; cleared on
+     * return. Intervals from different batches may overlap -- callers
+     * wanting a disjoint set must merge.
+     */
+    std::vector<BusyInterval> takeBusyIntervals();
+
+    /** Per-channel counters since beginProgram(). */
+    const std::vector<ChannelStats> &channelStats() const
+    {
+        return chStats_;
+    }
+
+    /**
+     * Standalone transfer of `words` words with the given word stride
+     * (1 = dense), starting from idle channels at cycle 0. Kept for
+     * estimates and unit tests; program runs use submit()/resolveAll().
      */
     TransferResult transfer(int64_t words, int64_t stride = 1,
-                            const TransferTrace *tr = nullptr) const;
+                            const TransferTrace *tr = nullptr);
 
-    /** Shorthand: cycles for a dense transfer. */
-    int64_t transferCycles(int64_t words) const;
+    /** Shorthand: cycles for a standalone dense transfer. */
+    int64_t transferCycles(int64_t words);
 
   private:
+    struct Channel
+    {
+        DramChannel dram;
+        /** First cycle the channel's pins are free. */
+        int64_t freeCycle = 0;
+    };
+    struct Pending
+    {
+        TransferDesc desc;
+        TransferTrace trace;
+        bool traced = false;
+        int ticket = 0;
+    };
+
     StreamMemConfig cfg_;
+    std::vector<Channel> ch_;
+    std::vector<ChannelStats> chStats_;
+    std::vector<Pending> pending_;
+    std::vector<TransferResult> results_;
+    std::vector<BusyInterval> busyIvs_;
 };
 
 } // namespace sps::mem

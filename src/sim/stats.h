@@ -8,6 +8,7 @@
 #ifndef SPS_SIM_STATS_H
 #define SPS_SIM_STATS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -87,10 +88,17 @@ struct SimCounters
     int64_t dramAccesses = 0;
     int64_t dramRowHits = 0;
     int64_t dramRowMisses = 0;
+    /** Row misses that had to precharge an open row first. */
+    int64_t dramBankConflicts = 0;
     /** Sum of access-scheduler reorder distances (requests bypassed). */
     int64_t dramReorderSum = 0;
     /** Largest single reorder distance observed. */
     int64_t dramReorderMax = 0;
+    /** Idle channel-cycles caused by address aliasing (channels *
+     *  critical-channel busy minus total busy, per transfer). */
+    int64_t memAliasStallCycles = 0;
+    /** Pin-busy cycles per memory channel over the run. */
+    std::vector<int64_t> dramChannelBusyCycles;
 };
 
 /** Results of one simulation. */
@@ -181,6 +189,28 @@ struct SimResult
                    ? static_cast<double>(counters.dramRowHits) /
                          counters.dramAccesses
                    : 0.0;
+    }
+
+    /** Busiest memory channel's pin-busy cycles (0 with no mem ops). */
+    int64_t
+    dramChannelBusyMax() const
+    {
+        int64_t m = 0;
+        for (int64_t v : counters.dramChannelBusyCycles)
+            m = std::max(m, v);
+        return m;
+    }
+
+    /** Least-busy memory channel's pin-busy cycles. */
+    int64_t
+    dramChannelBusyMin() const
+    {
+        if (counters.dramChannelBusyCycles.empty())
+            return 0;
+        int64_t m = counters.dramChannelBusyCycles.front();
+        for (int64_t v : counters.dramChannelBusyCycles)
+            m = std::min(m, v);
+        return m;
     }
 
     /** Mean access-scheduler reorder distance per DRAM access. */

@@ -13,12 +13,27 @@ using stream::StreamOp;
 
 namespace {
 
-/** One closed-open busy interval on a serialized resource. */
-struct BusyInterval
+/**
+ * Merge possibly-overlapping busy intervals (different resolve
+ * batches can interleave on the shared channels) into a sorted
+ * disjoint set.
+ */
+std::vector<mem::BusyInterval>
+mergeIntervals(std::vector<mem::BusyInterval> ivs)
 {
-    int64_t start = 0;
-    int64_t end = 0;
-};
+    std::sort(ivs.begin(), ivs.end(),
+              [](const mem::BusyInterval &a, const mem::BusyInterval &b) {
+                  return a.start < b.start;
+              });
+    std::vector<mem::BusyInterval> out;
+    for (const auto &iv : ivs) {
+        if (!out.empty() && iv.start <= out.back().end)
+            out.back().end = std::max(out.back().end, iv.end);
+        else
+            out.push_back(iv);
+    }
+    return out;
+}
 
 /**
  * Exact cycle breakdown from the (disjoint, sorted) busy intervals of
@@ -26,9 +41,9 @@ struct BusyInterval
  * overlapped / idle, summing to `cycles`.
  */
 void
-fillCycleBreakdown(const std::vector<BusyInterval> &mem,
-                   const std::vector<BusyInterval> &uc, int64_t cycles,
-                   SimCounters &c)
+fillCycleBreakdown(const std::vector<mem::BusyInterval> &mem,
+                   const std::vector<mem::BusyInterval> &uc,
+                   int64_t cycles, SimCounters &c)
 {
     int64_t mem_total = 0, uc_total = 0, overlap = 0;
     for (const auto &iv : mem)
@@ -92,7 +107,7 @@ runKernelFunctionally(const StreamOp &op, int clusters,
 SimResult
 executeProgram(const stream::StreamProgram &prog,
                const ControllerConfig &cfg,
-               const mem::StreamMemSystem &mem_sys, Microcontroller &uc,
+               mem::StreamMemSystem &mem_sys, Microcontroller &uc,
                srf::Allocator &alloc, const CompileFn &compile,
                const RunOptions &opts)
 {
@@ -103,14 +118,24 @@ executeProgram(const stream::StreamProgram &prog,
 
     SimResult result;
     SimCounters &ctr = result.counters;
-    result.timeline.reserve(ops.size());
+    result.timeline.resize(ops.size());
     std::vector<int64_t> complete(ops.size(), 0);
-    std::vector<BusyInterval> mem_busy_ivs, uc_busy_ivs;
+    // Memory ops are submitted at issue and resolved lazily in
+    // batches, so overlapping transfers contend for channels.
+    std::vector<bool> unresolved(ops.size(), false);
+    struct PendingMemOp
+    {
+        size_t opIndex = 0;
+        int ticket = 0;
+    };
+    std::vector<PendingMemOp> pending_mem;
+    std::vector<mem::BusyInterval> uc_busy_ivs;
 
     int64_t issue_time = 0;
-    int64_t mem_free = 0;
     int64_t uc_free = 0;
     bool warned_overflow = false;
+
+    mem_sys.beginProgram();
 
     if (SPS_TRACE_ENABLED(tracer)) {
         tracer->setTrackName(trace::kTrackHost,
@@ -125,6 +150,35 @@ executeProgram(const stream::StreamProgram &prog,
     std::priority_queue<int64_t, std::vector<int64_t>,
                         std::greater<int64_t>>
         in_flight;
+
+    // Resolve the pending transfer batch jointly and retire its ops:
+    // completion times, timeline intervals, and DRAM counters all
+    // become known here.
+    auto resolve_mem = [&]() {
+        if (pending_mem.empty())
+            return;
+        mem_sys.resolveAll();
+        for (const PendingMemOp &p : pending_mem) {
+            const mem::TransferResult &tr = mem_sys.result(p.ticket);
+            complete[p.opIndex] = tr.doneCycle;
+            unresolved[p.opIndex] = false;
+            in_flight.push(tr.doneCycle);
+            OpInterval &iv = result.timeline[p.opIndex];
+            iv.start = tr.serviceStart;
+            iv.end = tr.doneCycle;
+            result.cycles = std::max(result.cycles, tr.doneCycle);
+            ctr.memPipeStallCycles += tr.serviceStart - tr.startCycle;
+            ctr.dramAccesses += tr.dramAccesses;
+            ctr.dramRowHits += tr.dramRowHits;
+            ctr.dramRowMisses += tr.dramRowMisses;
+            ctr.dramBankConflicts += tr.bankConflicts;
+            ctr.dramReorderSum += tr.dramReorderSum;
+            ctr.dramReorderMax =
+                std::max(ctr.dramReorderMax, tr.dramReorderMax);
+            ctr.memAliasStallCycles += tr.aliasStallCycles;
+        }
+        pending_mem.clear();
+    };
 
     auto srf_counter_sample = [&](int64_t when) {
         if (SPS_TRACE_ENABLED(tracer))
@@ -157,9 +211,15 @@ executeProgram(const stream::StreamProgram &prog,
         const int op_id = static_cast<int>(i);
 
         // Host issue: serialized stream instructions over the finite
-        // host channel, stalling when the scoreboard is full.
-        while (static_cast<int>(in_flight.size()) >=
+        // host channel, stalling when the scoreboard is full. Pending
+        // (unresolved) transfers occupy scoreboard slots too.
+        while (static_cast<int>(in_flight.size() +
+                                pending_mem.size()) >=
                cfg.scoreboardDepth) {
+            resolve_mem();
+            if (static_cast<int>(in_flight.size()) <
+                cfg.scoreboardDepth)
+                continue;
             int64_t retire = in_flight.top();
             in_flight.pop();
             if (retire > issue_time) {
@@ -179,70 +239,60 @@ executeProgram(const stream::StreamProgram &prog,
                              issue_time, trace::kTrackHost,
                              {{"op_id", op_id}});
 
+        // A dependence on a still-unresolved transfer forces the
+        // batch to resolve: its completion time is needed now.
+        for (int d : deps.deps[i]) {
+            if (unresolved[static_cast<size_t>(d)]) {
+                resolve_mem();
+                break;
+            }
+        }
         int64_t ready = issue_time;
         for (int d : deps.deps[i])
             ready = std::max(ready, complete[static_cast<size_t>(d)]);
         ctr.depStallCycles += ready - issue_time;
 
-        int64_t start = 0, end = 0;
-        OpClass kind = OpClass::Other;
+        OpInterval &iv = result.timeline[i];
+        iv.label = op.label;
+        iv.opId = op_id;
         switch (op.kind) {
-          case OpKind::Load: {
-            kind = OpClass::Load;
-            ++ctr.loads;
-            ensure_resident(op.stream, ready);
-            const auto &info = streams[static_cast<size_t>(op.stream)];
-            int64_t words = info.memWords();
-            start = std::max(ready, mem_free);
-            ctr.memPipeStallCycles += start - ready;
-            mem::TransferTrace ttr{tracer, start, op.label, op_id};
-            mem::TransferResult tr =
-                mem_sys.transfer(words, 1, tracer ? &ttr : nullptr);
-            end = start + tr.cycles;
-            // Pins busy for the bandwidth-limited portion; the fixed
-            // latency of the next transfer can overlap.
-            mem_free = start + tr.busyCycles;
-            if (tr.busyCycles > 0)
-                mem_busy_ivs.push_back({start, mem_free});
-            result.memBusy += tr.busyCycles;
-            result.memWords += words;
-            // The SRF receives the unpacked stream.
-            ctr.srfWriteWords += info.words();
-            ctr.dramAccesses += tr.dramAccesses;
-            ctr.dramRowHits += tr.dramRowHits;
-            ctr.dramRowMisses += tr.dramRowMisses;
-            ctr.dramReorderSum += tr.dramReorderSum;
-            ctr.dramReorderMax =
-                std::max(ctr.dramReorderMax, tr.dramReorderMax);
-            break;
-          }
+          case OpKind::Load:
           case OpKind::Store: {
-            kind = OpClass::Store;
-            ++ctr.stores;
+            bool is_load = op.kind == OpKind::Load;
+            iv.kind = is_load ? OpClass::Load : OpClass::Store;
             const auto &info = streams[static_cast<size_t>(op.stream)];
             int64_t words = info.memWords();
-            start = std::max(ready, mem_free);
-            ctr.memPipeStallCycles += start - ready;
-            mem::TransferTrace ttr{tracer, start, op.label, op_id};
-            mem::TransferResult tr =
-                mem_sys.transfer(words, 1, tracer ? &ttr : nullptr);
-            end = start + tr.cycles;
-            mem_free = start + tr.busyCycles;
-            if (tr.busyCycles > 0)
-                mem_busy_ivs.push_back({start, mem_free});
-            result.memBusy += tr.busyCycles;
+            if (is_load) {
+                ++ctr.loads;
+                ensure_resident(op.stream, ready);
+                // The SRF receives the unpacked stream.
+                ctr.srfWriteWords += info.words();
+            } else {
+                ++ctr.stores;
+                ctr.srfReadWords += info.words();
+            }
             result.memWords += words;
-            ctr.srfReadWords += info.words();
-            ctr.dramAccesses += tr.dramAccesses;
-            ctr.dramRowHits += tr.dramRowHits;
-            ctr.dramRowMisses += tr.dramRowMisses;
-            ctr.dramReorderSum += tr.dramReorderSum;
-            ctr.dramReorderMax =
-                std::max(ctr.dramReorderMax, tr.dramReorderMax);
+            mem::TransferDesc desc;
+            desc.words = words;
+            desc.baseWord = op.memBase;
+            desc.strideWords = op.memStride;
+            desc.recordWords = op.memRecordWords;
+            desc.startCycle = ready;
+            desc.write = !is_load;
+            mem::TransferTrace ttr{tracer, ready, op.label, op_id};
+            int ticket =
+                mem_sys.submit(desc, tracer ? &ttr : nullptr);
+            pending_mem.push_back(PendingMemOp{i, ticket});
+            unresolved[i] = true;
+            // Timeline/completion filled in by resolve_mem; until
+            // then the op conservatively completes at `ready`.
+            iv.start = ready;
+            iv.end = ready;
+            complete[i] = ready;
             break;
           }
           case OpKind::Kernel: {
-            kind = OpClass::Kernel;
+            iv.kind = OpClass::Kernel;
             ++ctr.kernelCalls;
             // Outputs materialize in the SRF.
             for (int s : deps.writes[i])
@@ -250,11 +300,11 @@ executeProgram(const stream::StreamProgram &prog,
             for (int s : deps.reads[i])
                 ensure_resident(s, ready);
             const sched::CompiledKernel &ck = compile(*op.k);
-            start = std::max(ready, uc_free);
+            int64_t start = std::max(ready, uc_free);
             ctr.ucPipeStallCycles += start - ready;
             Microcontroller::CallTiming t = uc.call(
                 op.k->name, ck, op.records, start, tracer, op_id);
-            end = start + t.cycles;
+            int64_t end = start + t.cycles;
             uc_free = end;
             if (t.cycles > 0)
                 uc_busy_ivs.push_back({start, end});
@@ -288,26 +338,40 @@ executeProgram(const stream::StreamProgram &prog,
             if (opts.functional)
                 runKernelFunctionally(op, cfg.clusters,
                                       *opts.functional, prog);
+            complete[i] = end;
+            in_flight.push(end);
+            iv.start = start;
+            iv.end = end;
+            result.cycles = std::max(result.cycles, end);
             break;
           }
         }
 
-        complete[i] = end;
-        in_flight.push(end);
-        result.timeline.push_back(
-            OpInterval{start, end, op.label, op_id, kind});
-        result.cycles = std::max(result.cycles, end);
         result.srfHighWater =
             std::max(result.srfHighWater, alloc.highWater());
 
         // Streams dead after this op release their SRF space.
         for (int s : deps.lastUseOf[i]) {
             alloc.release(s);
-            srf_counter_sample(end);
+            srf_counter_sample(complete[i]);
         }
     }
 
+    resolve_mem();
+
+    // Memory pin occupancy: the union of per-channel busy intervals
+    // accumulated across all resolve batches. Merging keeps the
+    // breakdown identity memOnly + overlap == memBusy exact even when
+    // batches interleave on the shared channels.
+    std::vector<mem::BusyInterval> mem_busy_ivs =
+        mergeIntervals(mem_sys.takeBusyIntervals());
+    for (const auto &ivb : mem_busy_ivs)
+        result.memBusy += ivb.end - ivb.start;
+
     fillCycleBreakdown(mem_busy_ivs, uc_busy_ivs, result.cycles, ctr);
+    ctr.dramChannelBusyCycles.clear();
+    for (const mem::ChannelStats &cs : mem_sys.channelStats())
+        ctr.dramChannelBusyCycles.push_back(cs.busyCycles);
     ctr.aluIssueSlots =
         result.cycles * cfg.clusters * cfg.alusPerCluster;
     ctr.kernelAluSlots =

@@ -54,11 +54,15 @@ struct RunOptions
 
 /**
  * Execute a program against the given memory system, microcontroller
- * model, and SRF allocator. Returns timing and statistics.
+ * model, and SRF allocator. Returns timing and statistics. The memory
+ * system's channel state is reset (beginProgram) and then evolves
+ * across the run: transfers are submitted at issue and resolved
+ * jointly when a dependent op or the scoreboard needs a completion
+ * time, so overlapping transfers contend for channels and row buffers.
  */
 SimResult executeProgram(const stream::StreamProgram &prog,
                          const ControllerConfig &cfg,
-                         const mem::StreamMemSystem &mem_sys,
+                         mem::StreamMemSystem &mem_sys,
                          Microcontroller &uc, srf::Allocator &alloc,
                          const CompileFn &compile,
                          const RunOptions &opts = {});

@@ -4,6 +4,16 @@
 
 namespace sps::stream {
 
+int64_t
+StreamInfo::memFootprintWords() const
+{
+    if (records <= 0)
+        return 0;
+    int64_t stride =
+        memStrideWords > 0 ? memStrideWords : memRecordWords();
+    return (records - 1) * stride + memRecordWords();
+}
+
 int
 StreamProgram::declareStream(const std::string &name, int record_words,
                              int64_t records, bool memory_backed,
@@ -13,7 +23,43 @@ StreamProgram::declareStream(const std::string &name, int record_words,
                "bad stream declaration %s", name.c_str());
     streams_.push_back(StreamInfo{name, record_words, records,
                                   memory_backed, packed16});
-    return static_cast<int>(streams_.size()) - 1;
+    int id = static_cast<int>(streams_.size()) - 1;
+    // Memory-backed streams get their home address up front; streams
+    // first materialized in the SRF get one on first store.
+    if (memory_backed)
+        ensureMemLayout(id);
+    return id;
+}
+
+void
+StreamProgram::setMemLayout(int stream, int64_t stride_words,
+                            int64_t base_word)
+{
+    SPS_ASSERT(stream >= 0 &&
+                   stream < static_cast<int>(streams_.size()),
+               "bad stream id %d", stream);
+    SPS_ASSERT(stride_words >= 0, "bad stride %lld",
+               static_cast<long long>(stride_words));
+    StreamInfo &info = streams_[static_cast<size_t>(stream)];
+    info.memStrideWords = stride_words;
+    if (base_word >= 0) {
+        info.memBaseWord = base_word;
+    } else if (info.memBaseWord >= 0) {
+        // Re-assign from the cursor so the strided footprint does not
+        // collide with later streams.
+        info.memBaseWord = -1;
+        ensureMemLayout(stream);
+    }
+}
+
+void
+StreamProgram::ensureMemLayout(int stream)
+{
+    StreamInfo &info = streams_[static_cast<size_t>(stream)];
+    if (info.memBaseWord >= 0)
+        return;
+    info.memBaseWord = memCursor_;
+    memCursor_ += info.memFootprintWords();
 }
 
 void
@@ -25,11 +71,16 @@ StreamProgram::load(int stream)
     SPS_ASSERT(streams_[stream].memoryBacked,
                "load of non-memory stream %s",
                streams_[stream].name.c_str());
+    ensureMemLayout(stream);
+    const StreamInfo &info = streams_[static_cast<size_t>(stream)];
     StreamOp op;
     op.kind = OpKind::Load;
     op.stream = stream;
-    op.records = streams_[stream].records;
-    op.label = "load " + streams_[stream].name;
+    op.records = info.records;
+    op.label = "load " + info.name;
+    op.memBase = info.memBaseWord;
+    op.memStride = info.memStrideWords;
+    op.memRecordWords = info.memRecordWords();
     ops_.push_back(std::move(op));
 }
 
@@ -39,11 +90,16 @@ StreamProgram::store(int stream)
     SPS_ASSERT(stream >= 0 &&
                    stream < static_cast<int>(streams_.size()),
                "bad stream id %d", stream);
+    ensureMemLayout(stream);
+    const StreamInfo &info = streams_[static_cast<size_t>(stream)];
     StreamOp op;
     op.kind = OpKind::Store;
     op.stream = stream;
-    op.records = streams_[stream].records;
-    op.label = "store " + streams_[stream].name;
+    op.records = info.records;
+    op.label = "store " + info.name;
+    op.memBase = info.memBaseWord;
+    op.memStride = info.memStrideWords;
+    op.memRecordWords = info.memRecordWords();
     ops_.push_back(std::move(op));
 }
 

@@ -10,6 +10,7 @@
 #ifndef SPS_STREAM_PROGRAM_H
 #define SPS_STREAM_PROGRAM_H
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,10 +33,26 @@ struct StreamInfo
      * clusters operate on unpacked words).
      */
     bool packed16 = false;
+    /**
+     * External-memory layout: word address of the first record
+     * (assigned from the program's layout cursor on declaration for
+     * memory-backed streams, on first store otherwise; overridable
+     * via setMemLayout) and the start-to-start distance between
+     * consecutive records in memory words (0 = dense).
+     */
+    int64_t memBaseWord = -1;
+    int64_t memStrideWords = 0;
 
     int64_t words() const { return records * recordWords; }
     /** Words moved over the external memory interface. */
     int64_t memWords() const { return packed16 ? words() / 2 : words(); }
+    /** Contiguous memory words per record (packed16 halves them). */
+    int64_t memRecordWords() const
+    {
+        return packed16 ? std::max(1, recordWords / 2) : recordWords;
+    }
+    /** Memory words spanned from the first to past the last record. */
+    int64_t memFootprintWords() const;
 };
 
 /** Kind of one stream-level operation. */
@@ -53,6 +70,15 @@ struct StreamOp
     /** Records processed (driver-stream records for kernel calls). */
     int64_t records = 0;
     std::string label;
+    /**
+     * Load/Store: resolved memory addressing, carried on the op so
+     * the memory system can generate real word addresses -- base word
+     * address, start-to-start record stride, and contiguous words per
+     * record (all in memory words, i.e. after 16-bit packing).
+     */
+    int64_t memBase = 0;
+    int64_t memStride = 0;
+    int64_t memRecordWords = 1;
 };
 
 /**
@@ -71,6 +97,17 @@ class StreamProgram
     int declareStream(const std::string &name, int record_words,
                       int64_t records, bool memory_backed = false,
                       bool packed16 = false);
+
+    /**
+     * Override a stream's external-memory layout before its first
+     * load/store: record stride in memory words (0 = dense), and
+     * optionally an explicit base word address (-1 keeps the
+     * program-assigned base). A stride smaller than the record length
+     * reads overlapping windows; a stride of `channels` words aliases
+     * every record start onto one memory channel.
+     */
+    void setMemLayout(int stream, int64_t stride_words,
+                      int64_t base_word = -1);
 
     /** Load a memory-backed stream into the SRF. */
     void load(int stream);
@@ -91,9 +128,14 @@ class StreamProgram
     int64_t totalKernelRecords() const;
 
   private:
+    /** Assign a base address from the layout cursor if unassigned. */
+    void ensureMemLayout(int stream);
+
     std::string name_;
     std::vector<StreamInfo> streams_;
     std::vector<StreamOp> ops_;
+    /** Next free external-memory word (bump allocator). */
+    int64_t memCursor_ = 0;
 };
 
 } // namespace sps::stream

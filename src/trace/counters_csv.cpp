@@ -71,8 +71,12 @@ counterValues(const sim::SimResult &r)
     addExact(out, "dram_accesses", c.dramAccesses);
     addExact(out, "dram_row_hits", c.dramRowHits);
     addExact(out, "dram_row_misses", c.dramRowMisses);
+    addExact(out, "dram_bank_conflicts", c.dramBankConflicts);
     addExact(out, "dram_reorder_sum", c.dramReorderSum);
     addExact(out, "dram_reorder_max", c.dramReorderMax);
+    addExact(out, "mem_alias_stall_cycles", c.memAliasStallCycles);
+    addExact(out, "dram_channel_busy_max", r.dramChannelBusyMax());
+    addExact(out, "dram_channel_busy_min", r.dramChannelBusyMin());
     // Derived rates (tolerance-compared).
     addRate(out, "alu_occupancy", r.aluOccupancy());
     addRate(out, "kernel_alu_occupancy", r.kernelAluOccupancy());

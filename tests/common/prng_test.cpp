@@ -1,5 +1,7 @@
 #include "common/prng.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace sps {
@@ -47,6 +49,47 @@ TEST(PrngTest, BelowBoundRespected)
     Prng p(5);
     for (int i = 0; i < 1000; ++i)
         EXPECT_LT(p.below(17), 17u);
+}
+
+TEST(PrngTest, BelowEdgeCases)
+{
+    Prng p(8);
+    EXPECT_EQ(p.below(0), 0u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(p.below(1), 0u);
+}
+
+TEST(PrngTest, BelowCoversFullRange)
+{
+    Prng p(9);
+    const uint32_t bound = 7;
+    std::vector<int> seen(bound, 0);
+    for (int i = 0; i < 2000; ++i)
+        ++seen[p.below(bound)];
+    for (uint32_t v = 0; v < bound; ++v)
+        EXPECT_GT(seen[v], 0) << "value " << v << " never drawn";
+}
+
+TEST(PrngTest, BelowRoughlyUniform)
+{
+    // Rejection sampling removes the modulo bias of `next() % bound`;
+    // each bucket should land near n/bound.
+    Prng p(10);
+    const uint32_t bound = 5;
+    const int n = 50000;
+    std::vector<int> seen(bound, 0);
+    for (int i = 0; i < n; ++i)
+        ++seen[p.below(bound)];
+    for (uint32_t v = 0; v < bound; ++v)
+        EXPECT_NEAR(static_cast<double>(seen[v]), n / bound,
+                    0.05 * n / bound);
+}
+
+TEST(PrngTest, BelowDeterministicForSameSeed)
+{
+    Prng a(11), b(11);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.below(1000), b.below(1000));
 }
 
 TEST(PrngTest, RoughlyUniformMean)

@@ -1,6 +1,9 @@
 #include "mem/access_sched.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
+
+#include "common/prng.h"
 
 namespace sps::mem {
 namespace {
@@ -52,6 +55,94 @@ TEST(AccessSchedTest, EmptyRequestList)
     DramChannel chan;
     AccessScheduler sched(chan);
     EXPECT_EQ(sched.run({}), 0);
+}
+
+TEST(AccessSchedTest, AgeCapBoundsStarvationUnderRowHitFlood)
+{
+    // One old row miss behind a flood of row hits: row-hit-first alone
+    // would bypass it until the flood drains, the age cap forces it
+    // through after at most maxBypass bypasses.
+    DramTiming t;
+    t.banks = 1;
+    std::vector<MemRequest> reqs;
+    reqs.push_back(MemRequest{0, false}); // opens row 0
+    reqs.push_back(MemRequest{t.rowWords * 4LL, false}); // the victim
+    for (int i = 1; i <= 64; ++i)
+        reqs.push_back(MemRequest{i, false}); // row-0 hits
+
+    DramChannel capped_chan(t);
+    SchedRunStats capped =
+        AccessScheduler(capped_chan, 16, /*max_bypass=*/4)
+            .runStats(reqs);
+    EXPECT_LE(capped.maxBypassed, 4);
+
+    DramChannel uncapped_chan(t);
+    SchedRunStats uncapped =
+        AccessScheduler(uncapped_chan, 16, /*max_bypass=*/100000)
+            .runStats(reqs);
+    EXPECT_GT(uncapped.maxBypassed, 40);
+    // The cap trades some locality for the latency bound.
+    EXPECT_GE(capped.busyCycles, uncapped.busyCycles);
+}
+
+TEST(AccessSchedTest, ReorderStatsTrackPickDistance)
+{
+    DramTiming t;
+    t.banks = 1;
+    std::vector<MemRequest> reqs;
+    for (int i = 0; i < 16; ++i) {
+        reqs.push_back(MemRequest{i, false});
+        reqs.push_back(MemRequest{t.rowWords + i, false});
+    }
+    // A window of one is FIFO: nothing is ever bypassed.
+    DramChannel fifo_chan(t);
+    SchedRunStats fifo =
+        AccessScheduler(fifo_chan, /*window=*/1).runStats(reqs);
+    EXPECT_EQ(fifo.reorderSum, 0);
+    EXPECT_EQ(fifo.reorderMax, 0);
+    EXPECT_EQ(fifo.maxBypassed, 0);
+    // FR-FCFS on alternating rows reorders, within the window bound.
+    DramChannel fr_chan(t);
+    SchedRunStats fr =
+        AccessScheduler(fr_chan, /*window=*/16).runStats(reqs);
+    EXPECT_GT(fr.reorderSum, 0);
+    EXPECT_GE(fr.reorderMax, 1);
+    EXPECT_LT(fr.reorderMax, 16);
+    EXPECT_GE(fr.reorderSum, fr.reorderMax);
+}
+
+TEST(AccessSchedTest, BusyCyclesInvariantUnderWindowPermutations)
+{
+    // With every request visible at once (n <= window) and no age cap
+    // in play, FR-FCFS drains each row completely before switching:
+    // pin time depends only on the request set, not its order.
+    DramTiming t;
+    t.banks = 1;
+    std::vector<MemRequest> base;
+    for (int64_t row = 0; row < 4; ++row)
+        for (int64_t i = 0; i < 4; ++i)
+            base.push_back(MemRequest{row * t.rowWords + i, false});
+
+    auto busy_of = [&](const std::vector<MemRequest> &reqs) {
+        DramChannel chan(t);
+        return AccessScheduler(chan, /*window=*/16,
+                               /*max_bypass=*/1 << 20)
+            .runStats(reqs)
+            .busyCycles;
+    };
+    int64_t want = busy_of(base);
+
+    std::vector<MemRequest> reversed(base.rbegin(), base.rend());
+    EXPECT_EQ(busy_of(reversed), want);
+
+    Prng prng(42);
+    std::vector<MemRequest> shuffled = base;
+    for (int trial = 0; trial < 8; ++trial) {
+        for (size_t i = shuffled.size() - 1; i > 0; --i)
+            std::swap(shuffled[i],
+                      shuffled[prng.below(static_cast<uint32_t>(i + 1))]);
+        EXPECT_EQ(busy_of(shuffled), want);
+    }
 }
 
 TEST(AccessSchedTest, StridedAccessSlowerThanDense)

@@ -112,6 +112,26 @@ TEST(CountersTest, DramCountersAreConsistent)
     EXPECT_LE(c.dramReorderMax, 16); // bounded by the FR-FCFS window
 }
 
+TEST(CountersTest, ContentionCountersAreConsistent)
+{
+    SimResult r =
+        StreamProcessor(config(8, 5)).run(loadComputeStore(4096));
+    const SimCounters &c = r.counters;
+    EXPECT_GE(c.dramBankConflicts, 0);
+    EXPECT_LE(c.dramBankConflicts, c.dramRowMisses);
+    EXPECT_GE(c.memAliasStallCycles, 0);
+    // One entry per memory channel, populated by the run.
+    ASSERT_EQ(c.dramChannelBusyCycles.size(), 8u);
+    int64_t sum = 0;
+    for (int64_t v : c.dramChannelBusyCycles) {
+        EXPECT_GE(v, 0);
+        sum += v;
+    }
+    EXPECT_GE(r.dramChannelBusyMax(), r.dramChannelBusyMin());
+    // Total pin work across channels is at least the busy-union.
+    EXPECT_GE(sum, r.memBusy);
+}
+
 TEST(CountersTest, StallCountersExplainSerialization)
 {
     // Two back-to-back dependent kernels: the second waits on the

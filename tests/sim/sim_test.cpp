@@ -125,10 +125,16 @@ TEST(SimTest, MemoryTransfersSerializeOnChannelBandwidth)
     p.load(a);
     p.load(b);
     SimResult r = proc.run(p);
-    // Aggregate bandwidth is shared: the second transfer cannot start
-    // its bandwidth-limited portion until the first releases the pins.
-    EXPECT_GE(r.timeline[1].end,
-              r.timeline[0].end + 32768 / 5);
+    // Aggregate bandwidth is shared: the transfers interleave through
+    // the channels, so the pair cannot finish before the
+    // peak-bandwidth floor for the combined words (2 * 32768 words at
+    // 4 words/cycle), and the pins are busy at least that long.
+    int64_t floor_cycles = 2 * 32768 / 4;
+    EXPECT_GE(std::max(r.timeline[0].end, r.timeline[1].end),
+              floor_cycles);
+    EXPECT_GE(r.memBusy, floor_cycles);
+    // They do overlap rather than queueing whole-transfer-at-a-time.
+    EXPECT_LT(r.timeline[1].start, r.timeline[0].end);
 }
 
 TEST(SimTest, GopsAccountingUsesClock)

@@ -62,6 +62,48 @@ TEST(ProgramTest, DriverOverrideRespected)
     EXPECT_EQ(p.ops()[0].records, 16);
 }
 
+TEST(ProgramTest, MemLayoutAssignsDisjointBases)
+{
+    StreamProgram p("app");
+    int a = p.declareStream("a", 2, 100, true);
+    int b = p.declareStream("b", 1, 50, true);
+    EXPECT_EQ(p.streams()[a].memBaseWord, 0);
+    EXPECT_EQ(p.streams()[a].memFootprintWords(), 200);
+    EXPECT_EQ(p.streams()[b].memBaseWord, 200);
+    p.load(a);
+    p.load(b);
+    EXPECT_EQ(p.ops()[0].memBase, 0);
+    EXPECT_EQ(p.ops()[0].memRecordWords, 2);
+    EXPECT_EQ(p.ops()[1].memBase, 200);
+    EXPECT_EQ(p.ops()[1].memStride, 0);
+}
+
+TEST(ProgramTest, SetMemLayoutCarriedOntoOps)
+{
+    StreamProgram p("app");
+    int a = p.declareStream("a", 1, 64, true);
+    int b = p.declareStream("b", 1, 64, true);
+    // A stride wider than the record grows the footprint, so the
+    // stream is re-based past everything already laid out.
+    p.setMemLayout(a, 8);
+    EXPECT_EQ(p.streams()[a].memFootprintWords(), 63 * 8 + 1);
+    EXPECT_GE(p.streams()[a].memBaseWord,
+              p.streams()[b].memBaseWord + 64);
+    p.load(a);
+    EXPECT_EQ(p.ops()[0].memStride, 8);
+    EXPECT_EQ(p.ops()[0].memBase, p.streams()[a].memBaseWord);
+}
+
+TEST(ProgramTest, Packed16MemRecordAndFootprint)
+{
+    StreamProgram p("app");
+    int s = p.declareStream("px", 8, 100, true, true);
+    EXPECT_EQ(p.streams()[s].memRecordWords(), 4);
+    EXPECT_EQ(p.streams()[s].memFootprintWords(), 400);
+    p.load(s);
+    EXPECT_EQ(p.ops()[0].memRecordWords, 4);
+}
+
 TEST(ProgramDeathTest, RecordWidthMismatchPanics)
 {
     static kernel::Kernel k = copyKernel();
