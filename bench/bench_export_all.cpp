@@ -154,6 +154,18 @@ exportFig15()
              std::to_string(pt.size.alusPerCluster)},
             pt.result);
     counters.writeFile(path("fig15_app_counters.csv"));
+
+    // Per-run energy breakdown + bottleneck waterfall (the data
+    // behind any "where does the power go" question about Figure 15).
+    sps::CsvWriter energy;
+    sps::trace::beginEnergyCsv(energy, {"app", "C", "N"});
+    for (const auto &pt : pts)
+        sps::trace::appendEnergyRow(
+            energy,
+            {pt.app, std::to_string(pt.size.clusters),
+             std::to_string(pt.size.alusPerCluster)},
+            pt.result);
+    energy.writeFile(path("fig15_app_energy.csv"));
 }
 
 } // namespace

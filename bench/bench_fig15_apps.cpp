@@ -12,6 +12,8 @@
  *   --trace-app NAME   which application --trace records
  *   --counters FILE    per-run hardware-counter CSV for every (app,
  *                      C, N) grid point
+ *   --energy FILE      per-run energy breakdown + bottleneck waterfall
+ *                      CSV for every (app, C, N) grid point
  */
 #include <cstdio>
 #include <cstring>
@@ -65,7 +67,8 @@ int
 main(int argc, char **argv)
 {
     using sps::TextTable;
-    std::string trace_path, trace_app = "RENDER", counters_path;
+    std::string trace_path, trace_app = "RENDER", counters_path,
+        energy_path;
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
@@ -80,6 +83,8 @@ main(int argc, char **argv)
             trace_app = need("--trace-app");
         else if (std::strcmp(argv[i], "--counters") == 0)
             counters_path = need("--counters");
+        else if (std::strcmp(argv[i], "--energy") == 0)
+            energy_path = need("--energy");
         else {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 1;
@@ -107,6 +112,24 @@ main(int argc, char **argv)
         }
         std::printf("wrote per-run hardware counters to %s\n",
                     counters_path.c_str());
+    }
+
+    if (!energy_path.empty()) {
+        sps::CsvWriter w;
+        sps::trace::beginEnergyCsv(w, {"app", "C", "N"});
+        for (const auto &pt : points)
+            sps::trace::appendEnergyRow(
+                w,
+                {pt.app, std::to_string(pt.size.clusters),
+                 std::to_string(pt.size.alusPerCluster)},
+                pt.result);
+        if (!w.writeFile(energy_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         energy_path.c_str());
+            return 1;
+        }
+        std::printf("wrote per-run energy breakdowns to %s\n",
+                    energy_path.c_str());
     }
 
     std::map<std::string, std::map<std::pair<int, int>,

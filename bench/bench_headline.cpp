@@ -11,12 +11,19 @@
  * schedule cache, with the recompilation counts that prove the warm
  * runs compile nothing.
  *
- * Finally reports functional-interpreter throughput (words/sec per
- * Table-4 kernel, reference vs lowered engine) and writes the numbers
- * to BENCH_interp.json so the perf trajectory is recorded across PRs.
+ * Reports functional-interpreter throughput (words/sec per Table-4
+ * kernel, reference vs lowered engine) and writes the numbers to
+ * BENCH_interp.json so the perf trajectory is recorded across PRs.
+ *
+ * Finally cross-checks the measured energy model against the
+ * analytical one: intercluster energy-per-ALU-op scaling at
+ * C = 1..16 (N = 5), aggregated over the app suite and normalized to
+ * C = 8, next to the analytical Figure 10 curve -- written to
+ * BENCH_energy.json with the per-point measured/analytic ratios.
  */
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +34,7 @@
 #include "interp/interpreter.h"
 #include "interp/lowered.h"
 #include "interp_bench_util.h"
+#include "vlsi/cost_model.h"
 #include "vlsi/sweep.h"
 #include "workloads/suite.h"
 
@@ -112,6 +120,94 @@ interpThroughput(int c, int64_t records, double *aggregate)
     }
     *aggregate = lowered_total > 0.0 ? ref_total / lowered_total : 0.0;
     return rows;
+}
+
+struct EnergyScalePoint
+{
+    int clusters = 0;
+    double measuredNorm = 0.0; // scaled E/op, normalized to C=8
+    double analyticNorm = 0.0; // Figure 10 curve, normalized to C=8
+    double ratio = 0.0;        // measured / analytic
+};
+
+/**
+ * Measured intercluster energy-per-ALU-op scaling: run the whole app
+ * suite at each C (N = 5) through the simulator, aggregate the
+ * paper-scope (no DRAM) energy over total ALU ops, and normalize to
+ * the C = 8 baseline -- the measured counterpart of the analytical
+ * Figure 10 energy curve.
+ */
+std::vector<EnergyScalePoint>
+energyScaling(sps::core::EvalEngine &eng)
+{
+    using namespace sps;
+    const std::vector<int> cs{1, 2, 4, 8, 16};
+    auto apps = workloads::appSuite();
+    struct Cell
+    {
+        double ew = 0.0;
+        double ops = 0.0;
+    };
+    auto cells = eng.map(cs.size() * apps.size(), [&](size_t idx) {
+        vlsi::MachineSize size{cs[idx / apps.size()], 5};
+        const auto &app = apps[idx % apps.size()];
+        core::StreamProcessorDesign d(size);
+        sim::StreamProcessor proc = d.makeProcessor();
+        stream::StreamProgram prog = app.build(size, proc.srf());
+        sim::SimResult res = proc.run(prog);
+        Cell cell;
+        cell.ew = res.energy.scaledTotalEw();
+        cell.ops = static_cast<double>(res.energy.aluOps);
+        return cell;
+    });
+
+    std::map<int, Cell> by_c;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        auto &acc = by_c[cs[i / apps.size()]];
+        acc.ew += cells[i].ew;
+        acc.ops += cells[i].ops;
+    }
+
+    vlsi::CostModel model;
+    double measured_ref = by_c[8].ew / by_c[8].ops;
+    double analytic_ref = model.energyPerAluOp({8, 5});
+    std::vector<EnergyScalePoint> pts;
+    for (int c : cs) {
+        EnergyScalePoint pt;
+        pt.clusters = c;
+        pt.measuredNorm =
+            (by_c[c].ew / by_c[c].ops) / measured_ref;
+        pt.analyticNorm =
+            model.energyPerAluOp({c, 5}) / analytic_ref;
+        pt.ratio = pt.measuredNorm / pt.analyticNorm;
+        pts.push_back(pt);
+    }
+    return pts;
+}
+
+void
+writeEnergyJson(const char *path,
+                const std::vector<EnergyScalePoint> &pts)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"alus_per_cluster\": 5,\n"
+                 "  \"normalized_to_clusters\": 8,\n"
+                 "  \"energy_per_alu_op\": [\n");
+    for (size_t i = 0; i < pts.size(); ++i) {
+        const EnergyScalePoint &p = pts[i];
+        std::fprintf(f,
+                     "    {\"clusters\": %d, \"measured\": %.6f, "
+                     "\"analytic\": %.6f, \"ratio\": %.4f}%s\n",
+                     p.clusters, p.measuredNorm, p.analyticNorm,
+                     p.ratio, i + 1 < pts.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 void
@@ -250,5 +346,26 @@ main()
                 it.toString().c_str(), aggregate);
     writeInterpJson("BENCH_interp.json", interp_c, interp_records,
                     rows, aggregate);
-    return 0;
+
+    // --- Energy model: measured vs analytical Figure 10 scaling ---
+    std::vector<EnergyScalePoint> epts = energyScaling(parallel);
+    TextTable et;
+    et.header({"C (N=5)", "measured E/op", "analytic E/op",
+               "ratio"});
+    bool within2x = true;
+    for (const EnergyScalePoint &p : epts) {
+        et.row({std::to_string(p.clusters),
+                TextTable::num(p.measuredNorm, 3),
+                TextTable::num(p.analyticNorm, 3),
+                TextTable::num(p.ratio, 2) + "x"});
+        if (p.ratio < 0.5 || p.ratio > 2.0)
+            within2x = false;
+    }
+    std::printf("\nEnergy: measured vs analytical intercluster "
+                "energy per ALU op (normalized to C=8)\n\n%s\n"
+                "every point within 2x of the Figure 10 curve: %s "
+                "(written to BENCH_energy.json)\n",
+                et.toString().c_str(), within2x ? "yes" : "NO");
+    writeEnergyJson("BENCH_energy.json", epts);
+    return within2x ? 0 : 1;
 }

@@ -1,0 +1,131 @@
+#include "analysis/bottleneck.h"
+
+#include <algorithm>
+
+namespace sps::analysis {
+
+std::vector<CycleInterval>
+mergeIntervals(std::vector<CycleInterval> v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const CycleInterval &a, const CycleInterval &b) {
+                  return a.start < b.start;
+              });
+    std::vector<CycleInterval> out;
+    for (const CycleInterval &iv : v) {
+        if (iv.end <= iv.start)
+            continue;
+        if (!out.empty() && iv.start <= out.back().end)
+            out.back().end = std::max(out.back().end, iv.end);
+        else
+            out.push_back(iv);
+    }
+    return out;
+}
+
+int64_t
+intervalLength(const std::vector<CycleInterval> &v)
+{
+    int64_t n = 0;
+    for (const CycleInterval &iv : v)
+        n += iv.end - iv.start;
+    return n;
+}
+
+std::vector<CycleInterval>
+intersectIntervals(const std::vector<CycleInterval> &a,
+                   const std::vector<CycleInterval> &b)
+{
+    std::vector<CycleInterval> out;
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        int64_t lo = std::max(a[i].start, b[j].start);
+        int64_t hi = std::min(a[i].end, b[j].end);
+        if (lo < hi)
+            out.push_back({lo, hi});
+        if (a[i].end < b[j].end)
+            ++i;
+        else
+            ++j;
+    }
+    return out;
+}
+
+std::vector<CycleInterval>
+subtractIntervals(const std::vector<CycleInterval> &a,
+                  const std::vector<CycleInterval> &b)
+{
+    std::vector<CycleInterval> out;
+    size_t j = 0;
+    for (CycleInterval iv : a) {
+        while (j < b.size() && b[j].end <= iv.start)
+            ++j;
+        int64_t cur = iv.start;
+        size_t k = j;
+        while (k < b.size() && b[k].start < iv.end) {
+            if (b[k].start > cur)
+                out.push_back({cur, b[k].start});
+            cur = std::max(cur, b[k].end);
+            ++k;
+        }
+        if (cur < iv.end)
+            out.push_back({cur, iv.end});
+    }
+    return out;
+}
+
+BottleneckReport
+attributeBottleneck(const std::vector<sim::OpInterval> &timeline,
+                    std::vector<CycleInterval> memBusy,
+                    std::vector<CycleInterval> ucBusy, int64_t cycles)
+{
+    BottleneckReport r;
+    r.valid = true;
+
+    std::vector<CycleInterval> mem = mergeIntervals(std::move(memBusy));
+    std::vector<CycleInterval> uc = mergeIntervals(std::move(ucBusy));
+
+    // Busy attribution: microcontroller-busy cycles are kernel-bound
+    // whether or not memory overlapped them; memory-only cycles are
+    // memory-bound. This matches the SimCounters cycle breakdown
+    // (kernelBound == kernelOnly + overlap, memoryBound == memOnly).
+    r.kernelBoundCycles = intervalLength(uc);
+    r.memoryBoundCycles =
+        intervalLength(mem) - intervalLength(intersectIntervals(mem, uc));
+
+    // Quiet cycles: the complement of all busy intervals in [0, cycles).
+    std::vector<CycleInterval> busy;
+    busy.reserve(mem.size() + uc.size());
+    busy.insert(busy.end(), mem.begin(), mem.end());
+    busy.insert(busy.end(), uc.begin(), uc.end());
+    std::vector<CycleInterval> idle =
+        subtractIntervals({{0, cycles}}, mergeIntervals(std::move(busy)));
+
+    // Per-op wait windows from the issue metadata.
+    std::vector<CycleInterval> sb, host, dep;
+    for (const sim::OpInterval &op : timeline) {
+        if (op.issueStart > op.sbWaitStart)
+            sb.push_back({op.sbWaitStart, op.issueStart});
+        if (op.issueEnd > op.issueStart)
+            host.push_back({op.issueStart, op.issueEnd});
+        if (op.readyCycle > op.issueEnd)
+            dep.push_back({op.issueEnd, op.readyCycle});
+    }
+
+    // Attribute quiet cycles by priority; each window class claims its
+    // intersection with the still-unattributed idle set.
+    auto claim = [&idle](std::vector<CycleInterval> windows) {
+        std::vector<CycleInterval> w =
+            mergeIntervals(std::move(windows));
+        std::vector<CycleInterval> got = intersectIntervals(idle, w);
+        idle = subtractIntervals(idle, got);
+        return intervalLength(got);
+    };
+    r.scoreboardCycles = claim(std::move(sb));
+    r.dependenceCycles = claim(std::move(dep));
+    r.hostIssueCycles = claim(std::move(host));
+    r.idleCycles = intervalLength(idle);
+    return r;
+}
+
+} // namespace sps::analysis

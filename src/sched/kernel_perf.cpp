@@ -70,6 +70,9 @@ compileKernel(const kernel::Kernel &k, const MachineModel &m,
         c.length = s.length;
         c.aluOpsPerIteration = census.aluOps;
         c.gopsOpsPerIteration = kernel::gopsOpsPerIteration(k);
+        c.commOpsPerIteration = census.comms;
+        c.spOpsPerIteration = census.spAccesses;
+        c.srfAccessesPerIteration = census.srfAccesses;
         if (!have_best ||
             c.aluOpsPerCycle() > best.aluOpsPerCycle() + 1e-9) {
             best = c;

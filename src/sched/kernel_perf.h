@@ -38,6 +38,12 @@ struct CompiledKernel
     int aluOpsPerIteration = 0;
     /** GOPS-counted operations per original iteration (subword-aware). */
     double gopsOpsPerIteration = 0.0;
+    /** Intercluster COMM words sent per original iteration. */
+    int commOpsPerIteration = 0;
+    /** Scratchpad accesses per original iteration. */
+    int spOpsPerIteration = 0;
+    /** SRF (streambuffer) accesses per original iteration. */
+    int srfAccessesPerIteration = 0;
 
     /**
      * Inner-loop throughput in ALU operations per cycle per cluster:

@@ -10,7 +10,8 @@ StreamProcessor::StreamProcessor(SimConfig cfg)
       costModel_(cfg.params),
       machine_(cfg.size, costModel_),
       srf_(srf::SrfModel::forMachine(cfg.size, cfg.params)),
-      memSys_(cfg.memConfig)
+      memSys_(cfg.memConfig),
+      accountant_(costModel_, cfg.size, cfg.tech, cfg.energyConfig)
 {}
 
 StreamProcessor::~StreamProcessor() = default;
@@ -40,12 +41,18 @@ StreamProcessor::run(const stream::StreamProgram &prog,
 
     Microcontroller uc(cfg_.ucConfig, cfg_.size.clusters);
     srf::Allocator alloc(srf_.capacityWords);
-    return executeProgram(
+    SimResult res = executeProgram(
         prog, ctrl, memSys_, uc, alloc,
         [this](const kernel::Kernel &k) -> const sched::CompiledKernel & {
             return compile(k);
         },
         opts);
+    res.energy = accountant_.account(res);
+    if (SPS_TRACE_ENABLED(opts.tracer)) {
+        opts.tracer->setTrackName(trace::kTrackPower, "power");
+        energy::emitPowerCounters(res, *opts.tracer);
+    }
+    return res;
 }
 
 } // namespace sps::sim

@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "energy/accountant.h"
 #include "mem/stream_mem.h"
 #include "sched/kernel_perf.h"
 #include "sched/schedule_cache.h"
@@ -38,6 +39,8 @@ struct SimConfig
     int hostIssueCycles = 8;
     /** Stream controller scoreboard entries. */
     int scoreboardDepth = 16;
+    /** Energy accounting knobs (idle fraction, DRAM extension). */
+    energy::AccountantConfig energyConfig;
 };
 
 /**
@@ -55,6 +58,11 @@ class StreamProcessor
     const SimConfig &config() const { return cfg_; }
     const srf::SrfModel &srf() const { return srf_; }
     const sched::MachineModel &machine() const { return machine_; }
+    /** The accountant that fills SimResult::energy on every run. */
+    const energy::EnergyAccountant &accountant() const
+    {
+        return accountant_;
+    }
 
     /** Compile a kernel for this machine via the shared cache. */
     const sched::CompiledKernel &compile(const kernel::Kernel &k);
@@ -76,6 +84,7 @@ class StreamProcessor
     sched::MachineModel machine_;
     srf::SrfModel srf_;
     mem::StreamMemSystem memSys_;
+    energy::EnergyAccountant accountant_;
 };
 
 } // namespace sps::sim

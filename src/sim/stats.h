@@ -13,6 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bottleneck_report.h"
+#include "energy/energy_report.h"
+
 namespace sps::sim {
 
 /** Coarse class of one stream-level op (for timeline/trace export). */
@@ -32,6 +35,17 @@ struct OpInterval
      */
     int opId = -1;
     OpClass kind = OpClass::Other;
+
+    // --- Issue metadata (for bottleneck attribution). ---
+    /** Cycle issue began waiting on a full scoreboard (== issueStart
+     *  when it never waited). */
+    int64_t sbWaitStart = 0;
+    /** Cycle the host channel started serializing this instruction. */
+    int64_t issueStart = 0;
+    /** Cycle host issue finished (issueStart + host issue cycles). */
+    int64_t issueEnd = 0;
+    /** Cycle all dependences had completed (>= issueEnd). */
+    int64_t readyCycle = 0;
 };
 
 /**
@@ -76,11 +90,24 @@ struct SimCounters
     /** Slots during kernel execution only: ucBusy * C * N. */
     int64_t kernelAluSlots = 0;
 
+    // --- Cluster activity (per executed record, from the compiled
+    //     kernel's census; drives the energy accountant). ---
+    /** Functional-unit results crossing the intracluster switch
+     *  (ALU + COMM + scratchpad ops; each also reads its LRFs). */
+    int64_t clusterFuOps = 0;
+    /** Scratchpad accesses executed. */
+    int64_t clusterSpOps = 0;
+    /** Intercluster COMM words sent across the intercluster switch. */
+    int64_t interCommWords = 0;
+
     // --- SRF / streambuffers. ---
     /** Words read out of the SRF (kernel inputs + stores). */
     int64_t srfReadWords = 0;
     /** Words written into the SRF (kernel outputs + loads). */
     int64_t srfWriteWords = 0;
+    /** Words the program stored back to memory (application output,
+     *  unpacked; the denominator of energy-per-output-word). */
+    int64_t memStoreWords = 0;
     /** Extra kernel cycles implied by SRF bandwidth saturation. */
     int64_t srfBwStallCycles = 0;
 
@@ -122,6 +149,13 @@ struct SimResult
     std::vector<OpInterval> timeline;
     /** Hardware counters (see SimCounters). */
     SimCounters counters;
+    /** Activity-driven energy breakdown. Filled by
+     *  sim::StreamProcessor::run (which owns the cost model); a raw
+     *  executeProgram() result carries an empty (valid == false)
+     *  report. */
+    energy::EnergyReport energy;
+    /** Stall-attribution waterfall; filled on every run. */
+    analysis::BottleneckReport bottleneck;
 
     /** Sustained GOPS at a clock frequency in GHz. */
     double

@@ -4,6 +4,7 @@
 #include <queue>
 #include <utility>
 
+#include "analysis/bottleneck.h"
 #include "common/log.h"
 
 namespace sps::sim {
@@ -213,6 +214,7 @@ executeProgram(const stream::StreamProgram &prog,
         // Host issue: serialized stream instructions over the finite
         // host channel, stalling when the scoreboard is full. Pending
         // (unresolved) transfers occupy scoreboard slots too.
+        int64_t sb_wait_start = issue_time;
         while (static_cast<int>(in_flight.size() +
                                 pending_mem.size()) >=
                cfg.scoreboardDepth) {
@@ -255,6 +257,10 @@ executeProgram(const stream::StreamProgram &prog,
         OpInterval &iv = result.timeline[i];
         iv.label = op.label;
         iv.opId = op_id;
+        iv.sbWaitStart = sb_wait_start;
+        iv.issueStart = issue_start;
+        iv.issueEnd = issue_time;
+        iv.readyCycle = ready;
         switch (op.kind) {
           case OpKind::Load:
           case OpKind::Store: {
@@ -270,6 +276,7 @@ executeProgram(const stream::StreamProgram &prog,
             } else {
                 ++ctr.stores;
                 ctr.srfReadWords += info.words();
+                ctr.memStoreWords += info.words();
             }
             result.memWords += words;
             mem::TransferDesc desc;
@@ -313,6 +320,15 @@ executeProgram(const stream::StreamProgram &prog,
             result.aluOps += ck.aluOpsPerIteration * op.records;
             result.gopsOps += ck.gopsOpsPerIteration *
                               static_cast<double>(op.records);
+            // Cluster activity census (drives the energy accountant):
+            // every executed op is an FU result; COMM ops also cross
+            // the intercluster switch.
+            ctr.clusterFuOps += (ck.aluOpsPerIteration +
+                                 ck.commOpsPerIteration +
+                                 ck.spOpsPerIteration) *
+                                op.records;
+            ctr.clusterSpOps += ck.spOpsPerIteration * op.records;
+            ctr.interCommWords += ck.commOpsPerIteration * op.records;
             // SRF traffic: every bound input is read, every bound
             // output written, through the streambuffers.
             int64_t srf_words = 0;
@@ -376,6 +392,19 @@ executeProgram(const stream::StreamProgram &prog,
         result.cycles * cfg.clusters * cfg.alusPerCluster;
     ctr.kernelAluSlots =
         result.ucBusy * cfg.clusters * cfg.alusPerCluster;
+
+    // Stall-attribution waterfall from the same exact busy-interval
+    // sets that produced the cycle breakdown.
+    std::vector<analysis::CycleInterval> mem_ci, uc_ci;
+    mem_ci.reserve(mem_busy_ivs.size());
+    for (const auto &ivb : mem_busy_ivs)
+        mem_ci.push_back({ivb.start, ivb.end});
+    uc_ci.reserve(uc_busy_ivs.size());
+    for (const auto &ivb : uc_busy_ivs)
+        uc_ci.push_back({ivb.start, ivb.end});
+    result.bottleneck = analysis::attributeBottleneck(
+        result.timeline, std::move(mem_ci), std::move(uc_ci),
+        result.cycles);
     return result;
 }
 

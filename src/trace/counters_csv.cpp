@@ -18,6 +18,46 @@ addRate(std::vector<CounterValue> &out, const char *name, double v)
     out.push_back(CounterValue{name, v, false});
 }
 
+void
+addBottleneckSection(std::vector<CounterValue> &out,
+                     const sim::SimResult &r)
+{
+    const analysis::BottleneckReport &b = r.bottleneck;
+    addExact(out, "bn_valid", b.valid ? 1 : 0);
+    addExact(out, "bn_kernel_bound_cycles", b.kernelBoundCycles);
+    addExact(out, "bn_memory_bound_cycles", b.memoryBoundCycles);
+    addExact(out, "bn_dependence_cycles", b.dependenceCycles);
+    addExact(out, "bn_scoreboard_cycles", b.scoreboardCycles);
+    addExact(out, "bn_host_issue_cycles", b.hostIssueCycles);
+    addExact(out, "bn_idle_cycles", b.idleCycles);
+}
+
+void
+addEnergySection(std::vector<CounterValue> &out,
+                 const sim::SimResult &r)
+{
+    const energy::EnergyReport &e = r.energy;
+    addExact(out, "energy_valid", e.valid ? 1 : 0);
+    addRate(out, "energy_srf_dyn_ew", e.srf.dynamicEw);
+    addRate(out, "energy_srf_idle_ew", e.srf.idleEw);
+    addRate(out, "energy_clusters_dyn_ew", e.clusters.dynamicEw);
+    addRate(out, "energy_clusters_idle_ew", e.clusters.idleEw);
+    addRate(out, "energy_uc_dyn_ew", e.microcontroller.dynamicEw);
+    addRate(out, "energy_uc_idle_ew", e.microcontroller.idleEw);
+    addRate(out, "energy_comm_dyn_ew", e.interclusterComm.dynamicEw);
+    addRate(out, "energy_comm_idle_ew", e.interclusterComm.idleEw);
+    addRate(out, "energy_dram_dyn_ew", e.dram.dynamicEw);
+    addRate(out, "energy_dram_idle_ew", e.dram.idleEw);
+    addRate(out, "energy_total_ew", e.totalEw());
+    addRate(out, "energy_scaled_total_ew", e.scaledTotalEw());
+    addRate(out, "energy_per_alu_op_ew", e.energyPerAluOpEw());
+    addRate(out, "energy_scaled_per_alu_op_ew",
+            e.scaledEnergyPerAluOpEw());
+    addRate(out, "energy_per_output_word_ew",
+            e.energyPerOutputWordEw());
+    addRate(out, "avg_power_watts", e.averagePowerWatts());
+}
+
 } // namespace
 
 std::string
@@ -37,7 +77,8 @@ counterValues(const sim::SimResult &r)
 {
     const sim::SimCounters &c = r.counters;
     std::vector<CounterValue> out;
-    out.reserve(40);
+    out.reserve(72);
+    addExact(out, "schema_version", kCountersSchemaVersion);
     // Headline aggregates.
     addExact(out, "cycles", r.cycles);
     addExact(out, "alu_ops", r.aluOps);
@@ -63,9 +104,14 @@ counterValues(const sim::SimResult &r)
     // Cluster ALUs.
     addExact(out, "alu_issue_slots", c.aluIssueSlots);
     addExact(out, "kernel_alu_slots", c.kernelAluSlots);
+    // Cluster activity census.
+    addExact(out, "cluster_fu_ops", c.clusterFuOps);
+    addExact(out, "cluster_sp_ops", c.clusterSpOps);
+    addExact(out, "inter_comm_words", c.interCommWords);
     // SRF.
     addExact(out, "srf_read_words", c.srfReadWords);
     addExact(out, "srf_write_words", c.srfWriteWords);
+    addExact(out, "mem_store_words", c.memStoreWords);
     addExact(out, "srf_bw_stall_cycles", c.srfBwStallCycles);
     // DRAM.
     addExact(out, "dram_accesses", c.dramAccesses);
@@ -89,6 +135,9 @@ counterValues(const sim::SimResult &r)
     addRate(out, "mem_busy_fraction", r.memBusyFraction());
     addRate(out, "uc_busy_fraction", r.ucBusyFraction());
     addRate(out, "gops_ops", r.gopsOps);
+    // Bottleneck waterfall + energy breakdown.
+    addBottleneckSection(out, r);
+    addEnergySection(out, r);
     return out;
 }
 
@@ -114,6 +163,43 @@ appendCountersRow(CsvWriter &w, std::vector<std::string> key_cells,
                   const sim::SimResult &r)
 {
     for (const CounterValue &cv : counterValues(r))
+        key_cells.push_back(cv.toCell());
+    w.row(std::move(key_cells));
+}
+
+std::vector<CounterValue>
+energyValues(const sim::SimResult &r)
+{
+    std::vector<CounterValue> out;
+    out.reserve(24);
+    addExact(out, "schema_version", kCountersSchemaVersion);
+    addBottleneckSection(out, r);
+    addEnergySection(out, r);
+    return out;
+}
+
+std::vector<std::string>
+energyNames()
+{
+    std::vector<std::string> names;
+    for (const CounterValue &cv : energyValues(sim::SimResult{}))
+        names.push_back(cv.name);
+    return names;
+}
+
+void
+beginEnergyCsv(CsvWriter &w, std::vector<std::string> key_columns)
+{
+    for (const std::string &name : energyNames())
+        key_columns.push_back(name);
+    w.header(std::move(key_columns));
+}
+
+void
+appendEnergyRow(CsvWriter &w, std::vector<std::string> key_cells,
+                const sim::SimResult &r)
+{
+    for (const CounterValue &cv : energyValues(r))
         key_cells.push_back(cv.toCell());
     w.row(std::move(key_cells));
 }

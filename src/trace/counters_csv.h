@@ -17,6 +17,19 @@
 
 namespace sps::trace {
 
+/**
+ * Version of the canonical counter schema. Bumped whenever a column
+ * is added, removed, renamed, or reordered, and emitted as the first
+ * column of every counters CSV so downstream readers can detect
+ * mismatched files. tests/trace/counters_schema_test.cpp pins the
+ * exact column list for the current version.
+ *
+ * History: 1 = original counter set; 2 = schema_version column,
+ * cluster activity census (FU/SP ops, COMM words, store words), and
+ * the energy + bottleneck sections.
+ */
+inline constexpr int kCountersSchemaVersion = 2;
+
 /** One named counter extracted from a run. */
 struct CounterValue
 {
@@ -46,6 +59,26 @@ void beginCountersCsv(CsvWriter &w,
 /** Append one run: key cells followed by the counter cells. */
 void appendCountersRow(CsvWriter &w, std::vector<std::string> key_cells,
                        const sim::SimResult &r);
+
+/**
+ * The energy + bottleneck subset of the canonical counters (same
+ * cells that counterValues() ends with): the per-component energy
+ * breakdown of SimResult::energy and the stall waterfall of
+ * SimResult::bottleneck. This is the column set of the per-app energy
+ * CSV exports and the golden energy regression file.
+ */
+std::vector<CounterValue> energyValues(const sim::SimResult &r);
+
+/** Column names of energyValues(), in order. */
+std::vector<std::string> energyNames();
+
+/** Start a per-run energy CSV (schema_version + keys + energy
+ *  columns). */
+void beginEnergyCsv(CsvWriter &w, std::vector<std::string> key_columns);
+
+/** Append one run's energy row. */
+void appendEnergyRow(CsvWriter &w, std::vector<std::string> key_cells,
+                     const sim::SimResult &r);
 
 } // namespace sps::trace
 

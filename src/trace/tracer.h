@@ -31,6 +31,7 @@ enum Track : int {
     kTrackMem = 1,     ///< streaming memory system
     kTrackClusters = 2,///< microcontroller + cluster array
     kTrackSrf = 3,     ///< SRF occupancy counters
+    kTrackPower = 4,   ///< power-over-time counter tracks (mW)
 };
 
 /** One event-argument key/value pair (numeric payloads only). */

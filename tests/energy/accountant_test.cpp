@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the activity-driven energy accountant: the per-run
+ * components must sum exactly to the total, full-rate activity must
+ * reproduce the analytical Table 3 breakdown, and the DRAM extension
+ * must be monotone in accesses.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "energy/accountant.h"
+#include "vlsi/cost_model.h"
+
+namespace sps::energy {
+namespace {
+
+constexpr vlsi::MachineSize kSize{8, 5};
+
+/** A synthetic run at exactly full issue rate for `cycles` cycles. */
+sim::SimResult
+fullIssueRun(const vlsi::CostModel &model, vlsi::MachineSize size,
+             int64_t cycles)
+{
+    const vlsi::Params &p = model.params();
+    vlsi::DerivedCounts d = model.derive(size.alusPerCluster);
+    const int64_t c = size.clusters;
+    const int64_t n = size.alusPerCluster;
+
+    sim::SimResult r;
+    r.cycles = cycles;
+    r.ucBusy = cycles;
+    r.aluOps = cycles * c * n;
+    r.counters.aluIssueSlots = cycles * c * n;
+    r.counters.clusterFuOps = cycles * c * d.nFu;
+    r.counters.clusterSpOps = cycles * c * d.nSp;
+    // gSb*N words per bank-cycle across C banks, split read/write.
+    auto srf_words =
+        static_cast<int64_t>(p.gSb * static_cast<double>(n * c) *
+                             static_cast<double>(cycles));
+    r.counters.srfReadWords = srf_words / 2;
+    r.counters.srfWriteWords = srf_words - srf_words / 2;
+    r.counters.interCommWords =
+        static_cast<int64_t>(p.gComm * static_cast<double>(n * c) *
+                             static_cast<double>(cycles));
+    return r;
+}
+
+TEST(EnergyAccountantTest, FullIssueReproducesAnalyticalBreakdown)
+{
+    vlsi::CostModel model;
+    EnergyAccountant acct(model, kSize,
+                          vlsi::Technology::fortyFiveNm());
+    const int64_t cycles = 1000;
+    EnergyReport e = acct.account(fullIssueRun(model, kSize, cycles));
+    ASSERT_TRUE(e.valid);
+
+    vlsi::EnergyBreakdown a = model.energy(kSize);
+    const double tol = 1e-9;
+    EXPECT_NEAR(e.clusters.totalEw(), a.clusters * cycles,
+                tol * a.clusters * cycles);
+    EXPECT_NEAR(e.srf.totalEw(), a.srf * cycles,
+                tol * a.srf * cycles);
+    EXPECT_NEAR(e.microcontroller.totalEw(),
+                a.microcontroller * cycles,
+                tol * a.microcontroller * cycles);
+    EXPECT_NEAR(e.interclusterComm.totalEw(),
+                a.interclusterComm * cycles,
+                tol * a.interclusterComm * cycles);
+    // No slack capacity at full issue: the idle terms vanish.
+    EXPECT_DOUBLE_EQ(e.clusters.idleEw, 0.0);
+    EXPECT_DOUBLE_EQ(e.srf.idleEw, 0.0);
+    EXPECT_DOUBLE_EQ(e.microcontroller.idleEw, 0.0);
+    EXPECT_DOUBLE_EQ(e.interclusterComm.idleEw, 0.0);
+    // No memory traffic: the DRAM extension is zero.
+    EXPECT_DOUBLE_EQ(e.dram.totalEw(), 0.0);
+    // The paper-scope total matches the analytical per-cycle total.
+    EXPECT_NEAR(e.scaledTotalEw(), a.total() * cycles,
+                tol * a.total() * cycles);
+    EXPECT_NEAR(e.scaledEnergyPerAluOpEw(),
+                model.energyPerAluOp(kSize),
+                tol * model.energyPerAluOp(kSize));
+}
+
+TEST(EnergyAccountantTest, ComponentsSumExactlyToTotal)
+{
+    vlsi::CostModel model;
+    EnergyAccountant acct(model, kSize,
+                          vlsi::Technology::fortyFiveNm());
+    sim::SimResult r = fullIssueRun(model, kSize, 733);
+    // Perturb into a partially-idle, memory-active run.
+    r.ucBusy = 400;
+    r.aluOps /= 3;
+    r.counters.srfReadWords /= 2;
+    r.counters.interCommWords /= 5;
+    r.counters.dramAccesses = 1000;
+    r.counters.dramRowHits = 800;
+    r.counters.dramRowMisses = 200;
+    r.counters.dramChannelBusyCycles = {120, 90, 60, 30};
+    r.counters.memStoreWords = 256;
+
+    EnergyReport e = acct.account(r);
+    ASSERT_TRUE(e.valid);
+    double sum = e.srf.dynamicEw + e.srf.idleEw +
+                 e.clusters.dynamicEw + e.clusters.idleEw +
+                 e.microcontroller.dynamicEw +
+                 e.microcontroller.idleEw +
+                 e.interclusterComm.dynamicEw +
+                 e.interclusterComm.idleEw + e.dram.dynamicEw +
+                 e.dram.idleEw;
+    EXPECT_DOUBLE_EQ(e.totalEw(), sum);
+    EXPECT_DOUBLE_EQ(e.scaledTotalEw(),
+                     e.totalEw() - e.dram.totalEw());
+    // Below full issue every idle term is strictly positive.
+    EXPECT_GT(e.clusters.idleEw, 0.0);
+    EXPECT_GT(e.srf.idleEw, 0.0);
+    EXPECT_GT(e.microcontroller.idleEw, 0.0);
+    EXPECT_GT(e.interclusterComm.idleEw, 0.0);
+    EXPECT_GT(e.dram.idleEw, 0.0);
+    // Summary denominators came through.
+    EXPECT_EQ(e.cycles, r.cycles);
+    EXPECT_EQ(e.aluOps, r.aluOps);
+    EXPECT_EQ(e.outputWords, 256);
+    EXPECT_GT(e.energyPerOutputWordEw(), 0.0);
+    EXPECT_GT(e.totalJoules(), 0.0);
+    EXPECT_GT(e.averagePowerWatts(), 0.0);
+}
+
+TEST(EnergyAccountantTest, DramEnergyMonotoneInAccesses)
+{
+    vlsi::CostModel model;
+    EnergyAccountant acct(model, kSize,
+                          vlsi::Technology::fortyFiveNm());
+    sim::SimResult r = fullIssueRun(model, kSize, 100);
+    double prevDram = -1.0;
+    double prevTotal = -1.0;
+    for (int64_t hits : {0, 100, 500, 2500}) {
+        r.counters.dramAccesses = hits + hits / 4;
+        r.counters.dramRowHits = hits;
+        r.counters.dramRowMisses = hits / 4;
+        EnergyReport e = acct.account(r);
+        EXPECT_GT(e.dram.dynamicEw, prevDram);
+        EXPECT_GT(e.totalEw(), prevTotal);
+        prevDram = e.dram.dynamicEw;
+        prevTotal = e.totalEw();
+        // A row miss must cost at least as much as a row hit.
+        EXPECT_GE(acct.config().dram.rowMissEnergyEw,
+                  acct.config().dram.rowHitEnergyEw);
+    }
+}
+
+TEST(EnergyAccountantTest, EmptyRunYieldsZeroFiniteReport)
+{
+    vlsi::CostModel model;
+    EnergyAccountant acct(model, kSize,
+                          vlsi::Technology::fortyFiveNm());
+    EnergyReport e = acct.account(sim::SimResult{});
+    ASSERT_TRUE(e.valid);
+    EXPECT_EQ(e.totalEw(), 0.0);
+    EXPECT_EQ(e.energyPerAluOpEw(), 0.0);
+    EXPECT_EQ(e.energyPerOutputWordEw(), 0.0);
+    EXPECT_EQ(e.averagePowerWatts(), 0.0);
+    EXPECT_TRUE(std::isfinite(e.totalJoules()));
+}
+
+TEST(EnergyAccountantTest, RatesMatchAnalyticalPerCycleIdentities)
+{
+    vlsi::CostModel model;
+    const vlsi::Params &p = model.params();
+    for (int c : {1, 2, 4, 8, 16}) {
+        vlsi::MachineSize size{c, 5};
+        EnergyAccountant acct(model, size,
+                              vlsi::Technology::fortyFiveNm());
+        const EnergyRates &rt = acct.rates();
+        vlsi::DerivedCounts d = model.derive(size.alusPerCluster);
+        const int n = size.alusPerCluster;
+        // Cluster identity: full-rate ops reproduce clusterEnergy.
+        EXPECT_NEAR(n * rt.aluOp + d.nFu * rt.fuOp + d.nSp * rt.spOp,
+                    model.clusterEnergy(n),
+                    1e-9 * model.clusterEnergy(n));
+        // SRF identity: peak words/cycle at the per-word rate equals
+        // the per-cycle energy of all C banks.
+        EXPECT_NEAR(rt.srfPeakWordsPerCycle * rt.srfWord,
+                    c * model.srfBankEnergy(n),
+                    1e-9 * c * model.srfBankEnergy(n));
+        // Intercluster identity.
+        double analytic = p.kCommEnergy * p.gComm * n * c * p.b *
+                          model.interCommEnergyPerBit(size);
+        EXPECT_NEAR(rt.interPeakWordsPerCycle * rt.interCommWord,
+                    analytic, 1e-9 * analytic);
+    }
+}
+
+} // namespace
+} // namespace sps::energy

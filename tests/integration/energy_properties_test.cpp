@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Energy/bottleneck property tests over a design-point sweep: every
+ * run must carry a valid report whose components sum to the total and
+ * whose cycle attribution matches the counter identities; the report
+ * must be byte-identical between serial and parallel EvalEngine
+ * collection; and the measured intercluster energy-per-ALU-op scaling
+ * must track the analytical Figure 10 curve within 2x at every C.
+ */
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/design.h"
+#include "core/eval_engine.h"
+#include "trace/counters_csv.h"
+#include "vlsi/cost_model.h"
+#include "workloads/suite.h"
+
+namespace sps {
+namespace {
+
+struct SweepPoint
+{
+    std::string app;
+    vlsi::MachineSize size;
+    sim::SimResult result;
+};
+
+const std::vector<vlsi::MachineSize> &
+sweepSizes()
+{
+    static const std::vector<vlsi::MachineSize> sizes{
+        {1, 5}, {2, 5}, {4, 5}, {8, 5}, {16, 5}, {8, 3}};
+    return sizes;
+}
+
+std::vector<SweepPoint>
+runSweep(core::EvalEngine &eng)
+{
+    auto apps = workloads::appSuite();
+    const auto &sizes = sweepSizes();
+    return eng.map(apps.size() * sizes.size(), [&](size_t idx) {
+        const auto &app = apps[idx / sizes.size()];
+        vlsi::MachineSize size = sizes[idx % sizes.size()];
+        core::StreamProcessorDesign d(size);
+        sim::StreamProcessor proc = d.makeProcessor();
+        stream::StreamProgram prog = app.build(size, proc.srf());
+        SweepPoint pt;
+        pt.app = app.name;
+        pt.size = size;
+        pt.result = proc.run(prog);
+        return pt;
+    });
+}
+
+class EnergyPropertiesTest : public ::testing::Test
+{
+  protected:
+    static const std::vector<SweepPoint> &
+    points()
+    {
+        static const std::vector<SweepPoint> pts = [] {
+            core::EvalEngine eng(0);
+            return runSweep(eng);
+        }();
+        return pts;
+    }
+
+    static std::string
+    label(const SweepPoint &pt)
+    {
+        return pt.app + " @ C=" + std::to_string(pt.size.clusters) +
+               " N=" + std::to_string(pt.size.alusPerCluster);
+    }
+};
+
+TEST_F(EnergyPropertiesTest, ReportsValidAndComponentsSumToTotal)
+{
+    for (const SweepPoint &pt : points()) {
+        const energy::EnergyReport &e = pt.result.energy;
+        ASSERT_TRUE(e.valid) << label(pt);
+        double sum = e.srf.totalEw() + e.clusters.totalEw() +
+                     e.microcontroller.totalEw() +
+                     e.interclusterComm.totalEw() + e.dram.totalEw();
+        EXPECT_DOUBLE_EQ(e.totalEw(), sum) << label(pt);
+        // Every term is finite and non-negative.
+        for (double v :
+             {e.srf.dynamicEw, e.srf.idleEw, e.clusters.dynamicEw,
+              e.clusters.idleEw, e.microcontroller.dynamicEw,
+              e.microcontroller.idleEw, e.interclusterComm.dynamicEw,
+              e.interclusterComm.idleEw, e.dram.dynamicEw,
+              e.dram.idleEw}) {
+            EXPECT_TRUE(std::isfinite(v)) << label(pt);
+            EXPECT_GE(v, 0.0) << label(pt);
+        }
+        // A real app does real work everywhere.
+        EXPECT_GT(e.clusters.dynamicEw, 0.0) << label(pt);
+        EXPECT_GT(e.energyPerAluOpEw(), 0.0) << label(pt);
+        // Memory-side terms appear iff the app touched memory (some
+        // FFT configurations keep everything resident in the SRF).
+        if (pt.result.memWords > 0)
+            EXPECT_GT(e.dram.dynamicEw, 0.0) << label(pt);
+        if (pt.result.counters.memStoreWords > 0)
+            EXPECT_GT(e.energyPerOutputWordEw(), 0.0) << label(pt);
+        EXPECT_GT(e.averagePowerWatts(), 0.0) << label(pt);
+        EXPECT_EQ(e.cycles, pt.result.cycles) << label(pt);
+        EXPECT_EQ(e.aluOps, pt.result.aluOps) << label(pt);
+    }
+}
+
+TEST_F(EnergyPropertiesTest, BottleneckWaterfallMatchesCycleCounters)
+{
+    for (const SweepPoint &pt : points()) {
+        const analysis::BottleneckReport &b = pt.result.bottleneck;
+        const sim::SimCounters &c = pt.result.counters;
+        ASSERT_TRUE(b.valid) << label(pt);
+        // The waterfall covers the run exactly once.
+        EXPECT_EQ(b.totalCycles(), pt.result.cycles) << label(pt);
+        // Busy categories agree with the counter cycle breakdown.
+        EXPECT_EQ(b.kernelBoundCycles,
+                  c.kernelOnlyCycles + c.overlapCycles)
+            << label(pt);
+        EXPECT_EQ(b.memoryBoundCycles, c.memOnlyCycles) << label(pt);
+        // Quiet categories partition the counters' idle cycles.
+        EXPECT_EQ(b.dependenceCycles + b.scoreboardCycles +
+                      b.hostIssueCycles + b.idleCycles,
+                  c.idleCycles)
+            << label(pt);
+        for (int64_t v : {b.dependenceCycles, b.scoreboardCycles,
+                          b.hostIssueCycles, b.idleCycles})
+            EXPECT_GE(v, 0) << label(pt);
+        EXPECT_STRNE(b.limitingResource(), "") << label(pt);
+    }
+}
+
+/** Serial vs parallel collection: byte-identical energy rows. */
+TEST_F(EnergyPropertiesTest, ParallelSweepMatchesSerialByteForByte)
+{
+    core::EvalEngine serial(1);
+    std::vector<SweepPoint> serial_pts = runSweep(serial);
+    const std::vector<SweepPoint> &par_pts = points();
+    ASSERT_EQ(serial_pts.size(), par_pts.size());
+    for (size_t i = 0; i < serial_pts.size(); ++i) {
+        auto sv = trace::energyValues(serial_pts[i].result);
+        auto pv = trace::energyValues(par_pts[i].result);
+        ASSERT_EQ(sv.size(), pv.size());
+        for (size_t j = 0; j < sv.size(); ++j)
+            EXPECT_EQ(sv[j].toCell(), pv[j].toCell())
+                << label(par_pts[i]) << " column " << sv[j].name;
+    }
+}
+
+/**
+ * Figure 10 cross-check: the measured paper-scope (no DRAM) energy
+ * per ALU op, aggregated over the app suite and normalized to C=8,
+ * must stay within 2x of the analytical model's energyPerAluOp curve
+ * at every C in {1,2,4,8,16} (N=5).
+ */
+TEST_F(EnergyPropertiesTest, ScaledEnergyPerAluOpTracksAnalyticalCurve)
+{
+    vlsi::CostModel model;
+    const vlsi::MachineSize ref{8, 5};
+    double measuredRef = 0.0;
+    std::map<int, std::pair<double, double>> byC; // C -> (Ew, ops)
+    for (const SweepPoint &pt : points()) {
+        if (pt.size.alusPerCluster != 5)
+            continue;
+        auto &acc = byC[pt.size.clusters];
+        acc.first += pt.result.energy.scaledTotalEw();
+        acc.second += static_cast<double>(pt.result.energy.aluOps);
+    }
+    ASSERT_EQ(byC.size(), 5u);
+    measuredRef = byC[8].first / byC[8].second;
+    const double analyticRef = model.energyPerAluOp(ref);
+    for (const auto &[c, acc] : byC) {
+        double measured = (acc.first / acc.second) / measuredRef;
+        double analytic =
+            model.energyPerAluOp({c, 5}) / analyticRef;
+        EXPECT_GT(measured, 0.0) << "C=" << c;
+        double ratio = measured / analytic;
+        EXPECT_GE(ratio, 0.5) << "C=" << c;
+        EXPECT_LE(ratio, 2.0) << "C=" << c;
+    }
+}
+
+} // namespace
+} // namespace sps

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Golden energy-regression test: the six Table-4 applications at the
+ * C=8, N=3 machine must reproduce the energy breakdown and bottleneck
+ * waterfall recorded in tests/data/golden_energy_c8n3.csv. Cycle
+ * attributions are exact; energy values (doubles) carry a small
+ * relative tolerance.
+ *
+ * Regenerate after an intentional model change:
+ *   SPS_UPDATE_GOLDEN=1 ./golden_energy_test
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "core/design.h"
+#include "core/eval_engine.h"
+#include "trace/counters_csv.h"
+#include "workloads/suite.h"
+
+#ifndef SPS_TEST_DATA_DIR
+#error "SPS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace sps {
+namespace {
+
+constexpr vlsi::MachineSize kGoldenSize{8, 3};
+constexpr double kRateTolerance = 1e-6;
+
+std::string
+goldenPath()
+{
+    return std::string(SPS_TEST_DATA_DIR) + "/golden_energy_c8n3.csv";
+}
+
+struct AppRun
+{
+    std::string app;
+    sim::SimResult result;
+};
+
+std::vector<AppRun>
+runGoldenApps()
+{
+    auto apps = workloads::appSuite();
+    core::EvalEngine eng(0);
+    return eng.map(apps.size(), [&](size_t a) {
+        core::StreamProcessorDesign d(kGoldenSize);
+        sim::StreamProcessor proc = d.makeProcessor();
+        stream::StreamProgram prog =
+            apps[a].build(kGoldenSize, proc.srf());
+        return AppRun{apps[a].name, proc.run(prog)};
+    });
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::stringstream ss(line);
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+void
+writeGolden(const std::vector<AppRun> &runs)
+{
+    CsvWriter w;
+    trace::beginEnergyCsv(w, {"app"});
+    for (const AppRun &r : runs)
+        trace::appendEnergyRow(w, {r.app}, r.result);
+    ASSERT_TRUE(w.writeFile(goldenPath()))
+        << "cannot write " << goldenPath();
+    std::printf("regenerated %s (%zu apps)\n", goldenPath().c_str(),
+                runs.size());
+}
+
+TEST(GoldenEnergyTest, Table4AppsMatchGoldenAtC8N3)
+{
+    std::vector<AppRun> runs = runGoldenApps();
+    if (std::getenv("SPS_UPDATE_GOLDEN") != nullptr) {
+        writeGolden(runs);
+        return;
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << goldenPath()
+        << " -- regenerate with SPS_UPDATE_GOLDEN=1";
+
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    std::vector<std::string> header = splitCsvLine(line);
+    std::vector<std::string> names = trace::energyNames();
+    ASSERT_EQ(header.size(), names.size() + 1)
+        << "golden header is stale -- regenerate with "
+           "SPS_UPDATE_GOLDEN=1";
+    for (size_t i = 0; i < names.size(); ++i)
+        ASSERT_EQ(header[i + 1], names[i]) << "column " << i + 1;
+
+    std::map<std::string, std::vector<std::string>> golden;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells = splitCsvLine(line);
+        ASSERT_EQ(cells.size(), names.size() + 1) << line;
+        golden[cells[0]] =
+            std::vector<std::string>(cells.begin() + 1, cells.end());
+    }
+    ASSERT_EQ(golden.size(), runs.size());
+
+    for (const AppRun &run : runs) {
+        auto it = golden.find(run.app);
+        ASSERT_NE(it, golden.end()) << "no golden row for " << run.app;
+        std::vector<trace::CounterValue> actual =
+            trace::energyValues(run.result);
+        std::string diff;
+        for (size_t i = 0; i < actual.size(); ++i) {
+            const std::string &want = it->second[i];
+            bool ok;
+            if (actual[i].exact) {
+                ok = actual[i].toCell() == want;
+            } else {
+                double w = std::strtod(want.c_str(), nullptr);
+                double a = actual[i].value;
+                ok = std::abs(a - w) <=
+                     kRateTolerance * std::max(1.0, std::abs(w));
+            }
+            if (!ok)
+                diff += "  " + actual[i].name + ": golden=" + want +
+                        " actual=" + actual[i].toCell() + "\n";
+        }
+        EXPECT_TRUE(diff.empty())
+            << run.app << " energy report diverged from golden:\n"
+            << diff
+            << "(if the model changed intentionally, regenerate with "
+               "SPS_UPDATE_GOLDEN=1)";
+    }
+}
+
+} // namespace
+} // namespace sps

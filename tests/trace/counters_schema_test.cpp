@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Pins the canonical counters CSV schema: exact column names in exact
+ * order, plus the schema_version value. Any change to the counter
+ * list must update this test AND bump trace::kCountersSchemaVersion
+ * (and regenerate the golden counter/energy files) -- that is the
+ * point: downstream consumers parse these files by position.
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/counters_csv.h"
+
+namespace sps::trace {
+namespace {
+
+TEST(CountersSchemaTest, VersionIsCurrent)
+{
+    EXPECT_EQ(kCountersSchemaVersion, 2);
+    // schema_version is the first cell of every row, exact, and
+    // carries the constant.
+    auto values = counterValues(sim::SimResult{});
+    ASSERT_FALSE(values.empty());
+    EXPECT_EQ(values[0].name, "schema_version");
+    EXPECT_TRUE(values[0].exact);
+    EXPECT_EQ(values[0].toCell(),
+              std::to_string(kCountersSchemaVersion));
+}
+
+TEST(CountersSchemaTest, ColumnNamesAndOrderArePinned)
+{
+    const std::vector<std::string> expected = {
+        "schema_version",
+        // Headline aggregates.
+        "cycles",
+        "alu_ops",
+        "mem_words",
+        "mem_busy_cycles",
+        "uc_busy_cycles",
+        "srf_high_water_words",
+        // Cycle breakdown.
+        "kernel_only_cycles",
+        "mem_only_cycles",
+        "overlap_cycles",
+        "idle_cycles",
+        // Stream controller / host interface.
+        "kernel_calls",
+        "loads",
+        "stores",
+        "host_issue_busy_cycles",
+        "scoreboard_stall_cycles",
+        "dep_stall_cycles",
+        "mem_pipe_stall_cycles",
+        "uc_pipe_stall_cycles",
+        "uc_overhead_cycles",
+        // Cluster ALUs.
+        "alu_issue_slots",
+        "kernel_alu_slots",
+        // Cluster activity census.
+        "cluster_fu_ops",
+        "cluster_sp_ops",
+        "inter_comm_words",
+        // SRF.
+        "srf_read_words",
+        "srf_write_words",
+        "mem_store_words",
+        "srf_bw_stall_cycles",
+        // DRAM.
+        "dram_accesses",
+        "dram_row_hits",
+        "dram_row_misses",
+        "dram_bank_conflicts",
+        "dram_reorder_sum",
+        "dram_reorder_max",
+        "mem_alias_stall_cycles",
+        "dram_channel_busy_max",
+        "dram_channel_busy_min",
+        // Derived rates.
+        "alu_occupancy",
+        "kernel_alu_occupancy",
+        "srf_read_bw_words_per_cycle",
+        "srf_write_bw_words_per_cycle",
+        "dram_row_hit_rate",
+        "dram_avg_reorder_distance",
+        "mem_busy_fraction",
+        "uc_busy_fraction",
+        "gops_ops",
+        // Bottleneck waterfall.
+        "bn_valid",
+        "bn_kernel_bound_cycles",
+        "bn_memory_bound_cycles",
+        "bn_dependence_cycles",
+        "bn_scoreboard_cycles",
+        "bn_host_issue_cycles",
+        "bn_idle_cycles",
+        // Energy breakdown.
+        "energy_valid",
+        "energy_srf_dyn_ew",
+        "energy_srf_idle_ew",
+        "energy_clusters_dyn_ew",
+        "energy_clusters_idle_ew",
+        "energy_uc_dyn_ew",
+        "energy_uc_idle_ew",
+        "energy_comm_dyn_ew",
+        "energy_comm_idle_ew",
+        "energy_dram_dyn_ew",
+        "energy_dram_idle_ew",
+        "energy_total_ew",
+        "energy_scaled_total_ew",
+        "energy_per_alu_op_ew",
+        "energy_scaled_per_alu_op_ew",
+        "energy_per_output_word_ew",
+        "avg_power_watts",
+    };
+    EXPECT_EQ(counterNames(), expected);
+}
+
+TEST(CountersSchemaTest, EnergySubsetIsSchemaPlusTailSections)
+{
+    // energyValues() is schema_version followed by exactly the
+    // bottleneck + energy tail of the full counter list.
+    std::vector<std::string> full = counterNames();
+    std::vector<std::string> sub = energyNames();
+    ASSERT_GE(sub.size(), 2u);
+    EXPECT_EQ(sub[0], "schema_version");
+    std::vector<std::string> tail(full.end() -
+                                      (static_cast<long>(sub.size()) -
+                                       1),
+                                  full.end());
+    EXPECT_EQ(std::vector<std::string>(sub.begin() + 1, sub.end()),
+              tail);
+}
+
+} // namespace
+} // namespace sps::trace

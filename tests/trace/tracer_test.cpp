@@ -160,8 +160,9 @@ TEST(CountersCsvTest, NamesMatchValuesAndRoundTrip)
     beginCountersCsv(w, {"app"});
     appendCountersRow(w, {"X"}, r);
     std::string csv = w.toString();
-    EXPECT_NE(csv.find("app,cycles,"), std::string::npos);
-    EXPECT_NE(csv.find("X,100,50,"), std::string::npos);
+    EXPECT_NE(csv.find("app,schema_version,cycles,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("X,2,100,50,"), std::string::npos);
 }
 
 } // namespace
