@@ -7,6 +7,18 @@
  * (pass --serial to force one thread) and kernel compilations memoize
  * in the shared schedule cache; the deterministic axis-order
  * collection keeps the CSVs byte-identical to a serial export.
+ *
+ * Persistence:
+ *   --cache-dir DIR  attach the disk-backed result store rooted at
+ *                    DIR: schedules and app simulation results read
+ *                    through it (memory -> disk -> compute) and
+ *                    computed entries persist, so a second process
+ *                    pointed at a warm DIR re-exports everything with
+ *                    0 schedule compiles and 0 re-simulations --
+ *                    byte-identical CSVs. Also writes cache_stats.csv
+ *                    (per-tier hit/miss/dedup counters).
+ *   --expect-warm    exit nonzero if the run compiled any schedule or
+ *                    simulated any app (the warm-cache CI assertion).
  */
 #include <cstdio>
 #include <cstring>
@@ -16,6 +28,7 @@
 #include "common/csv.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "svc/eval_service.h"
 #include "trace/counters_csv.h"
 #include "vlsi/sweep.h"
 
@@ -23,6 +36,7 @@ namespace {
 
 std::string g_dir = "results";
 sps::core::EvalEngine *g_engine = nullptr;
+sps::svc::EvalService *g_service = nullptr;
 
 std::string
 path(const char *name)
@@ -131,8 +145,15 @@ exportTable5()
 void
 exportFig15()
 {
-    auto pts = sps::core::appPerformance({8, 16, 32, 64, 128},
-                                         {2, 5, 10, 14}, g_engine);
+    // The app grid routes through the evaluation service: submissions
+    // batch onto the engine pool, identical points (the baseline and
+    // its grid twin) dedup, and results read/write the disk store.
+    auto pts =
+        g_service
+            ? g_service->appPerformance({8, 16, 32, 64, 128},
+                                        {2, 5, 10, 14})
+            : sps::core::appPerformance({8, 16, 32, 64, 128},
+                                        {2, 5, 10, 14}, g_engine);
     sps::CsvWriter w;
     w.header({"app", "C", "N", "cycles", "speedup", "gops"});
     for (const auto &pt : pts) {
@@ -174,15 +195,33 @@ int
 main(int argc, char **argv)
 {
     bool serial = false;
+    bool expect_warm = false;
+    std::string cache_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--serial") == 0)
             serial = true;
+        else if (std::strcmp(argv[i], "--expect-warm") == 0)
+            expect_warm = true;
+        else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                 i + 1 < argc)
+            cache_dir = argv[++i];
         else
             g_dir = argv[i];
     }
     sps::core::EvalEngine serial_engine(serial ? 1 : 0);
     g_engine = serial ? &serial_engine
                       : &sps::core::EvalEngine::global();
+
+    // The store outlives every consumer -- including the global
+    // schedule cache, whose destructor order against locals is not
+    // ours to control -- so it is deliberately leaked.
+    sps::store::ResultStore *store = nullptr;
+    if (!cache_dir.empty()) {
+        store = new sps::store::ResultStore(cache_dir);
+        g_engine->cache().attachStore(store);
+    }
+    sps::svc::EvalService service(g_engine, store);
+    g_service = &service;
 
     std::error_code ec;
     std::filesystem::create_directories(g_dir, ec);
@@ -196,11 +235,33 @@ main(int argc, char **argv)
     exportTable5();
     exportFig15();
     auto ctr = g_engine->cache().counters();
+    auto svc_ctr = service.counters();
     std::printf("wrote figure data CSVs to %s/ "
                 "(%d threads; schedule cache: %llu compiles, "
-                "%llu hits)\n",
+                "%llu disk hits, %llu hits; apps: %llu sims, "
+                "%llu disk hits)\n",
                 g_dir.c_str(), g_engine->threadCount(),
                 static_cast<unsigned long long>(ctr.misses),
-                static_cast<unsigned long long>(ctr.hits));
+                static_cast<unsigned long long>(ctr.diskHits),
+                static_cast<unsigned long long>(ctr.hits),
+                static_cast<unsigned long long>(svc_ctr.computed),
+                static_cast<unsigned long long>(svc_ctr.diskHits));
+    if (store) {
+        sps::CsvWriter stats;
+        stats.header({"tier", "counter", "value"});
+        sps::svc::appendCacheStatsRows(stats, ctr, store, &service);
+        stats.writeFile(path("cache_stats.csv"));
+    }
+    if (expect_warm &&
+        (ctr.misses > 0 || svc_ctr.computed > 0)) {
+        std::fprintf(stderr,
+                     "--expect-warm: cache was cold (%llu schedule "
+                     "compiles, %llu app sims)\n",
+                     static_cast<unsigned long long>(ctr.misses),
+                     static_cast<unsigned long long>(svc_ctr.computed));
+        g_service = nullptr;
+        return 1;
+    }
+    g_service = nullptr;
     return 0;
 }

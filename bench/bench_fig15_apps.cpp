@@ -14,6 +14,10 @@
  *                      C, N) grid point
  *   --energy FILE      per-run energy breakdown + bottleneck waterfall
  *                      CSV for every (app, C, N) grid point
+ *   --cache-dir DIR    attach the disk-backed result store rooted at
+ *                      DIR: warm entries skip schedule compilation and
+ *                      re-simulation, cold entries persist for the
+ *                      next run
  */
 #include <cstdio>
 #include <cstring>
@@ -25,6 +29,7 @@
 #include "core/design.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "svc/eval_service.h"
 #include "trace/chrome_trace.h"
 #include "trace/counters_csv.h"
 #include "trace/tracer.h"
@@ -68,7 +73,7 @@ main(int argc, char **argv)
 {
     using sps::TextTable;
     std::string trace_path, trace_app = "RENDER", counters_path,
-        energy_path;
+        energy_path, cache_dir;
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
@@ -85,16 +90,27 @@ main(int argc, char **argv)
             counters_path = need("--counters");
         else if (std::strcmp(argv[i], "--energy") == 0)
             energy_path = need("--energy");
+        else if (std::strcmp(argv[i], "--cache-dir") == 0)
+            cache_dir = need("--cache-dir");
         else {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 1;
         }
     }
 
+    sps::core::EvalEngine *engine = &sps::core::EvalEngine::global();
+    // Leaked on purpose: the global schedule cache keeps the pointer
+    // past the end of main.
+    sps::store::ResultStore *store = nullptr;
+    if (!cache_dir.empty()) {
+        store = new sps::store::ResultStore(cache_dir);
+        engine->cache().attachStore(store);
+    }
+    sps::svc::EvalService service(engine, store);
+
     std::vector<int> cs{8, 16, 32, 64, 128};
     std::vector<int> ns{2, 5, 10, 14};
-    auto points = sps::core::appPerformance(
-        cs, ns, &sps::core::EvalEngine::global());
+    auto points = service.appPerformance(cs, ns);
 
     if (!counters_path.empty()) {
         sps::CsvWriter w;
@@ -175,6 +191,17 @@ main(int argc, char **argv)
     std::printf("Figure 15: application speedups over C=8 N=5 "
                 "(tables above) and sustained GOPS:\n\n%s\n",
                 g.toString().c_str());
+
+    if (store) {
+        auto rows = sps::svc::cacheStatsRows(
+            engine->cache().counters(), store, &service);
+        std::printf("cache tiers (--cache-dir %s):\n",
+                    cache_dir.c_str());
+        for (const auto &r : rows)
+            std::printf("  %-16s %-16s %s\n", r[0].c_str(),
+                        r[1].c_str(), r[2].c_str());
+        std::printf("\n");
+    }
 
     if (!trace_path.empty())
         return exportTrace(trace_app, trace_path);

@@ -8,8 +8,11 @@
  *
  * Also reports evaluation-engine throughput: wall-clock for the full
  * figure-suite computation serial vs parallel and cold vs warm
- * schedule cache, with the recompilation counts that prove the warm
- * runs compile nothing.
+ * caches, with the recompilation and re-simulation counts that prove
+ * the warm runs compile and simulate nothing. App runs route through
+ * svc::EvalService; pass --cache-dir DIR to add the disk tier (a warm
+ * DIR makes even the "cold" rows compile/simulate nothing) and a
+ * cache-tier counter section prints at the end.
  *
  * Reports functional-interpreter throughput (words/sec per Table-4
  * kernel, reference vs lowered engine) and writes the numbers to
@@ -23,6 +26,7 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +38,7 @@
 #include "interp/interpreter.h"
 #include "interp/lowered.h"
 #include "interp_bench_util.h"
+#include "svc/eval_service.h"
 #include "vlsi/cost_model.h"
 #include "vlsi/sweep.h"
 #include "workloads/suite.h"
@@ -41,9 +46,11 @@
 namespace {
 
 /** One full figure-suite computation (the work bench_export_all
- *  formats), returning wall-clock seconds. */
+ *  formats), with the app grid routed through the evaluation
+ *  service; returns wall-clock seconds. */
 double
-runFigureSuite(sps::core::EvalEngine &eng)
+runFigureSuite(sps::core::EvalEngine &eng,
+               sps::svc::EvalService &service)
 {
     using namespace sps;
     auto t0 = std::chrono::steady_clock::now();
@@ -56,7 +63,7 @@ runFigureSuite(sps::core::EvalEngine &eng)
     core::kernelInterSpeedups({8, 16, 32, 64, 128}, 5, &eng);
     core::table5PerfPerArea({2, 5, 10, 14}, {8, 16, 32, 64, 128},
                             &eng);
-    core::appPerformance({8, 16, 32, 64, 128}, {2, 5, 10, 14}, &eng);
+    service.appPerformance({8, 16, 32, 64, 128}, {2, 5, 10, 14});
     std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     return dt.count();
@@ -243,9 +250,22 @@ writeInterpJson(const char *path, int c, int64_t records,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using sps::TextTable;
+    std::string cache_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc)
+            cache_dir = argv[++i];
+    }
+    // Leaked on purpose: the global schedule cache keeps the pointer
+    // past the end of main.
+    sps::store::ResultStore *store = nullptr;
+    if (!cache_dir.empty()) {
+        store = new sps::store::ResultStore(cache_dir);
+        sps::sched::ScheduleCache::global().attachStore(store);
+    }
+
     sps::core::Headline h = sps::core::headlineNumbers(true);
 
     TextTable t;
@@ -281,35 +301,50 @@ main()
     sps::core::EvalEngine serial(1);
     sps::core::EvalEngine &parallel = sps::core::EvalEngine::global();
     auto &cache = parallel.cache();
+    sps::svc::EvalService serial_svc(&serial, store);
+    sps::svc::EvalService parallel_svc(&parallel, store);
 
+    // "cold" empties the in-process tiers (schedule cache + service
+    // memory); with --cache-dir the disk tier stays warm, which is
+    // exactly what the cold rows then demonstrate.
+    auto sims = [](const sps::svc::EvalService &s) {
+        return s.counters().computed;
+    };
     cache.clear();
-    double cold_serial = runFigureSuite(serial);
+    serial_svc.clearMemory();
+    double cold_serial = runFigureSuite(serial, serial_svc);
     auto after_cold = cache.counters();
-    double warm_serial = runFigureSuite(serial);
+    uint64_t sims_cold = sims(serial_svc);
+    double warm_serial = runFigureSuite(serial, serial_svc);
     auto after_warm = cache.counters();
+    uint64_t sims_warm = sims(serial_svc) - sims_cold;
 
     cache.clear();
-    double cold_parallel = runFigureSuite(parallel);
+    parallel_svc.clearMemory();
+    double cold_parallel = runFigureSuite(parallel, parallel_svc);
     auto after_cold_p = cache.counters();
-    double warm_parallel = runFigureSuite(parallel);
+    uint64_t sims_cold_p = sims(parallel_svc);
+    double warm_parallel = runFigureSuite(parallel, parallel_svc);
     auto after_warm_p = cache.counters();
+    uint64_t sims_warm_p = sims(parallel_svc) - sims_cold_p;
 
     TextTable e;
     e.header({"Figure-suite run", "threads", "wall (s)",
-              "kernel compiles"});
+              "kernel compiles", "app sims"});
     auto row = [&](const char *name, int threads, double secs,
-                   uint64_t compiles) {
+                   uint64_t compiles, uint64_t sim_count) {
         e.row({name, std::to_string(threads),
-               TextTable::num(secs, 3), std::to_string(compiles)});
+               TextTable::num(secs, 3), std::to_string(compiles),
+               std::to_string(sim_count)});
     };
     row("serial, cold cache", serial.threadCount(), cold_serial,
-        after_cold.misses);
+        after_cold.misses, sims_cold);
     row("serial, warm cache", serial.threadCount(), warm_serial,
-        after_warm.misses - after_cold.misses);
+        after_warm.misses - after_cold.misses, sims_warm);
     row("parallel, cold cache", parallel.threadCount(), cold_parallel,
-        after_cold_p.misses);
+        after_cold_p.misses, sims_cold_p);
     row("parallel, warm cache", parallel.threadCount(), warm_parallel,
-        after_warm_p.misses - after_cold_p.misses);
+        after_warm_p.misses - after_cold_p.misses, sims_warm_p);
 
     std::printf("Evaluation engine: full figure-suite wall-clock\n\n"
                 "%s\n"
@@ -319,6 +354,17 @@ main()
                 cold_parallel > 0.0 ? cold_serial / cold_parallel
                                     : 0.0,
                 warm_serial > 0.0 ? cold_serial / warm_serial : 0.0);
+
+    // --- Cache tiers: where every request was answered ---
+    std::printf("\nCache tiers%s%s (schedule cache + result store + "
+                "parallel eval service):\n",
+                cache_dir.empty() ? "" : ", --cache-dir ",
+                cache_dir.c_str());
+    for (const auto &r : sps::svc::cacheStatsRows(cache.counters(),
+                                                  store,
+                                                  &parallel_svc))
+        std::printf("  %-16s %-16s %s\n", r[0].c_str(), r[1].c_str(),
+                    r[2].c_str());
 
     // --- Interpreter throughput: reference vs lowered engine ---
     const int interp_c = 8;

@@ -2,6 +2,7 @@
 
 #include "common/fnv.h"
 #include "kernel/fingerprint.h"
+#include "store/result_store.h"
 
 namespace sps::sched {
 
@@ -45,33 +46,67 @@ ScheduleCache::get(const kernel::Kernel &k, const MachineModel &m,
     Key key{kernelFingerprint(k), machineConfigHash(m),
             compileOptionsHash(opts)};
     std::shared_ptr<Entry> entry;
+    store::ResultStore *disk = nullptr;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto &slot = map_[key];
         if (!slot)
             slot = std::make_shared<Entry>();
         entry = slot;
+        disk = store_;
     }
     // Compile outside the map lock so distinct keys compile in
     // parallel; call_once makes concurrent same-key requests block on
-    // the single winner.
-    bool compiled = false;
+    // the single winner. The winner consults the disk tier first: a
+    // verified store entry decodes instead of compiling, and a fresh
+    // compilation is written back for future processes.
+    enum { kMemory, kCompiled, kDisk } outcome = kMemory;
     std::call_once(entry->once, [&] {
+        store::Key skey{store::Kind::Schedule, key.kernelHash,
+                        key.machineHash, key.optionsHash};
+        if (disk && disk->loadSchedule(skey, &entry->ck)) {
+            outcome = kDisk;
+            return;
+        }
         entry->ck = compileKernel(k, m, opts);
-        compiled = true;
+        outcome = kCompiled;
+        if (disk)
+            disk->storeSchedule(skey, entry->ck);
     });
-    if (compiled)
+    switch (outcome) {
+    case kCompiled:
         misses_.fetch_add(1, std::memory_order_relaxed);
-    else
+        break;
+    case kDisk:
+        diskHits_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case kMemory:
         hits_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
     return entry->ck;
+}
+
+void
+ScheduleCache::attachStore(store::ResultStore *s)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    store_ = s;
+}
+
+store::ResultStore *
+ScheduleCache::attachedStore() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_;
 }
 
 ScheduleCache::Counters
 ScheduleCache::counters() const
 {
     return Counters{hits_.load(std::memory_order_relaxed),
-                    misses_.load(std::memory_order_relaxed)};
+                    misses_.load(std::memory_order_relaxed),
+                    diskHits_.load(std::memory_order_relaxed)};
 }
 
 size_t
@@ -85,9 +120,15 @@ void
 ScheduleCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
+    // Retire the map instead of destroying it: entries (and the
+    // CompiledKernel references handed out from them) stay alive
+    // until the cache itself is destroyed, so clear() cannot race
+    // in-flight get() calls or invalidate outstanding references.
+    retired_.push_back(std::move(map_));
+    map_ = Map{};
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    diskHits_.store(0, std::memory_order_relaxed);
 }
 
 ScheduleCache &

@@ -7,11 +7,21 @@
  * points, and the simulator's per-invocation compiles -- so a kernel
  * compiled once for a given MachineSize / FU mix is never recompiled.
  *
+ * With a store::ResultStore attached (attachStore), this cache is the
+ * *memory tier* of a three-tier lookup: memory -> disk -> compile. A
+ * memory miss first consults the disk store (a verified entry decodes
+ * without compiling and counts as a diskHit); a computed schedule is
+ * written back so every later process pointed at the same store
+ * directory starts warm.
+ *
  * Thread safety: get() may be called concurrently from any number of
  * threads; a given key is compiled exactly once (concurrent requests
  * for the same key block on the winner). Returned references stay
- * valid until clear(), which must not race in-flight get() calls or
- * outstanding references.
+ * valid for the cache's whole lifetime: clear() swaps the live map
+ * out under the lock and retires it instead of destroying entries, so
+ * it never invalidates in-flight get() calls or references obtained
+ * before the clear (retired entries are only freed when the cache
+ * itself is destroyed).
  */
 #ifndef SPS_SCHED_SCHEDULE_CACHE_H
 #define SPS_SCHED_SCHEDULE_CACHE_H
@@ -21,8 +31,13 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "sched/kernel_perf.h"
+
+namespace sps::store {
+class ResultStore;
+}
 
 namespace sps::sched {
 
@@ -51,25 +66,47 @@ class ScheduleCache
   public:
     struct Counters
     {
+        /** Calls served from the in-memory map (including waiters on
+         *  a concurrent winner). */
         uint64_t hits = 0;
+        /** Calls that actually compiled (the true compile count). */
         uint64_t misses = 0;
+        /** Calls served by decoding an attached disk store's entry
+         *  (no compilation performed). */
+        uint64_t diskHits = 0;
     };
 
     /**
      * The compiled schedule for (k, m, opts), compiling on first use.
-     * A call that performs the compilation counts as a miss; every
-     * other call (including ones that waited on a concurrent winner)
-     * counts as a hit.
+     * A call that performs the compilation counts as a miss; a call
+     * whose entry was decoded from the attached store counts as a
+     * diskHit; every other call (including ones that waited on a
+     * concurrent winner) counts as a hit.
      */
     const CompiledKernel &get(const kernel::Kernel &k,
                               const MachineModel &m,
                               const CompileOptions &opts = {});
 
+    /**
+     * Attach (or detach, with nullptr) the persistent disk tier. The
+     * store must outlive the cache or a later attachStore(nullptr).
+     * Safe to call concurrently with get(); in-flight lookups keep
+     * using the pointer they sampled.
+     */
+    void attachStore(store::ResultStore *s);
+    store::ResultStore *attachedStore() const;
+
     Counters counters() const;
     size_t size() const;
 
-    /** Drop all entries and reset the counters (not concurrency-safe
-     *  against in-flight get() calls or live references). */
+    /**
+     * Forget all entries and reset the counters. Concurrency-safe:
+     * the map is swapped out under the lock and retired rather than
+     * destroyed, so in-flight get() calls and previously returned
+     * references stay valid; retired entries are freed only when the
+     * cache is destroyed. The attached store (if any) is unaffected,
+     * so a clear() followed by get() re-hits the disk tier.
+     */
     void clear();
 
     /** The process-wide cache shared by designs, sims, and engines. */
@@ -100,11 +137,18 @@ class ScheduleCache
         std::once_flag once;
         CompiledKernel ck;
     };
+    using Map = std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash>;
 
     mutable std::mutex mu_;
-    std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map_;
+    Map map_;
+    /** Maps swapped out by clear(): keeps retired entries (and thus
+     *  outstanding references) alive until the cache is destroyed. */
+    std::vector<Map> retired_;
+    /** Optional persistent tier (guarded by mu_ for pointer access). */
+    store::ResultStore *store_ = nullptr;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> diskHits_{0};
 };
 
 } // namespace sps::sched

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Versioned binary serialization for the persistent result store:
+ * encode/decode of sched::CompiledKernel and sim::SimResult. The wire
+ * format is little-endian, written byte-at-a-time so encodings are
+ * deterministic across platforms, and doubles are carried as raw
+ * IEEE-754 bit patterns so a decoded result is *bit-identical* to the
+ * computed one (warm runs reproduce cold-run CSVs byte for byte).
+ *
+ * Every reader is bounds-checked: decoding a truncated or oversized
+ * buffer fails cleanly (decode* returns false) instead of returning a
+ * partially-filled result, so the store can treat any damaged entry
+ * as a miss. kStoreSchemaVersion is stamped into every store entry
+ * header; bump it whenever a field is added, removed, reordered, or
+ * retyped in any codec below, which silently invalidates (misses) all
+ * previously persisted entries.
+ */
+#ifndef SPS_STORE_CODEC_H
+#define SPS_STORE_CODEC_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sched/kernel_perf.h"
+#include "sim/stats.h"
+
+namespace sps::store {
+
+/**
+ * Schema version of the serialized payloads. History:
+ *  1 = initial format (CompiledKernel, SimResult with counters,
+ *      energy report, bottleneck report, full timeline).
+ */
+inline constexpr uint32_t kStoreSchemaVersion = 1;
+
+/** FNV-1a over a raw byte range (per-entry payload checksum). */
+uint64_t fnv1aBytes(const uint8_t *data, size_t n);
+
+/** Little-endian byte-at-a-time encoder. */
+class ByteWriter
+{
+  public:
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+
+    /** Raw IEEE-754 bit pattern (preserves -0.0, NaN payloads). */
+    void
+    f64(double v)
+    {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked little-endian decoder. Every getter returns false
+ * (and stops consuming) once the buffer is exhausted; done() is true
+ * only when every byte was consumed without error, so trailing
+ * garbage is also rejected.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t n) : data_(data), n_(n) {}
+    explicit ByteReader(const std::vector<uint8_t> &bytes)
+        : data_(bytes.data()), n_(bytes.size())
+    {
+    }
+
+    bool ok() const { return ok_; }
+    bool done() const { return ok_ && pos_ == n_; }
+
+    bool
+    u8(uint8_t *out)
+    {
+        if (!take(1))
+            return false;
+        *out = data_[pos_ - 1];
+        return true;
+    }
+
+    bool
+    u32(uint32_t *out)
+    {
+        if (!take(4))
+            return false;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data_[pos_ - 4 + i]) << (8 * i);
+        *out = v;
+        return true;
+    }
+
+    bool
+    u64(uint64_t *out)
+    {
+        if (!take(8))
+            return false;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data_[pos_ - 8 + i]) << (8 * i);
+        *out = v;
+        return true;
+    }
+
+    bool
+    i64(int64_t *out)
+    {
+        uint64_t v = 0;
+        if (!u64(&v))
+            return false;
+        *out = static_cast<int64_t>(v);
+        return true;
+    }
+
+    bool
+    i32(int32_t *out)
+    {
+        uint32_t v = 0;
+        if (!u32(&v))
+            return false;
+        *out = static_cast<int32_t>(v);
+        return true;
+    }
+
+    bool
+    f64(double *out)
+    {
+        uint64_t bits = 0;
+        if (!u64(&bits))
+            return false;
+        std::memcpy(out, &bits, sizeof *out);
+        return true;
+    }
+
+    bool
+    str(std::string *out)
+    {
+        uint64_t len = 0;
+        if (!u64(&len) || !take(static_cast<size_t>(len)))
+            return false;
+        out->assign(reinterpret_cast<const char *>(data_ + pos_ - len),
+                    static_cast<size_t>(len));
+        return true;
+    }
+
+  private:
+    bool
+    take(size_t k)
+    {
+        if (!ok_ || n_ - pos_ < k) {
+            ok_ = false;
+            return false;
+        }
+        pos_ += k;
+        return true;
+    }
+
+    const uint8_t *data_;
+    size_t n_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// --- Typed codecs (field order is part of the schema version). ---
+
+void encodeCompiledKernel(const sched::CompiledKernel &ck,
+                          ByteWriter *w);
+/** False on truncation, trailing bytes, or any malformed field. */
+bool decodeCompiledKernel(const std::vector<uint8_t> &bytes,
+                          sched::CompiledKernel *out);
+
+void encodeSimResult(const sim::SimResult &r, ByteWriter *w);
+bool decodeSimResult(const std::vector<uint8_t> &bytes,
+                     sim::SimResult *out);
+
+} // namespace sps::store
+
+#endif // SPS_STORE_CODEC_H

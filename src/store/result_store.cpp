@@ -1,0 +1,207 @@
+#include "store/result_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#define SPS_GETPID _getpid
+#else
+#include <unistd.h>
+#define SPS_GETPID getpid
+#endif
+
+namespace sps::store {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52535053; // "SPSR" little-endian
+
+// Entry header: magic, schema version, kind, pad, payload length,
+// payload checksum -- 32 bytes, followed by the payload.
+constexpr size_t kHeaderBytes = 32;
+
+const char *
+kindDir(Kind kind)
+{
+    switch (kind) {
+    case Kind::Schedule:
+        return "sched";
+    case Kind::SimResult:
+        return "sim";
+    }
+    return "other";
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+putHeader(const Key &key, const std::vector<uint8_t> &payload,
+          ByteWriter *w)
+{
+    w->u32(kMagic);
+    w->u32(kStoreSchemaVersion);
+    w->u32(static_cast<uint32_t>(key.kind));
+    w->u32(0); // reserved
+    w->u64(payload.size());
+    w->u64(fnv1aBytes(payload.data(), payload.size()));
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root))
+{
+    std::error_code ec;
+    for (Kind k : {Kind::Schedule, Kind::SimResult})
+        std::filesystem::create_directories(
+            std::filesystem::path(root_) / kindDir(k), ec);
+    // A failed create is deliberately not fatal: get() will miss and
+    // put() will count write errors.
+}
+
+std::string
+ResultStore::entryPath(const Key &key) const
+{
+    return (std::filesystem::path(root_) / kindDir(key.kind) /
+            (hex16(key.content) + "-" + hex16(key.machine) + "-" +
+             hex16(key.options) + ".bin"))
+        .string();
+}
+
+bool
+ResultStore::get(const Key &key, std::vector<uint8_t> *payload)
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    ByteReader r(bytes);
+    uint32_t magic = 0, version = 0, kind = 0, reserved = 0;
+    uint64_t length = 0, checksum = 0;
+    bool header_ok = r.u32(&magic) && r.u32(&version) && r.u32(&kind) &&
+                     r.u32(&reserved) && r.u64(&length) &&
+                     r.u64(&checksum);
+    if (!header_ok || magic != kMagic ||
+        version != kStoreSchemaVersion ||
+        kind != static_cast<uint32_t>(key.kind) ||
+        bytes.size() != kHeaderBytes + length ||
+        checksum != fnv1aBytes(bytes.data() + kHeaderBytes, length)) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    payload->assign(bytes.begin() + kHeaderBytes, bytes.end());
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ResultStore::put(const Key &key, const std::vector<uint8_t> &payload)
+{
+    ByteWriter w;
+    putHeader(key, payload, &w);
+
+    std::string final_path = entryPath(key);
+    // Process-unique temp name in the same directory so the final
+    // rename is atomic (same filesystem) and concurrent writer
+    // processes never collide on the temp file.
+    std::string temp_path =
+        final_path + ".tmp." + std::to_string(SPS_GETPID()) + "." +
+        std::to_string(tempSeq_.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(temp_path, std::ios::binary);
+        if (!out ||
+            !out.write(
+                reinterpret_cast<const char *>(w.bytes().data()),
+                static_cast<std::streamsize>(w.bytes().size())) ||
+            !out.write(reinterpret_cast<const char *>(payload.data()),
+                       static_cast<std::streamsize>(payload.size()))) {
+            writeErrors_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp_path, final_path, ec);
+    if (ec) {
+        writeErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::filesystem::remove(temp_path, ec);
+        return false;
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ResultStore::loadSchedule(const Key &key, sched::CompiledKernel *out)
+{
+    std::vector<uint8_t> payload;
+    if (!get(key, &payload))
+        return false;
+    if (decodeCompiledKernel(payload, out))
+        return true;
+    // Checksum passed but the payload does not parse: a schema drift
+    // that forgot the version bump. Still a miss, never a wrong hit.
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+ResultStore::storeSchedule(const Key &key,
+                           const sched::CompiledKernel &ck)
+{
+    ByteWriter w;
+    encodeCompiledKernel(ck, &w);
+    return put(key, w.bytes());
+}
+
+bool
+ResultStore::loadSimResult(const Key &key, sim::SimResult *out)
+{
+    std::vector<uint8_t> payload;
+    if (!get(key, &payload))
+        return false;
+    if (decodeSimResult(payload, out))
+        return true;
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+ResultStore::storeSimResult(const Key &key, const sim::SimResult &res)
+{
+    ByteWriter w;
+    encodeSimResult(res, &w);
+    return put(key, w.bytes());
+}
+
+StoreCounters
+ResultStore::counters() const
+{
+    StoreCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.corrupt = corrupt_.load(std::memory_order_relaxed);
+    c.writes = writes_.load(std::memory_order_relaxed);
+    c.writeErrors = writeErrors_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace sps::store

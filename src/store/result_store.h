@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Disk-backed content-addressed result store: the persistent tier of
+ * the evaluation stack. Entries are keyed by content hashes -- a
+ * compiled schedule by (kernel::fingerprint, machineConfigHash,
+ * compileOptionsHash), a simulation result by (programFingerprint,
+ * machineConfigHash, simConfigHash) -- so any process pointed at the
+ * same directory shares one warm cache across runs.
+ *
+ * Durability/atomicity contract:
+ *  - put() writes to a process-unique temp file in the same directory
+ *    and atomically renames it into place, so readers (including
+ *    concurrent reader *processes*) only ever observe absent or
+ *    complete entries, and concurrent writers of the same key are
+ *    harmless (last rename wins; same content either way).
+ *  - Every entry carries a magic, the store schema version, its kind,
+ *    the payload length, and an FNV-1a payload checksum. get()
+ *    verifies all of them; a truncated, bit-flipped, mis-kinded, or
+ *    version-mismatched entry is treated as a miss (counted in
+ *    `corrupt`), never decoded into a wrong result.
+ *
+ * Thread safety: get()/put() may be called concurrently from any
+ * number of threads (and processes); counters are atomics.
+ */
+#ifndef SPS_STORE_RESULT_STORE_H
+#define SPS_STORE_RESULT_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/codec.h"
+
+namespace sps::store {
+
+/** What a stored payload decodes to (part of the entry key/path). */
+enum class Kind : uint32_t {
+    Schedule = 1,  ///< sched::CompiledKernel
+    SimResult = 2, ///< sim::SimResult
+};
+
+/** Content-addressed entry key: kind plus three content hashes. */
+struct Key
+{
+    Kind kind = Kind::Schedule;
+    /** Schedule: kernel fingerprint. Sim: program fingerprint. */
+    uint64_t content = 0;
+    /** Machine configuration hash (sched::machineConfigHash). */
+    uint64_t machine = 0;
+    /** Schedule: compile-options hash. Sim: sim-config hash. */
+    uint64_t options = 0;
+};
+
+/** Monotonic counters of one store instance. */
+struct StoreCounters
+{
+    uint64_t hits = 0;    ///< complete, verified entries served
+    uint64_t misses = 0;  ///< absent entries
+    uint64_t corrupt = 0; ///< damaged/version-mismatched entries
+    uint64_t writes = 0;  ///< entries durably renamed into place
+    uint64_t writeErrors = 0;
+};
+
+class ResultStore
+{
+  public:
+    /** Open (creating directories as needed) a store rooted at
+     *  `root`. An empty/uncreatable root makes every get a miss and
+     *  every put a write error rather than an exception. */
+    explicit ResultStore(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /**
+     * Fetch the verified payload of `key` into `payload`. False on
+     * absent (miss) or damaged (corrupt counter) entries; true only
+     * when magic, version, kind, length, and checksum all verified.
+     */
+    bool get(const Key &key, std::vector<uint8_t> *payload);
+
+    /** Durably store `payload` under `key` (temp + atomic rename). */
+    bool put(const Key &key, const std::vector<uint8_t> &payload);
+
+    // --- Typed wrappers over the codecs. ---
+
+    bool loadSchedule(const Key &key, sched::CompiledKernel *out);
+    bool storeSchedule(const Key &key, const sched::CompiledKernel &ck);
+    bool loadSimResult(const Key &key, sim::SimResult *out);
+    bool storeSimResult(const Key &key, const sim::SimResult &res);
+
+    StoreCounters counters() const;
+
+    /** Entry file path of a key (exposed for corruption tests). */
+    std::string entryPath(const Key &key) const;
+
+  private:
+    std::string root_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> corrupt_{0};
+    std::atomic<uint64_t> writes_{0};
+    std::atomic<uint64_t> writeErrors_{0};
+    std::atomic<uint64_t> tempSeq_{0};
+};
+
+} // namespace sps::store
+
+#endif // SPS_STORE_RESULT_STORE_H

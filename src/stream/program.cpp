@@ -1,6 +1,8 @@
 #include "stream/program.h"
 
+#include "common/fnv.h"
 #include "common/log.h"
+#include "kernel/fingerprint.h"
 
 namespace sps::stream {
 
@@ -140,6 +142,38 @@ StreamProgram::totalKernelRecords() const
         if (op.kind == OpKind::Kernel)
             total += op.records;
     return total;
+}
+
+uint64_t
+programFingerprint(const StreamProgram &p)
+{
+    Fnv f;
+    f.mix(p.name());
+    f.mix(static_cast<uint64_t>(p.streams().size()));
+    for (const StreamInfo &s : p.streams()) {
+        f.mix(s.name);
+        f.mix(static_cast<uint64_t>(s.recordWords));
+        f.mix(static_cast<uint64_t>(s.records));
+        f.mix(static_cast<uint64_t>(s.memoryBacked ? 1 : 0));
+        f.mix(static_cast<uint64_t>(s.packed16 ? 1 : 0));
+        f.mix(static_cast<uint64_t>(s.memBaseWord));
+        f.mix(static_cast<uint64_t>(s.memStrideWords));
+    }
+    f.mix(static_cast<uint64_t>(p.ops().size()));
+    for (const StreamOp &op : p.ops()) {
+        f.mix(static_cast<uint64_t>(op.kind));
+        f.mix(static_cast<uint64_t>(op.stream));
+        f.mix(op.k ? kernel::fingerprint(*op.k) : 0);
+        f.mix(static_cast<uint64_t>(op.args.size()));
+        for (int a : op.args)
+            f.mix(static_cast<uint64_t>(a));
+        f.mix(static_cast<uint64_t>(op.records));
+        f.mix(op.label);
+        f.mix(static_cast<uint64_t>(op.memBase));
+        f.mix(static_cast<uint64_t>(op.memStride));
+        f.mix(static_cast<uint64_t>(op.memRecordWords));
+    }
+    return f.h;
 }
 
 } // namespace sps::stream

@@ -138,6 +138,16 @@ class StreamProgram
     int64_t memCursor_ = 0;
 };
 
+/**
+ * Structural fingerprint of a whole stream program: name, every
+ * declared stream (lengths, packing, memory layout), and every op
+ * (kind, bound streams, called-kernel fingerprints, record counts,
+ * resolved addressing). Two programs with equal fingerprints simulate
+ * identically on a given machine, so the fingerprint keys persisted
+ * simulation results in the content-addressed result store.
+ */
+uint64_t programFingerprint(const StreamProgram &p);
+
 } // namespace sps::stream
 
 #endif // SPS_STREAM_PROGRAM_H

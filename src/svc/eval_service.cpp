@@ -1,0 +1,342 @@
+#include "svc/eval_service.h"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fnv.h"
+#include "stream/program.h"
+#include "workloads/suite.h"
+
+namespace sps::svc {
+
+namespace {
+
+void
+mixDouble(Fnv &f, double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    f.mix(bits);
+}
+
+void
+mixParams(Fnv &f, const vlsi::Params &p)
+{
+    for (double v :
+         {p.aSram, p.aSb, p.wAlu, p.wLrf, p.wSp, p.h, p.v0, p.tCyc,
+          p.tMux, p.eW, p.eAlu, p.eSram, p.eSb, p.eLrf, p.eSp, p.tMem,
+          p.gSrf, p.gSb, p.gComm, p.gSp, p.i0, p.iN, p.lC, p.lO, p.lN,
+          p.rM, p.rUc, p.kCommArea, p.kCommEnergy, p.kIntraEnergy,
+          p.kDistEnergy, p.xbarConnectivity})
+        mixDouble(f, v);
+    f.mix(static_cast<uint64_t>(p.b));
+}
+
+void
+mixTech(Fnv &f, const vlsi::Technology &t)
+{
+    f.mix(std::string(t.name));
+    for (double v : {t.trackPitchUm, t.fo4Ps, t.ewFj, t.clockFo4,
+                     t.memBwGBs, t.hostBwGBs})
+        mixDouble(f, v);
+}
+
+void
+mixMemConfig(Fnv &f, const mem::StreamMemConfig &m)
+{
+    f.mix(static_cast<uint64_t>(m.channels));
+    mixDouble(f, m.peakWordsPerCycle);
+    f.mix(static_cast<uint64_t>(m.latencyCycles));
+    f.mix(static_cast<uint64_t>(m.timing.tRas));
+    f.mix(static_cast<uint64_t>(m.timing.tPre));
+    f.mix(static_cast<uint64_t>(m.timing.tCol));
+    f.mix(static_cast<uint64_t>(m.timing.banks));
+    f.mix(static_cast<uint64_t>(m.timing.rowWords));
+    f.mix(static_cast<uint64_t>(m.schedWindow));
+    f.mix(static_cast<uint64_t>(m.schedMaxBypass));
+}
+
+void
+mixEnergyConfig(Fnv &f, const energy::AccountantConfig &e)
+{
+    mixDouble(f, e.idleFraction);
+    mixDouble(f, e.dram.rowHitEnergyEw);
+    mixDouble(f, e.dram.rowMissEnergyEw);
+    mixDouble(f, e.dram.channelBusyEnergyEw);
+}
+
+} // namespace
+
+uint64_t
+simConfigHash(const sim::SimConfig &cfg)
+{
+    Fnv f;
+    f.mix(static_cast<uint64_t>(cfg.size.clusters));
+    f.mix(static_cast<uint64_t>(cfg.size.alusPerCluster));
+    mixParams(f, cfg.params);
+    mixTech(f, cfg.tech);
+    mixMemConfig(f, cfg.memConfig);
+    f.mix(static_cast<uint64_t>(cfg.ucConfig.pipeFillCycles));
+    f.mix(static_cast<uint64_t>(cfg.ucConfig.loadCyclesPerInstruction));
+    f.mix(static_cast<uint64_t>(cfg.hostIssueCycles));
+    f.mix(static_cast<uint64_t>(cfg.scoreboardDepth));
+    mixEnergyConfig(f, cfg.energyConfig);
+    return f.h;
+}
+
+EvalService::EvalService(core::EvalEngine *engine,
+                         store::ResultStore *store)
+    : engine_(&core::resolveEngine(engine)), store_(store),
+      dispatcher_([this] { dispatchLoop(); })
+{
+}
+
+EvalService::~EvalService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    dispatcher_.join();
+}
+
+std::string
+EvalService::requestKey(const EvalPoint &pt) const
+{
+    // The request key dedups *requests*; the content-addressed store
+    // key (program x machine x config) is derived in the worker once
+    // the program is built. Both must separate the same points: two
+    // requests differing only in configuration never share a key
+    // because the (default) sim config hash covers the size.
+    sim::SimConfig cfg;
+    cfg.size = pt.size;
+    return pt.app + "|" + std::to_string(pt.size.clusters) + "|" +
+           std::to_string(pt.size.alusPerCluster) + "|" +
+           std::to_string(simConfigHash(cfg));
+}
+
+std::shared_future<sim::SimResult>
+EvalService::submit(const EvalPoint &pt)
+{
+    std::string key = requestKey(pt);
+    std::shared_future<sim::SimResult> future;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = results_.find(key);
+        if (it != results_.end()) {
+            bool ready = it->second.wait_for(std::chrono::seconds(0)) ==
+                         std::future_status::ready;
+            (ready ? memHits_ : inflightDedup_)
+                .fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+        Job job;
+        job.pt = pt;
+        future = job.promise.get_future().share();
+        results_.emplace(std::move(key), future);
+        pending_.push_back(std::move(job));
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake_.notify_one();
+    return future;
+}
+
+sim::SimResult
+EvalService::eval(const EvalPoint &pt)
+{
+    return submit(pt).get();
+}
+
+void
+EvalService::dispatchLoop()
+{
+    for (;;) {
+        std::vector<Job> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock,
+                       [&] { return stop_ || !pending_.empty(); });
+            if (pending_.empty() && stop_)
+                return;
+            // Everything submitted since the last batch dispatches as
+            // one engine job set: points evaluate concurrently on the
+            // pool while later submissions accumulate for the next
+            // batch.
+            batch.reserve(pending_.size());
+            while (!pending_.empty()) {
+                batch.push_back(std::move(pending_.front()));
+                pending_.pop_front();
+            }
+        }
+        try {
+            engine_->forEach(batch.size(),
+                             [&](size_t i) { runJob(batch[i]); });
+        } catch (...) {
+            // Per-job failures already reached their promises (and
+            // jobs whose promise died unfulfilled deliver
+            // broken_promise); keep the dispatcher alive.
+        }
+    }
+}
+
+void
+EvalService::runJob(Job &job)
+{
+    try {
+        const workloads::AppEntry *entry = nullptr;
+        auto apps = workloads::appSuite();
+        for (const auto &app : apps)
+            if (app.name == job.pt.app)
+                entry = &app;
+        if (!entry)
+            // Delivered through the requester's future, not fatal():
+            // a bad request must not take the whole service down.
+            throw std::runtime_error(
+                "EvalService: unknown application " + job.pt.app);
+
+        core::StreamProcessorDesign design(job.pt.size);
+        sim::StreamProcessor proc = design.makeProcessor();
+        stream::StreamProgram prog =
+            entry->build(job.pt.size, proc.srf());
+
+        store::Key key{store::Kind::SimResult,
+                       stream::programFingerprint(prog),
+                       sched::machineConfigHash(proc.machine()),
+                       simConfigHash(proc.config())};
+        sim::SimResult res;
+        if (store_ && store_->loadSimResult(key, &res)) {
+            diskHits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            res = proc.run(prog);
+            computed_.fetch_add(1, std::memory_order_relaxed);
+            if (store_)
+                store_->storeSimResult(key, res);
+        }
+        job.promise.set_value(std::move(res));
+    } catch (...) {
+        job.promise.set_exception(std::current_exception());
+    }
+}
+
+std::vector<core::AppPoint>
+EvalService::appPerformance(const std::vector<int> &c_values,
+                            const std::vector<int> &n_values)
+{
+    auto apps = workloads::appSuite();
+
+    // Submit the whole sweep -- baselines first, then the grid in the
+    // canonical app -> n -> c axis order -- and only then collect, so
+    // the service batches everything into one engine dispatch and the
+    // baseline dedups against its grid twin.
+    std::vector<std::shared_future<sim::SimResult>> base_futures;
+    base_futures.reserve(apps.size());
+    for (const auto &app : apps)
+        base_futures.push_back(
+            submit(EvalPoint{app.name, core::kBaseline}));
+
+    std::vector<std::shared_future<sim::SimResult>> grid_futures;
+    std::vector<EvalPoint> grid_points;
+    grid_futures.reserve(apps.size() * n_values.size() *
+                         c_values.size());
+    for (const auto &app : apps)
+        for (int n : n_values)
+            for (int c : c_values) {
+                EvalPoint pt{app.name, vlsi::MachineSize{c, n}};
+                grid_points.push_back(pt);
+                grid_futures.push_back(submit(pt));
+            }
+
+    std::vector<core::AppPoint> out;
+    out.reserve(grid_futures.size());
+    const size_t per_app = n_values.size() * c_values.size();
+    for (size_t i = 0; i < grid_futures.size(); ++i) {
+        const sim::SimResult &base = base_futures[i / per_app].get();
+        sim::SimResult res = grid_futures[i].get();
+        core::AppPoint pt;
+        pt.app = grid_points[i].app;
+        pt.size = grid_points[i].size;
+        pt.cycles = res.cycles;
+        pt.speedup = static_cast<double>(base.cycles) /
+                     static_cast<double>(res.cycles);
+        core::StreamProcessorDesign d(pt.size);
+        pt.gops = res.gops(d.tech().clockGHz());
+        pt.result = std::move(res);
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+void
+EvalService::clearMemory()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only completed entries may go: an in-flight future must stay
+    // mapped so later identical submissions keep deduplicating onto
+    // it instead of double-computing.
+    for (auto it = results_.begin(); it != results_.end();) {
+        if (it->second.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready)
+            it = results_.erase(it);
+        else
+            ++it;
+    }
+}
+
+ServiceCounters
+EvalService::counters() const
+{
+    ServiceCounters c;
+    c.submitted = submitted_.load(std::memory_order_relaxed);
+    c.memHits = memHits_.load(std::memory_order_relaxed);
+    c.inflightDedup = inflightDedup_.load(std::memory_order_relaxed);
+    c.diskHits = diskHits_.load(std::memory_order_relaxed);
+    c.computed = computed_.load(std::memory_order_relaxed);
+    return c;
+}
+
+std::vector<std::vector<std::string>>
+cacheStatsRows(const sched::ScheduleCache::Counters &sched,
+               const store::ResultStore *store,
+               const EvalService *service)
+{
+    auto n = [](uint64_t v) { return std::to_string(v); };
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"schedule_cache", "mem_hits", n(sched.hits)});
+    rows.push_back({"schedule_cache", "disk_hits", n(sched.diskHits)});
+    rows.push_back({"schedule_cache", "compiles", n(sched.misses)});
+    if (store) {
+        store::StoreCounters sc = store->counters();
+        rows.push_back({"result_store", "hits", n(sc.hits)});
+        rows.push_back({"result_store", "misses", n(sc.misses)});
+        rows.push_back({"result_store", "corrupt", n(sc.corrupt)});
+        rows.push_back({"result_store", "writes", n(sc.writes)});
+        rows.push_back(
+            {"result_store", "write_errors", n(sc.writeErrors)});
+    }
+    if (service) {
+        ServiceCounters vc = service->counters();
+        rows.push_back({"eval_service", "submitted", n(vc.submitted)});
+        rows.push_back({"eval_service", "mem_hits", n(vc.memHits)});
+        rows.push_back(
+            {"eval_service", "inflight_dedup", n(vc.inflightDedup)});
+        rows.push_back({"eval_service", "disk_hits", n(vc.diskHits)});
+        rows.push_back({"eval_service", "sims", n(vc.computed)});
+    }
+    return rows;
+}
+
+void
+appendCacheStatsRows(CsvWriter &w,
+                     const sched::ScheduleCache::Counters &sched,
+                     const store::ResultStore *store,
+                     const EvalService *service)
+{
+    for (auto &r : cacheStatsRows(sched, store, service))
+        w.row(r);
+}
+
+} // namespace sps::svc

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The persistent evaluation service: an async, dedup'd job queue
+ * layered on core::EvalEngine that turns the one-shot evaluation
+ * stack into a long-lived sweep server. Clients submit() design
+ * points (an application at a machine size) from any thread and get
+ * shared futures back; a background dispatcher batches everything
+ * submitted since the last batch onto the engine's thread pool.
+ *
+ * Every request passes through three tiers:
+ *  - memory:  a completed identical request resolves immediately, and
+ *             an *in-flight* identical request hands the second
+ *             requester the first one's future (no duplicate work);
+ *  - disk:    with a store::ResultStore attached, a verified entry
+ *             keyed by (stream::programFingerprint, machineConfigHash,
+ *             simConfigHash) decodes bit-identically instead of
+ *             re-simulating -- this is what a warm --cache-dir run
+ *             hits, across processes;
+ *  - compute: the simulation runs on the engine pool and the result
+ *             is written back to the store.
+ *
+ * Kernel compilations inside the simulations flow through the shared
+ * sched::ScheduleCache, which holds the same store as its own disk
+ * tier, so a warm run performs zero schedule compiles as well as zero
+ * re-simulations.
+ */
+#ifndef SPS_SVC_EVAL_SERVICE_H
+#define SPS_SVC_EVAL_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/eval_engine.h"
+#include "core/experiments.h"
+#include "sim/processor.h"
+#include "store/result_store.h"
+
+namespace sps::svc {
+
+/**
+ * Hash of every sim::SimConfig field that shapes a simulation result
+ * (machine size, Table-1 params, technology, memory system, host
+ * interface, energy accounting). Part of the sim-result store key, so
+ * results computed under different configurations never alias.
+ */
+uint64_t simConfigHash(const sim::SimConfig &cfg);
+
+/** One design point the service evaluates. */
+struct EvalPoint
+{
+    /** Application name from workloads::appSuite() (e.g. "RENDER"). */
+    std::string app;
+    vlsi::MachineSize size{8, 5};
+};
+
+/** Monotonic per-tier counters of one service instance. */
+struct ServiceCounters
+{
+    uint64_t submitted = 0;     ///< distinct requests queued
+    uint64_t memHits = 0;       ///< resolved from a completed result
+    uint64_t inflightDedup = 0; ///< joined an in-flight identical job
+    uint64_t diskHits = 0;      ///< decoded from the attached store
+    uint64_t computed = 0;      ///< actually simulated
+};
+
+class EvalService
+{
+  public:
+    /**
+     * engine == nullptr uses EvalEngine::global(); store == nullptr
+     * runs memory-only (no persistent tier). The store must outlive
+     * the service.
+     */
+    explicit EvalService(core::EvalEngine *engine = nullptr,
+                         store::ResultStore *store = nullptr);
+    ~EvalService();
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
+
+    /**
+     * Queue a design point for evaluation. Identical points (same
+     * app, size, and simulation configuration) are deduplicated: a
+     * repeat of a completed point resolves from memory, a repeat of
+     * an in-flight point returns the in-flight future.
+     */
+    std::shared_future<sim::SimResult> submit(const EvalPoint &pt);
+
+    /** submit() and wait. */
+    sim::SimResult eval(const EvalPoint &pt);
+
+    /**
+     * Figure 15 through the service: same output as
+     * core::appPerformance (deterministic axis order, identical
+     * values), but every (app, size) simulation -- baselines included
+     * -- is submitted through the tiered, dedup'd queue. The baseline
+     * point dedups against its grid twin when the grid contains
+     * core::kBaseline.
+     */
+    std::vector<core::AppPoint>
+    appPerformance(const std::vector<int> &c_values,
+                   const std::vector<int> &n_values);
+
+    /**
+     * Forget completed in-memory results (the memory tier only; the
+     * disk store is untouched). Outstanding futures stay valid. Does
+     * not reset the counters.
+     */
+    void clearMemory();
+
+    ServiceCounters counters() const;
+    store::ResultStore *store() const { return store_; }
+    core::EvalEngine &engine() const { return *engine_; }
+
+  private:
+    struct Job
+    {
+        EvalPoint pt;
+        std::promise<sim::SimResult> promise;
+    };
+
+    void dispatchLoop();
+    void runJob(Job &job);
+    std::string requestKey(const EvalPoint &pt) const;
+
+    core::EvalEngine *engine_;
+    store::ResultStore *store_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::deque<Job> pending_;
+    /** Request key -> future (in-flight or completed): the memory
+     *  tier and the in-flight dedup table in one map. */
+    std::unordered_map<std::string, std::shared_future<sim::SimResult>>
+        results_;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> memHits_{0};
+    std::atomic<uint64_t> inflightDedup_{0};
+    std::atomic<uint64_t> diskHits_{0};
+    std::atomic<uint64_t> computed_{0};
+
+    std::thread dispatcher_;
+};
+
+/**
+ * Append the cache-tier observability rows (tier, counter, value) for
+ * the schedule cache, the store, and the service to a CSV started
+ * with header {"tier", "counter", "value"}. Null store/service are
+ * skipped. This is the canonical export behind cache_stats.csv and
+ * the bench_headline cache section.
+ */
+void appendCacheStatsRows(CsvWriter &w,
+                          const sched::ScheduleCache::Counters &sched,
+                          const store::ResultStore *store,
+                          const EvalService *service);
+
+/** The same rows as (tier, counter, value) string triples. */
+std::vector<std::vector<std::string>>
+cacheStatsRows(const sched::ScheduleCache::Counters &sched,
+               const store::ResultStore *store,
+               const EvalService *service);
+
+} // namespace sps::svc
+
+#endif // SPS_SVC_EVAL_SERVICE_H

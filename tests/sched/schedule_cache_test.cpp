@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "store/result_store.h"
 #include "workloads/suite.h"
 
 namespace sps::sched {
@@ -123,6 +126,132 @@ TEST(ScheduleCacheTest, ClearResetsEverything)
     auto ctr = cache.counters();
     EXPECT_EQ(ctr.hits, 0u);
     EXPECT_EQ(ctr.misses, 0u);
+}
+
+TEST(ScheduleCacheTest, ClearKeepsReferencesValid)
+{
+    ScheduleCache cache;
+    MachineModel m = machine(8, 5);
+    const CompiledKernel &before =
+        cache.get(workloads::convolveKernel(), m);
+    int ii = before.ii;
+    cache.clear();
+    // The pre-clear reference must still be readable: clear() retires
+    // the map instead of destroying entries.
+    EXPECT_EQ(before.ii, ii);
+    const CompiledKernel &after =
+        cache.get(workloads::convolveKernel(), m);
+    EXPECT_EQ(after.ii, ii);
+    EXPECT_NE(&after, &before) << "recompile populates a fresh entry";
+    EXPECT_EQ(before.ii, ii);
+}
+
+/** The documented clear() race: concurrent get() traffic while
+ *  another thread clears repeatedly. Runs under TSan in CI; every
+ *  reference obtained must stay readable after the clears. */
+TEST(ScheduleCacheTest, ConcurrentClearAndGet)
+{
+    ScheduleCache cache;
+    MachineModel m8 = machine(8, 5);
+    MachineModel m16 = machine(16, 5);
+    std::atomic<bool> stop{false};
+    std::vector<const CompiledKernel *> refs[4];
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&, t] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const CompiledKernel &a =
+                    cache.get(workloads::convolveKernel(), m8);
+                const CompiledKernel &b =
+                    cache.get(workloads::updateKernel(), m16);
+                EXPECT_GT(a.ii, 0);
+                EXPECT_GT(b.ii, 0);
+                refs[t].push_back(&a);
+                refs[t].push_back(&b);
+            }
+        });
+    std::thread clearer([&] {
+        for (int i = 0; i < 50; ++i) {
+            cache.clear();
+            std::this_thread::yield();
+        }
+        stop.store(true, std::memory_order_relaxed);
+    });
+    clearer.join();
+    for (auto &r : readers)
+        r.join();
+    // Every reference handed out across all the clears still reads
+    // valid data.
+    for (auto &per_thread : refs)
+        for (const CompiledKernel *ck : per_thread)
+            EXPECT_GT(ck->ii, 0);
+}
+
+TEST(ScheduleCacheTest, DiskTierAvoidsRecompilation)
+{
+    std::string root =
+        ::testing::TempDir() + "sps_sched_store_disktier";
+    std::filesystem::remove_all(root);
+    store::ResultStore store(root);
+
+    MachineModel m = machine(16, 10);
+    const kernel::Kernel &k = workloads::convolveKernel();
+
+    ScheduleCache first;
+    first.attachStore(&store);
+    EXPECT_EQ(first.attachedStore(), &store);
+    const CompiledKernel &compiled = first.get(k, m);
+    EXPECT_EQ(first.counters().misses, 1u);
+    EXPECT_EQ(store.counters().writes, 1u);
+
+    // A second cache (standing in for a second process) decodes the
+    // schedule from disk instead of compiling.
+    ScheduleCache second;
+    second.attachStore(&store);
+    const CompiledKernel &decoded = second.get(k, m);
+    auto ctr = second.counters();
+    EXPECT_EQ(ctr.misses, 0u);
+    EXPECT_EQ(ctr.diskHits, 1u);
+    EXPECT_EQ(decoded.ii, compiled.ii);
+    EXPECT_EQ(decoded.unroll, compiled.unroll);
+    EXPECT_EQ(decoded.length, compiled.length);
+    EXPECT_EQ(decoded.gopsOpsPerIteration,
+              compiled.gopsOpsPerIteration);
+
+    // clear() drops memory but not disk: the re-get disk-hits again.
+    second.clear();
+    second.get(k, m);
+    EXPECT_EQ(second.counters().diskHits, 1u);
+    EXPECT_EQ(second.counters().misses, 0u);
+}
+
+TEST(ScheduleCacheTest, CorruptStoredScheduleRecompiles)
+{
+    std::string root =
+        ::testing::TempDir() + "sps_sched_store_corrupt";
+    std::filesystem::remove_all(root);
+    store::ResultStore store(root);
+
+    MachineModel m = machine(8, 5);
+    const kernel::Kernel &k = workloads::fftKernel();
+    ScheduleCache first;
+    first.attachStore(&store);
+    const CompiledKernel &compiled = first.get(k, m);
+
+    // Truncate every persisted schedule entry.
+    for (auto &e : std::filesystem::directory_iterator(
+             std::filesystem::path(root) / "sched"))
+        std::filesystem::resize_file(
+            e.path(), std::filesystem::file_size(e.path()) / 2);
+
+    ScheduleCache second;
+    second.attachStore(&store);
+    const CompiledKernel &recompiled = second.get(k, m);
+    auto ctr = second.counters();
+    EXPECT_EQ(ctr.diskHits, 0u);
+    EXPECT_EQ(ctr.misses, 1u) << "damaged entry must recompile";
+    EXPECT_GT(store.counters().corrupt, 0u);
+    EXPECT_EQ(recompiled.ii, compiled.ii);
 }
 
 } // namespace

@@ -1,0 +1,229 @@
+// Tests for the evaluation service: the memory tier (completed and
+// in-flight dedup), the disk tier (cross-service warm hits,
+// bit-identical to computed results), the corruption contract, and
+// equivalence of the service's Figure-15 sweep with the direct
+// core::appPerformance path.
+#include "svc/eval_service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "store/codec.h"
+
+namespace sps::svc {
+namespace {
+
+std::string
+freshRoot(const char *name)
+{
+    std::string root = ::testing::TempDir() + "sps_svc_" + name;
+    std::filesystem::remove_all(root);
+    return root;
+}
+
+std::vector<uint8_t>
+encodeRes(const sim::SimResult &r)
+{
+    store::ByteWriter w;
+    store::encodeSimResult(r, &w);
+    return w.bytes();
+}
+
+const EvalPoint kPoint{"DEPTH", vlsi::MachineSize{8, 5}};
+
+TEST(EvalServiceTest, RepeatRequestResolvesFromMemory)
+{
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    sim::SimResult a = service.eval(kPoint);
+    sim::SimResult b = service.eval(kPoint);
+    EXPECT_EQ(encodeRes(a), encodeRes(b));
+    auto c = service.counters();
+    EXPECT_EQ(c.computed, 1u);
+    EXPECT_EQ(c.submitted, 1u);
+    EXPECT_EQ(c.memHits + c.inflightDedup, 1u);
+}
+
+TEST(EvalServiceTest, IdenticalSubmissionsComputeOnce)
+{
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    const size_t n = 16;
+    std::vector<std::shared_future<sim::SimResult>> futures;
+    for (size_t i = 0; i < n; ++i)
+        futures.push_back(service.submit(kPoint));
+    std::vector<uint8_t> first = encodeRes(futures[0].get());
+    for (auto &f : futures)
+        EXPECT_EQ(encodeRes(f.get()), first);
+    auto c = service.counters();
+    EXPECT_EQ(c.submitted, 1u);
+    EXPECT_EQ(c.computed, 1u);
+    EXPECT_EQ(c.memHits + c.inflightDedup, n - 1);
+}
+
+TEST(EvalServiceTest, DistinctPointsAreDistinctRequests)
+{
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    auto a = service.submit(kPoint);
+    auto b = service.submit(EvalPoint{"DEPTH", {16, 5}});
+    auto c = service.submit(EvalPoint{"CONV", {8, 5}});
+    a.wait();
+    b.wait();
+    c.wait();
+    EXPECT_EQ(service.counters().submitted, 3u);
+    EXPECT_EQ(service.counters().computed, 3u);
+}
+
+TEST(EvalServiceTest, WarmStoreSkipsSimulation)
+{
+    std::string root = freshRoot("warm");
+    store::ResultStore cold_store(root);
+    std::vector<uint8_t> cold_bytes;
+    {
+        core::EvalEngine engine(2);
+        EvalService service(&engine, &cold_store);
+        cold_bytes = encodeRes(service.eval(kPoint));
+        EXPECT_EQ(service.counters().computed, 1u);
+        EXPECT_EQ(service.counters().diskHits, 0u);
+    }
+
+    // A second service (standing in for a second process) with the
+    // same root answers from disk, bit-identically.
+    store::ResultStore warm_store(root);
+    core::EvalEngine engine(2);
+    EvalService service(&engine, &warm_store);
+    sim::SimResult res = service.eval(kPoint);
+    EXPECT_EQ(encodeRes(res), cold_bytes);
+    EXPECT_EQ(service.counters().computed, 0u);
+    EXPECT_EQ(service.counters().diskHits, 1u);
+    EXPECT_EQ(warm_store.counters().hits, 1u);
+}
+
+TEST(EvalServiceTest, CorruptEntryIsRecomputedNeverServed)
+{
+    std::string root = freshRoot("corrupt");
+    {
+        store::ResultStore store(root);
+        core::EvalEngine engine(2);
+        EvalService service(&engine, &store);
+        service.eval(kPoint);
+        ASSERT_EQ(service.counters().computed, 1u);
+    }
+
+    // Damage every persisted sim entry (truncate to half).
+    int damaged = 0;
+    for (auto &e : std::filesystem::directory_iterator(
+             std::filesystem::path(root) / "sim")) {
+        auto size = std::filesystem::file_size(e.path());
+        std::filesystem::resize_file(e.path(), size / 2);
+        ++damaged;
+    }
+    ASSERT_GT(damaged, 0);
+
+    store::ResultStore store(root);
+    core::EvalEngine engine(2);
+    EvalService service(&engine, &store);
+    sim::SimResult res = service.eval(kPoint);
+    EXPECT_GT(res.cycles, 0);
+    EXPECT_EQ(service.counters().diskHits, 0u);
+    EXPECT_EQ(service.counters().computed, 1u);
+    EXPECT_GT(store.counters().corrupt, 0u);
+    EXPECT_EQ(store.counters().hits, 0u);
+
+    // The recompute healed the entry: a third reader hits disk.
+    store::ResultStore healed(root);
+    core::EvalEngine engine2(2);
+    EvalService service2(&engine2, &healed);
+    service2.eval(kPoint);
+    EXPECT_EQ(service2.counters().diskHits, 1u);
+}
+
+TEST(EvalServiceTest, ClearMemoryKeepsFuturesAndRecomputes)
+{
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    auto f = service.submit(kPoint);
+    sim::SimResult before = f.get();
+    service.clearMemory();
+    // The handed-out future stays valid after the tier is dropped.
+    EXPECT_EQ(encodeRes(f.get()), encodeRes(before));
+    sim::SimResult after = service.eval(kPoint);
+    EXPECT_EQ(encodeRes(after), encodeRes(before));
+    EXPECT_EQ(service.counters().computed, 2u);
+}
+
+TEST(EvalServiceTest, AppPerformanceMatchesDirectPath)
+{
+    std::vector<int> cs{8, 16};
+    std::vector<int> ns{5};
+    core::EvalEngine engine(2);
+    auto direct = core::appPerformance(cs, ns, &engine);
+    EvalService service(&engine);
+    auto via_service = service.appPerformance(cs, ns);
+
+    ASSERT_EQ(via_service.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(via_service[i].app, direct[i].app);
+        EXPECT_EQ(via_service[i].size.clusters,
+                  direct[i].size.clusters);
+        EXPECT_EQ(via_service[i].cycles, direct[i].cycles);
+        EXPECT_EQ(via_service[i].speedup, direct[i].speedup);
+        EXPECT_EQ(via_service[i].gops, direct[i].gops);
+        EXPECT_EQ(encodeRes(via_service[i].result),
+                  encodeRes(direct[i].result));
+    }
+    // Per app: one baseline submit plus two grid submits, of which
+    // the C=8 N=5 grid point is the baseline's twin -- so exactly two
+    // unique sims per app and one dedup'd request per app.
+    size_t apps = direct.size() / (cs.size() * ns.size());
+    auto c = service.counters();
+    EXPECT_EQ(c.computed, apps * 2);
+    EXPECT_EQ(c.submitted, apps * 2);
+    EXPECT_EQ(c.memHits + c.inflightDedup, apps);
+}
+
+TEST(EvalServiceTest, UnknownAppDeliversExceptionNotExit)
+{
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    auto f = service.submit(EvalPoint{"NOSUCHAPP", {8, 5}});
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The service survives and keeps answering real requests.
+    EXPECT_GT(service.eval(kPoint).cycles, 0);
+}
+
+TEST(EvalServiceTest, SimConfigHashSeparatesConfigurations)
+{
+    sim::SimConfig base;
+    base.size = {8, 5};
+    uint64_t h = simConfigHash(base);
+    EXPECT_EQ(h, simConfigHash(base));
+
+    sim::SimConfig size = base;
+    size.size = {16, 5};
+    EXPECT_NE(simConfigHash(size), h);
+
+    sim::SimConfig mem = base;
+    mem.memConfig.channels += 1;
+    EXPECT_NE(simConfigHash(mem), h);
+
+    sim::SimConfig host = base;
+    host.hostIssueCycles += 1;
+    EXPECT_NE(simConfigHash(host), h);
+
+    sim::SimConfig en = base;
+    en.energyConfig.idleFraction += 0.125;
+    EXPECT_NE(simConfigHash(en), h);
+
+    sim::SimConfig tech = base;
+    tech.tech.fo4Ps *= 2.0;
+    EXPECT_NE(simConfigHash(tech), h);
+}
+
+} // namespace
+} // namespace sps::svc
