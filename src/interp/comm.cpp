@@ -22,6 +22,15 @@ void
 commExchange(const isa::Word *sent, int c, const isa::Word *src_sel,
              isa::Word *dst)
 {
+    if ((c & (c - 1)) == 0) {
+        // Power-of-two cluster counts: two's-complement masking is
+        // exactly the wrapped Euclidean modulus, without the per-lane
+        // integer divide.
+        const uint32_t mask = static_cast<uint32_t>(c - 1);
+        for (int cl = 0; cl < c; ++cl)
+            dst[cl] = sent[src_sel[cl].bits & mask];
+        return;
+    }
     for (int cl = 0; cl < c; ++cl) {
         int src = src_sel[cl].asInt() % c;
         if (src < 0)

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "interp/comm.h"
+#include "isa/fp.h"
 #include "interp/cond_stream.h"
 #include "interp/lowered.h"
 #include "kernel/validate.h"
@@ -88,22 +89,25 @@ evalScalar(const Op &op, const Word *a)
       case Opcode::ICmpLt: return wi(I(a[0]) < I(a[1]) ? 1 : 0);
       case Opcode::ICmpLe: return wi(I(a[0]) <= I(a[1]) ? 1 : 0);
       case Opcode::Select: return I(a[0]) != 0 ? a[1] : a[2];
-      case Opcode::FAdd: return wf(F(a[0]) + F(a[1]));
+      // NaN-sensitive ops go through the pinned semantics in
+      // isa/fp.h (libm and inline expansions disagree on signed-zero
+      // ties and NaN payloads; see that header).
+      case Opcode::FAdd: return wf(isa::fpAdd(F(a[0]), F(a[1])));
       case Opcode::FSub: return wf(F(a[0]) - F(a[1]));
-      case Opcode::FMul: return wf(F(a[0]) * F(a[1]));
+      case Opcode::FMul: return wf(isa::fpMul(F(a[0]), F(a[1])));
       case Opcode::FDiv: return wf(F(a[0]) / F(a[1]));
       case Opcode::FSqrt: return wf(std::sqrt(F(a[0])));
       case Opcode::FRsqrt: return wf(1.0f / std::sqrt(F(a[0])));
       case Opcode::FAbs: return wf(std::fabs(F(a[0])));
       case Opcode::FNeg: return wf(-F(a[0]));
-      case Opcode::FMin: return wf(std::fmin(F(a[0]), F(a[1])));
-      case Opcode::FMax: return wf(std::fmax(F(a[0]), F(a[1])));
+      case Opcode::FMin: return wf(isa::fpMin(F(a[0]), F(a[1])));
+      case Opcode::FMax: return wf(isa::fpMax(F(a[0]), F(a[1])));
       case Opcode::FCmpEq: return wi(F(a[0]) == F(a[1]) ? 1 : 0);
       case Opcode::FCmpLt: return wi(F(a[0]) < F(a[1]) ? 1 : 0);
       case Opcode::FCmpLe: return wi(F(a[0]) <= F(a[1]) ? 1 : 0);
       case Opcode::FToI: return wi(static_cast<int32_t>(F(a[0])));
       case Opcode::IToF: return wf(static_cast<float>(I(a[0])));
-      case Opcode::FFloor: return wf(std::floor(F(a[0])));
+      case Opcode::FFloor: return wf(isa::fpFloor(F(a[0])));
       default:
         panic("evalScalar: unexpected opcode %s",
               std::string(isa::mnemonic(op.code)).c_str());
@@ -116,6 +120,14 @@ ExecResult
 runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs)
 {
     return executeLowered(LoweredCache::global().get(k), c, inputs);
+}
+
+ExecResult
+runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs,
+          SimdBackend backend)
+{
+    return executeLowered(LoweredCache::global().get(k), c, inputs,
+                          backend);
 }
 
 ExecResult

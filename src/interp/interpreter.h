@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "interp/simd.h"
 #include "isa/value.h"
 #include "kernel/ir.h"
 
@@ -69,6 +70,13 @@ struct ExecResult
  */
 ExecResult runKernel(const kernel::Kernel &k, int c,
                      const std::vector<StreamData> &inputs);
+
+/** Same, pinning the steady-state SIMD backend (tests, benchmarks,
+ *  the forced-scalar escape hatch). Results are bit-identical across
+ *  backends; an unsupported backend falls back to the best tier. */
+ExecResult runKernel(const kernel::Kernel &k, int c,
+                     const std::vector<StreamData> &inputs,
+                     SimdBackend backend);
 
 /**
  * Reference interpreter: the original op-at-a-time engine that walks

@@ -4,8 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
-#include "interp/comm.h"
-#include "interp/cond_stream.h"
+#include "interp/exec_span.h"
 #include "kernel/fingerprint.h"
 #include "kernel/validate.h"
 
@@ -16,6 +15,65 @@ using isa::Word;
 using kernel::Kernel;
 using kernel::Op;
 using kernel::PortDir;
+
+LaneClass
+laneClassOf(Opcode code)
+{
+    switch (code) {
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::IAnd:
+      case Opcode::IOr:
+      case Opcode::IXor:
+      case Opcode::IShl:
+      case Opcode::IShr:
+      case Opcode::IAbs:
+      case Opcode::IMin:
+      case Opcode::IMax:
+      case Opcode::ICmpEq:
+      case Opcode::ICmpLt:
+      case Opcode::ICmpLe:
+      case Opcode::Select:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FSqrt:
+      case Opcode::FRsqrt:
+      case Opcode::FAbs:
+      case Opcode::FNeg:
+      case Opcode::FMin:
+      case Opcode::FMax:
+      case Opcode::FCmpEq:
+      case Opcode::FCmpLt:
+      case Opcode::FCmpLe:
+      case Opcode::FToI:
+      case Opcode::IToF:
+        return LaneClass::Vector;
+      case Opcode::FFloor:
+        return LaneClass::VectorWide;
+      case Opcode::SbRead:
+      case Opcode::SbWrite:
+        return LaneClass::Stream;
+      case Opcode::LoopIndex:
+      case Opcode::ConstInt:
+      case Opcode::ConstFloat:
+      case Opcode::ClusterId:
+      case Opcode::NumClusters:
+        return LaneClass::Broadcast;
+      case Opcode::CommPerm:
+        return LaneClass::Cross;
+      case Opcode::Phi:
+      case Opcode::SbCondRead:
+      case Opcode::SbCondWrite:
+      case Opcode::SpRead:
+      case Opcode::SpWrite:
+      case Opcode::NumOpcodes:
+        return LaneClass::Scalar;
+    }
+    return LaneClass::Scalar;
+}
 
 LoweredKernel
 lowerKernel(const Kernel &k)
@@ -54,6 +112,7 @@ lowerKernel(const Kernel &k)
         insn.imm = op.code == Opcode::Phi ? op.init : op.imm;
         insn.field = op.field;
         insn.distance = op.distance;
+        insn.lanes = laneClassOf(op.code);
         if (isa::isSrfAccess(op.code)) {
             insn.stream = op.stream;
             const auto &port = lk.ports[static_cast<size_t>(op.stream)];
@@ -87,296 +146,26 @@ lowerKernel(const Kernel &k)
         }
         lk.body.push_back(insn);
     }
+
+    lk.fusible =
+        std::none_of(lk.body.begin(), lk.body.end(),
+                     [](const LoweredInsn &insn) {
+                         return insn.lanes == LaneClass::Scalar;
+                     });
     return lk;
 }
-
-namespace {
-
-Word
-wi(int64_t v)
-{
-    return Word::fromInt(static_cast<int32_t>(v));
-}
-
-Word
-wf(float v)
-{
-    return Word::fromFloat(v);
-}
-
-/**
- * Execute iterations [from, to). Guarded = true keeps the reference
- * interpreter's per-record bounds checks (the tail path); false is
- * the steady-state path where every strip is full (all C records in
- * range for the driver and every unconditionally-read input), so
- * SbRead/SbWrite run without per-record checks and single-word
- * records move as whole blocks.
- */
-template <bool Guarded>
-void
-runSpan(const LoweredKernel &lk, int c, int64_t from, int64_t to,
-        int64_t driver_records, const std::vector<StreamData> &inputs,
-        ExecResult &result, Word *val, Word *scratch, Word *hist,
-        int64_t *cond_cursor)
-{
-    const size_t cw = static_cast<size_t>(c);
-    const int sp_words = lk.spWords;
-
-// Binary/unary sweeps over adjacent words: x, y, z name the operand
-// words of one cluster; the expression produces the result word.
-#define SPS_UN(EXPR)                                                   \
-    {                                                                  \
-        const Word *A0 = val + static_cast<size_t>(insn.a0) * cw;      \
-        for (int cl = 0; cl < c; ++cl) {                               \
-            const Word x = A0[cl];                                     \
-            D[cl] = (EXPR);                                            \
-        }                                                              \
-    }                                                                  \
-    break
-#define SPS_BIN(EXPR)                                                  \
-    {                                                                  \
-        const Word *A0 = val + static_cast<size_t>(insn.a0) * cw;      \
-        const Word *A1 = val + static_cast<size_t>(insn.a1) * cw;      \
-        for (int cl = 0; cl < c; ++cl) {                               \
-            const Word x = A0[cl];                                     \
-            const Word y = A1[cl];                                     \
-            D[cl] = (EXPR);                                            \
-        }                                                              \
-    }                                                                  \
-    break
-
-    for (int64_t iter = from; iter < to; ++iter) {
-        for (const LoweredInsn &insn : lk.body) {
-            Word *D = val + static_cast<size_t>(insn.dst) * cw;
-            switch (insn.code) {
-              case Opcode::IAdd:
-                SPS_BIN(wi(static_cast<int64_t>(x.asInt()) + y.asInt()));
-              case Opcode::ISub:
-                SPS_BIN(wi(static_cast<int64_t>(x.asInt()) - y.asInt()));
-              case Opcode::IMul:
-                SPS_BIN(wi(static_cast<int64_t>(x.asInt()) * y.asInt()));
-              case Opcode::IAnd:
-                SPS_BIN(wi(x.asInt() & y.asInt()));
-              case Opcode::IOr:
-                SPS_BIN(wi(x.asInt() | y.asInt()));
-              case Opcode::IXor:
-                SPS_BIN(wi(x.asInt() ^ y.asInt()));
-              case Opcode::IShl:
-                SPS_BIN(wi(static_cast<int64_t>(x.asInt())
-                           << (y.asInt() & 31)));
-              case Opcode::IShr:
-                SPS_BIN(wi(x.asInt() >> (y.asInt() & 31)));
-              case Opcode::IAbs:
-                SPS_UN(wi(std::abs(static_cast<int64_t>(x.asInt()))));
-              case Opcode::IMin:
-                SPS_BIN(wi(std::min(x.asInt(), y.asInt())));
-              case Opcode::IMax:
-                SPS_BIN(wi(std::max(x.asInt(), y.asInt())));
-              case Opcode::ICmpEq:
-                SPS_BIN(wi(x.asInt() == y.asInt() ? 1 : 0));
-              case Opcode::ICmpLt:
-                SPS_BIN(wi(x.asInt() < y.asInt() ? 1 : 0));
-              case Opcode::ICmpLe:
-                SPS_BIN(wi(x.asInt() <= y.asInt() ? 1 : 0));
-              case Opcode::Select: {
-                const Word *A0 =
-                    val + static_cast<size_t>(insn.a0) * cw;
-                const Word *A1 =
-                    val + static_cast<size_t>(insn.a1) * cw;
-                const Word *A2 =
-                    val + static_cast<size_t>(insn.a2) * cw;
-                for (int cl = 0; cl < c; ++cl)
-                    D[cl] = A0[cl].asInt() != 0 ? A1[cl] : A2[cl];
-                break;
-              }
-              case Opcode::FAdd:
-                SPS_BIN(wf(x.asFloat() + y.asFloat()));
-              case Opcode::FSub:
-                SPS_BIN(wf(x.asFloat() - y.asFloat()));
-              case Opcode::FMul:
-                SPS_BIN(wf(x.asFloat() * y.asFloat()));
-              case Opcode::FDiv:
-                SPS_BIN(wf(x.asFloat() / y.asFloat()));
-              case Opcode::FSqrt:
-                SPS_UN(wf(std::sqrt(x.asFloat())));
-              case Opcode::FRsqrt:
-                SPS_UN(wf(1.0f / std::sqrt(x.asFloat())));
-              case Opcode::FAbs:
-                SPS_UN(wf(std::fabs(x.asFloat())));
-              case Opcode::FNeg:
-                SPS_UN(wf(-x.asFloat()));
-              case Opcode::FMin:
-                SPS_BIN(wf(std::fmin(x.asFloat(), y.asFloat())));
-              case Opcode::FMax:
-                SPS_BIN(wf(std::fmax(x.asFloat(), y.asFloat())));
-              case Opcode::FCmpEq:
-                SPS_BIN(wi(x.asFloat() == y.asFloat() ? 1 : 0));
-              case Opcode::FCmpLt:
-                SPS_BIN(wi(x.asFloat() < y.asFloat() ? 1 : 0));
-              case Opcode::FCmpLe:
-                SPS_BIN(wi(x.asFloat() <= y.asFloat() ? 1 : 0));
-              case Opcode::FToI:
-                SPS_UN(wi(static_cast<int32_t>(x.asFloat())));
-              case Opcode::IToF:
-                SPS_UN(wf(static_cast<float>(x.asInt())));
-              case Opcode::FFloor:
-                SPS_UN(wf(std::floor(x.asFloat())));
-              case Opcode::LoopIndex: {
-                const Word w = Word::fromInt(static_cast<int32_t>(iter));
-                std::fill(D, D + c, w);
-                break;
-              }
-              case Opcode::Phi: {
-                if (iter >= insn.distance) {
-                    const Word *row =
-                        hist + (static_cast<size_t>(insn.histBase) +
-                                static_cast<size_t>(
-                                    iter % insn.distance)) *
-                                   cw;
-                    std::copy(row, row + c, D);
-                } else {
-                    std::fill(D, D + c, insn.imm);
-                }
-                break;
-              }
-              case Opcode::SbRead: {
-                const StreamData &in =
-                    inputs[static_cast<size_t>(insn.ordinal)];
-                const size_t rw =
-                    static_cast<size_t>(insn.recordWords);
-                if constexpr (!Guarded) {
-                    const Word *src =
-                        in.words.data() +
-                        static_cast<size_t>(iter) * cw * rw +
-                        static_cast<size_t>(insn.field);
-                    if (rw == 1) {
-                        std::copy(src, src + c, D);
-                    } else {
-                        for (int cl = 0; cl < c; ++cl)
-                            D[cl] = src[static_cast<size_t>(cl) * rw];
-                    }
-                } else {
-                    const int64_t nrec = in.records();
-                    for (int cl = 0; cl < c; ++cl) {
-                        const int64_t rec = iter * c + cl;
-                        D[cl] = rec < nrec
-                                    ? in.words[static_cast<size_t>(
-                                          rec * insn.recordWords +
-                                          insn.field)]
-                                    : Word{};
-                    }
-                }
-                break;
-              }
-              case Opcode::SbWrite: {
-                StreamData &out =
-                    result.outputs[static_cast<size_t>(insn.ordinal)];
-                const Word *S =
-                    val + static_cast<size_t>(insn.a0) * cw;
-                const size_t rw =
-                    static_cast<size_t>(insn.recordWords);
-                if constexpr (!Guarded) {
-                    Word *dst = out.words.data() +
-                                static_cast<size_t>(iter) * cw * rw +
-                                static_cast<size_t>(insn.field);
-                    if (rw == 1) {
-                        std::copy(S, S + c, dst);
-                    } else {
-                        for (int cl = 0; cl < c; ++cl)
-                            dst[static_cast<size_t>(cl) * rw] = S[cl];
-                    }
-                } else {
-                    for (int cl = 0; cl < c; ++cl) {
-                        const int64_t rec = iter * c + cl;
-                        if (rec < driver_records)
-                            out.words[static_cast<size_t>(
-                                rec * insn.recordWords +
-                                insn.field)] = S[cl];
-                    }
-                }
-                break;
-              }
-              case Opcode::SbCondRead: {
-                const StreamData &in =
-                    inputs[static_cast<size_t>(insn.ordinal)];
-                condReadStep(in,
-                             cond_cursor[static_cast<size_t>(
-                                 insn.stream)],
-                             c, val + static_cast<size_t>(insn.a0) * cw,
-                             D);
-                break;
-              }
-              case Opcode::SbCondWrite: {
-                StreamData &out =
-                    result.outputs[static_cast<size_t>(insn.ordinal)];
-                condWriteStep(out, c,
-                              val + static_cast<size_t>(insn.a1) * cw,
-                              val + static_cast<size_t>(insn.a0) * cw);
-                break;
-              }
-              case Opcode::SpRead: {
-                const Word *A0 =
-                    val + static_cast<size_t>(insn.a0) * cw;
-                for (int cl = 0; cl < c; ++cl) {
-                    const int32_t addr = A0[cl].asInt();
-                    SPS_ASSERT(addr >= 0 && addr < sp_words,
-                               "kernel %s: SP read at %d out of %d",
-                               lk.name.c_str(), addr, sp_words);
-                    D[cl] = scratch[static_cast<size_t>(cl) *
-                                        static_cast<size_t>(sp_words) +
-                                    static_cast<size_t>(addr)];
-                }
-                break;
-              }
-              case Opcode::SpWrite: {
-                const Word *A0 =
-                    val + static_cast<size_t>(insn.a0) * cw;
-                const Word *A1 =
-                    val + static_cast<size_t>(insn.a1) * cw;
-                for (int cl = 0; cl < c; ++cl) {
-                    const int32_t addr = A0[cl].asInt();
-                    SPS_ASSERT(addr >= 0 && addr < sp_words,
-                               "kernel %s: SP write at %d out of %d",
-                               lk.name.c_str(), addr, sp_words);
-                    scratch[static_cast<size_t>(cl) *
-                                static_cast<size_t>(sp_words) +
-                            static_cast<size_t>(addr)] = A1[cl];
-                }
-                break;
-              }
-              case Opcode::CommPerm:
-                // SSA guarantees dst != a0/a1, so the exchange can
-                // read the send row in place (no staging copy).
-                commExchange(val + static_cast<size_t>(insn.a0) * cw, c,
-                             val + static_cast<size_t>(insn.a1) * cw,
-                             D);
-                break;
-              default:
-                panic("lowered execute: unexpected opcode %s in body",
-                      std::string(isa::mnemonic(insn.code)).c_str());
-            }
-        }
-        // Latch phi sources for future iterations.
-        for (const LoweredKernel::PhiLatch &latch : lk.latches) {
-            Word *row =
-                hist + (static_cast<size_t>(latch.histBase) +
-                        static_cast<size_t>(iter % latch.distance)) *
-                           cw;
-            const Word *src =
-                val + static_cast<size_t>(latch.src) * cw;
-            std::copy(src, src + c, row);
-        }
-    }
-
-#undef SPS_UN
-#undef SPS_BIN
-}
-
-} // namespace
 
 ExecResult
 executeLowered(const LoweredKernel &lk, int c,
                const std::vector<StreamData> &inputs)
+{
+    return executeLowered(lk, c, inputs, defaultSimdBackend());
+}
+
+ExecResult
+executeLowered(const LoweredKernel &lk, int c,
+               const std::vector<StreamData> &inputs,
+               SimdBackend backend)
 {
     SPS_ASSERT(c >= 1, "need at least one cluster");
     SPS_ASSERT(static_cast<int>(inputs.size()) == lk.nIn,
@@ -390,6 +179,8 @@ executeLowered(const LoweredKernel &lk, int c,
                    "kernel %s stream %s: record width mismatch",
                    lk.name.c_str(), port.name.c_str());
     }
+    if (!simdBackendSupported(backend))
+        backend = bestSimdBackend();
 
     const int64_t driver_records =
         inputs[static_cast<size_t>(lk.driverOrdinal)].records();
@@ -410,34 +201,6 @@ executeLowered(const LoweredKernel &lk, int c,
                              Word{});
     }
 
-    // Structure-of-arrays state: row `op`, C adjacent cluster words.
-    const size_t cw = static_cast<size_t>(c);
-    std::vector<Word> val(static_cast<size_t>(lk.nops) * cw);
-    std::vector<Word> scratch(static_cast<size_t>(lk.spWords) * cw);
-    std::vector<Word> hist(static_cast<size_t>(lk.histRows) * cw);
-    std::vector<int64_t> cond_cursor(static_cast<size_t>(lk.nStreams),
-                                     0);
-
-    for (const LoweredInsn &insn : lk.preamble) {
-        Word *D = val.data() + static_cast<size_t>(insn.dst) * cw;
-        switch (insn.code) {
-          case Opcode::ConstInt:
-          case Opcode::ConstFloat:
-            std::fill(D, D + c, insn.imm);
-            break;
-          case Opcode::ClusterId:
-            for (int cl = 0; cl < c; ++cl)
-                D[cl] = Word::fromInt(cl);
-            break;
-          case Opcode::NumClusters:
-            std::fill(D, D + c, Word::fromInt(c));
-            break;
-          default:
-            panic("lowered execute: unexpected opcode %s in preamble",
-                  std::string(isa::mnemonic(insn.code)).c_str());
-        }
-    }
-
     // Steady-state strips: every iteration where the driver and all
     // unconditionally-read inputs have a full strip of C records.
     int64_t steady = driver_records / c;
@@ -446,12 +209,76 @@ executeLowered(const LoweredKernel &lk, int c,
             steady, inputs[static_cast<size_t>(ord)].records() / c);
     steady = std::min(steady, iterations);
 
-    runSpan<false>(lk, c, 0, steady, driver_records, inputs, result,
-                   val.data(), scratch.data(), hist.data(),
-                   cond_cursor.data());
-    runSpan<true>(lk, c, steady, iterations, driver_records, inputs,
-                  result, val.data(), scratch.data(), hist.data(),
-                  cond_cursor.data());
+    // Megastrip fusion (SIMD backends, fusible bodies only): treat
+    // `fuse` adjacent full strips as one virtual strip of c * fuse
+    // lanes so narrow cluster counts still fill whole vectors and
+    // per-iteration dispatch amortizes. Correct because a fusible
+    // body has no cross-iteration state: lane l = it * c + cl of the
+    // megastrip computes exactly what strip it, cluster cl computes,
+    // and the only cross-lane traffic (CommPerm) stays inside each
+    // c-wide sub-strip. Leftover strips past the last full block run
+    // unfused through the same buffers.
+    int64_t fuse = 1;
+    if (backend != SimdBackend::Scalar && lk.fusible && steady > 1)
+        fuse = std::clamp<int64_t>(64 / c, 1, steady);
+
+    // Structure-of-arrays state: row `op`, stride adjacent lane words
+    // (stride == c unfused). Scratch stays c-wide: scratchpad ops are
+    // never fused.
+    const size_t cw = static_cast<size_t>(c);
+    const size_t stride = cw * static_cast<size_t>(fuse);
+    std::vector<Word> val(static_cast<size_t>(lk.nops) * stride);
+    std::vector<Word> scratch(static_cast<size_t>(lk.spWords) * cw);
+    std::vector<Word> hist(static_cast<size_t>(lk.histRows) * stride);
+    std::vector<int64_t> cond_cursor(static_cast<size_t>(lk.nStreams),
+                                     0);
+
+    const int lanes = static_cast<int>(stride);
+    for (const LoweredInsn &insn : lk.preamble) {
+        Word *D = val.data() + static_cast<size_t>(insn.dst) * stride;
+        switch (insn.code) {
+          case Opcode::ConstInt:
+          case Opcode::ConstFloat:
+            std::fill(D, D + lanes, insn.imm);
+            break;
+          case Opcode::ClusterId:
+            // Fused lanes repeat the cluster pattern every c words.
+            for (int l = 0; l < lanes; ++l)
+                D[l] = Word::fromInt(l % c);
+            break;
+          case Opcode::NumClusters:
+            std::fill(D, D + lanes, Word::fromInt(c));
+            break;
+          default:
+            panic("lowered execute: unexpected opcode %s in preamble",
+                  std::string(isa::mnemonic(insn.code)).c_str());
+        }
+    }
+
+    detail::ExecCtx ctx;
+    ctx.lk = &lk;
+    ctx.c = c;
+    ctx.stride = stride;
+    ctx.driverRecords = driver_records;
+    ctx.inputs = &inputs;
+    ctx.result = &result;
+    ctx.val = val.data();
+    ctx.scratch = scratch.data();
+    ctx.hist = hist.data();
+    ctx.condCursor = cond_cursor.data();
+
+    if (backend == SimdBackend::Scalar) {
+        detail::runSpanScalar<false>(ctx, 0, steady);
+    } else {
+        const int64_t blocks = steady / fuse;
+        if (blocks > 0)
+            detail::runSteadySimd(backend, ctx, 0, blocks,
+                                  static_cast<int>(cw * fuse));
+        if (blocks * fuse < steady)
+            detail::runSteadySimd(backend, ctx, blocks * fuse, steady,
+                                  c);
+    }
+    detail::runSpanScalar<true>(ctx, steady, iterations);
     return result;
 }
 

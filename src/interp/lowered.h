@@ -34,9 +34,41 @@
 #include <vector>
 
 #include "interp/interpreter.h"
+#include "interp/simd.h"
 #include "kernel/ir.h"
 
 namespace sps::interp {
+
+/**
+ * Per-op lane-width legality for the SIMD steady-state executors,
+ * emitted by lowering. Ops that are not legal at a tier's width split
+ * the strip back to the shared scalar span executor.
+ */
+enum class LaneClass : uint8_t
+{
+    /** Elementwise: vectorizes at any lane width. */
+    Vector = 0,
+    /** Elementwise but needs the wide tier's ISA (FFloor: roundps is
+     *  SSE4.1+, absent from the SSE2 baseline). */
+    VectorWide = 1,
+    /** Unconditional stream access: block copies / gathers. */
+    Stream = 2,
+    /** Per-iteration fill that does not block megastrip fusion
+     *  (LoopIndex; also the preamble's iteration-invariant ops). */
+    Broadcast = 3,
+    /** Cross-iteration or cursor/scratchpad state: always scalar,
+     *  blocks fusion (Phi, conditional streams, scratchpad). */
+    Scalar = 4,
+    /** Cross-lane but confined to one iteration's c-wide strip
+     *  (CommPerm): legal under megastrip fusion by exchanging within
+     *  each c-wide sub-strip, and vectorizable on the wide tier as an
+     *  in-register permute when c is a power of two <= the vector
+     *  width. */
+    Cross = 5,
+};
+
+/** The LaneClass lowering assigns to `code`. */
+LaneClass laneClassOf(isa::Opcode code);
 
 /** One lowered instruction: opcode plus fully pre-resolved operands. */
 struct LoweredInsn
@@ -62,6 +94,8 @@ struct LoweredInsn
     int32_t distance = 0;
     /** Phi: first ring row in the shared history buffer. */
     int32_t histBase = 0;
+    /** Lane-width legality for the SIMD executors. */
+    LaneClass lanes = LaneClass::Scalar;
 };
 
 /**
@@ -113,14 +147,33 @@ struct LoweredKernel
      * the driver length they bound the steady-state strip count.
      */
     std::vector<int> steadyReadOrdinals;
+
+    /**
+     * True when no body op is LaneClass::Scalar: the body has no
+     * cross-iteration state, so adjacent full strips can fuse into
+     * one megastrip of c * fuse virtual lanes to amortize dispatch
+     * (the stretch goal in ROADMAP). Cross-lane CommPerm does not
+     * block fusion: each c-wide sub-strip exchanges within itself.
+     */
+    bool fusible = false;
 };
 
 /** Lower `k` (validating it once). Uncached; see LoweredCache. */
 LoweredKernel lowerKernel(const kernel::Kernel &k);
 
-/** Execute a lowered kernel on `c` clusters. */
+/** Execute a lowered kernel on `c` clusters with the process-default
+ *  SIMD backend (interp::defaultSimdBackend). */
 ExecResult executeLowered(const LoweredKernel &lk, int c,
                           const std::vector<StreamData> &inputs);
+
+/**
+ * Execute with an explicit backend (tests, benchmarks, the forced-
+ * scalar escape hatch). An unsupported backend falls back to the best
+ * supported tier. Results are bit-identical across backends.
+ */
+ExecResult executeLowered(const LoweredKernel &lk, int c,
+                          const std::vector<StreamData> &inputs,
+                          SimdBackend backend);
 
 /**
  * Thread-safe memoized lowering cache keyed by the structural kernel

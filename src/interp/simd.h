@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host-SIMD backend selection for the lowered interpreter.
+ *
+ * The steady-state strips of interp::executeLowered are uniform data
+ * parallelism across the cluster dimension (the paper's whole premise),
+ * so they vectorize directly over the contiguous SoA value buffer:
+ * AVX2 runs 8 int32/float lanes per op, SSE2 runs 4. Both tiers are
+ * compiled into every binary via function target attributes and picked
+ * at runtime from CPUID, so one build serves every host.
+ *
+ * Bit-exactness contract: every backend produces results bit-identical
+ * to runKernelReference. Vector lanes use only strict per-lane IEEE
+ * ops (no FMA contraction, no reassociation, denormals untouched); the
+ * few ops whose vector instruction can differ from the scalar libm
+ * call on special values (FFloor on signaling NaN, FMin/FMax on
+ * unordered inputs) recompute exactly those lanes through the same
+ * scalar expression the scalar engine uses, so equality holds by
+ * construction. See DESIGN.md "SIMD backend".
+ *
+ * Escape hatch: SPS_INTERP_SCALAR=1 in the environment (or
+ * sim::RunOptions::forceScalarInterp) forces the scalar span executor;
+ * SPS_INTERP_BACKEND=scalar|sse2|avx2 pins a specific tier.
+ */
+#ifndef SPS_INTERP_SIMD_H
+#define SPS_INTERP_SIMD_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sps::interp {
+
+/** Instruction-set tiers for the lowered executor's steady state. */
+enum class SimdBackend : uint8_t
+{
+    Scalar = 0, ///< portable scalar span executor (always available)
+    Sse2 = 1,   ///< 4-wide int32/float lanes (x86-64 baseline)
+    Avx2 = 2,   ///< 8-wide int32/float lanes
+};
+
+/** Stable lower-case name ("scalar", "sse2", "avx2"). */
+const char *simdBackendName(SimdBackend b);
+
+/** Parse a backend name (case-sensitive, as in simdBackendName).
+ *  Returns false and leaves *out untouched on unknown names. */
+bool parseSimdBackend(std::string_view name, SimdBackend *out);
+
+/** True when `b` is compiled in AND this CPU can execute it. */
+bool simdBackendSupported(SimdBackend b);
+
+/** Every supported backend, Scalar first, widest last. */
+std::vector<SimdBackend> availableSimdBackends();
+
+/** The widest supported backend on this host. */
+SimdBackend bestSimdBackend();
+
+/**
+ * Pure selection policy (unit-testable): `scalar_env` /`backend_env`
+ * are the values of SPS_INTERP_SCALAR / SPS_INTERP_BACKEND (null when
+ * unset). A non-empty SPS_INTERP_SCALAR other than "0" wins and forces
+ * Scalar; otherwise a recognized SPS_INTERP_BACKEND is used (clamped
+ * to the best supported tier at or below it); otherwise the best
+ * supported backend.
+ */
+SimdBackend resolveSimdBackend(const char *scalar_env,
+                               const char *backend_env);
+
+/** Process-wide default: resolveSimdBackend over the real
+ *  environment, resolved once on first use. */
+SimdBackend defaultSimdBackend();
+
+} // namespace sps::interp
+
+#endif // SPS_INTERP_SIMD_H

@@ -76,7 +76,8 @@ fillCycleBreakdown(const std::vector<mem::BusyInterval> &mem,
 void
 runKernelFunctionally(const StreamOp &op, int clusters,
                       FunctionalContext &ctx,
-                      const stream::StreamProgram &prog)
+                      const stream::StreamProgram &prog,
+                      bool force_scalar)
 {
     const kernel::Kernel &k = *op.k;
     std::vector<interp::StreamData> inputs;
@@ -95,8 +96,10 @@ runKernelFunctionally(const StreamOp &op, int clusters,
             out_streams.push_back(bound);
         }
     }
-    interp::ExecResult exec =
-        interp::runKernel(k, clusters, inputs);
+    interp::ExecResult exec = interp::runKernel(
+        k, clusters, inputs,
+        force_scalar ? interp::SimdBackend::Scalar
+                     : interp::defaultSimdBackend());
     SPS_ASSERT(exec.outputs.size() == out_streams.size(),
                "kernel %s: output count mismatch", k.name.c_str());
     for (size_t o = 0; o < out_streams.size(); ++o)
@@ -353,7 +356,8 @@ executeProgram(const stream::StreamProgram &prog,
             }
             if (opts.functional)
                 runKernelFunctionally(op, cfg.clusters,
-                                      *opts.functional, prog);
+                                      *opts.functional, prog,
+                                      opts.forceScalarInterp);
             complete[i] = end;
             in_flight.push(end);
             iv.start = start;

@@ -50,6 +50,11 @@ struct RunOptions
     trace::Tracer *tracer = nullptr;
     /** Functional stream contents; null runs timing-only. */
     FunctionalContext *functional = nullptr;
+    /** Force the scalar interpreter backend for functional kernel
+     *  calls (the SPS_INTERP_SCALAR=1 escape hatch as a per-run
+     *  flag); false uses interp::defaultSimdBackend(). Results are
+     *  bit-identical either way. */
+    bool forceScalarInterp = false;
 };
 
 /**

@@ -1,12 +1,14 @@
 /**
  * @file
- * Equivalence property suite: every Table-4 kernel runs through both
- * the reference interpreter (runKernelReference) and the lowered
- * engine (runKernel) at C in {1, 3, 8, 16} with randomized stream
- * lengths -- including empty streams and lengths that are not a
- * multiple of C -- and the outputs and iteration counts must be
- * bit-identical. Exercises the process-wide LoweredCache on every
- * run, so the TSan CI job covers the cache through this suite too.
+ * Equivalence property suite: every Table-4 kernel runs through the
+ * reference interpreter (runKernelReference) and the lowered engine
+ * under EVERY available SIMD backend (scalar, SSE2, AVX2 as the host
+ * allows) at C in {1, 3, 8, 16} with randomized stream lengths --
+ * including empty streams and lengths that are not a multiple of C --
+ * and the outputs and iteration counts must be bit-identical.
+ * Exercises the process-wide LoweredCache on every run (one cached
+ * lowering serves all backends), so the TSan CI job covers the cache
+ * through this suite too.
  */
 #include <cmath>
 #include <cstdint>
@@ -15,6 +17,8 @@
 
 #include "common/prng.h"
 #include "interp/interpreter.h"
+#include "interp/simd.h"
+#include "kernel/builder.h"
 #include "workloads/kernels/kernels.h"
 #include "workloads/suite.h"
 
@@ -110,15 +114,21 @@ TEST_P(LoweredEquivalenceAtC, Table4KernelsBitIdentical)
             auto inputs = makeInputs(entry.name, records, rng);
             auto want =
                 interp::runKernelReference(*entry.kernel, c, inputs);
-            auto got = interp::runKernel(*entry.kernel, c, inputs);
-            EXPECT_EQ(got.iterations, want.iterations);
-            ASSERT_EQ(got.outputs.size(), want.outputs.size());
-            for (size_t o = 0; o < want.outputs.size(); ++o) {
-                EXPECT_EQ(got.outputs[o].recordWords,
-                          want.outputs[o].recordWords)
-                    << "output " << o;
-                EXPECT_EQ(got.outputs[o].words, want.outputs[o].words)
-                    << "output " << o;
+            for (interp::SimdBackend backend :
+                 interp::availableSimdBackends()) {
+                SCOPED_TRACE(interp::simdBackendName(backend));
+                auto got = interp::runKernel(*entry.kernel, c, inputs,
+                                             backend);
+                EXPECT_EQ(got.iterations, want.iterations);
+                ASSERT_EQ(got.outputs.size(), want.outputs.size());
+                for (size_t o = 0; o < want.outputs.size(); ++o) {
+                    EXPECT_EQ(got.outputs[o].recordWords,
+                              want.outputs[o].recordWords)
+                        << "output " << o;
+                    EXPECT_EQ(got.outputs[o].words,
+                              want.outputs[o].words)
+                        << "output " << o;
+                }
             }
         }
     }
@@ -126,6 +136,48 @@ TEST_P(LoweredEquivalenceAtC, Table4KernelsBitIdentical)
 
 INSTANTIATE_TEST_SUITE_P(Clusters, LoweredEquivalenceAtC,
                          ::testing::Values(1, 3, 8, 16));
+
+/** Driver shorter than C with a conditional secondary input: the
+ *  whole run is one guarded partial strip, yet the conditional
+ *  stream's cursor must advance for every cluster — idle clusters
+ *  included — identically in every backend. */
+TEST(LoweredEquivalence, ConditionalSecondaryShorterThanC)
+{
+    kernel::KernelBuilder b("cond-short");
+    int drv = b.inStream("drv");
+    int cs = b.inStream("cs", 1, /*conditional=*/true);
+    int out = b.outStream("out", 1, /*conditional=*/true);
+    auto x = b.sbRead(drv);
+    auto pred = b.icmpLe(x, b.constI(2));
+    auto got = b.condRead(cs, pred);
+    b.condWrite(out, b.iadd(got, x), pred);
+    kernel::Kernel k = b.build();
+
+    for (int c : {4, 8, 16}) {
+        for (int64_t len : {int64_t{0}, int64_t{1},
+                            static_cast<int64_t>(c) - 1}) {
+            SCOPED_TRACE("C=" + std::to_string(c) +
+                         " len=" + std::to_string(len));
+            std::vector<int32_t> drv_data;
+            for (int64_t i = 0; i < len; ++i)
+                drv_data.push_back(static_cast<int32_t>(i % 5));
+            std::vector<interp::StreamData> inputs{
+                StreamData::fromInts(drv_data),
+                StreamData::fromInts({7, 8, 9, 10, 11, 12})};
+            auto want = interp::runKernelReference(k, c, inputs);
+            for (interp::SimdBackend backend :
+                 interp::availableSimdBackends()) {
+                auto got_r = interp::runKernel(k, c, inputs, backend);
+                EXPECT_EQ(got_r.iterations, want.iterations)
+                    << interp::simdBackendName(backend);
+                ASSERT_EQ(got_r.outputs.size(), want.outputs.size());
+                EXPECT_EQ(got_r.outputs[0].words,
+                          want.outputs[0].words)
+                    << interp::simdBackendName(backend);
+            }
+        }
+    }
+}
 
 } // namespace
 } // namespace sps

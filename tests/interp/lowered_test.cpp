@@ -223,5 +223,94 @@ TEST(LoweredCacheTest, ConcurrentRunKernelThroughGlobalCache)
         EXPECT_EQ(ok[static_cast<size_t>(t)], 1) << "thread " << t;
 }
 
+TEST(LoweredKernelTest, LaneClassesDriveSimdLegality)
+{
+    // Elementwise int/float ops vectorize; FFloor needs the wide
+    // (SSE4.1+) tier; COMM is cross-lane but intra-iteration; phis,
+    // scratchpad and conditional-stream ops must stay scalar.
+    EXPECT_EQ(laneClassOf(Opcode::IAdd), LaneClass::Vector);
+    EXPECT_EQ(laneClassOf(Opcode::FMul), LaneClass::Vector);
+    EXPECT_EQ(laneClassOf(Opcode::Select), LaneClass::Vector);
+    EXPECT_EQ(laneClassOf(Opcode::FToI), LaneClass::Vector);
+    EXPECT_EQ(laneClassOf(Opcode::FFloor), LaneClass::VectorWide);
+    EXPECT_EQ(laneClassOf(Opcode::SbRead), LaneClass::Stream);
+    EXPECT_EQ(laneClassOf(Opcode::SbWrite), LaneClass::Stream);
+    EXPECT_EQ(laneClassOf(Opcode::ConstInt), LaneClass::Broadcast);
+    EXPECT_EQ(laneClassOf(Opcode::ClusterId), LaneClass::Broadcast);
+    EXPECT_EQ(laneClassOf(Opcode::Phi), LaneClass::Scalar);
+    EXPECT_EQ(laneClassOf(Opcode::CommPerm), LaneClass::Cross);
+    EXPECT_EQ(laneClassOf(Opcode::SbCondRead), LaneClass::Scalar);
+    EXPECT_EQ(laneClassOf(Opcode::SbCondWrite), LaneClass::Scalar);
+    EXPECT_EQ(laneClassOf(Opcode::SpRead), LaneClass::Scalar);
+    EXPECT_EQ(laneClassOf(Opcode::SpWrite), LaneClass::Scalar);
+
+    Kernel k = saxpyKernel();
+    LoweredKernel lk = lowerKernel(k);
+    for (const LoweredInsn &insn : lk.body)
+        EXPECT_EQ(insn.lanes, laneClassOf(insn.code));
+}
+
+TEST(LoweredKernelTest, FusibleOnlyWithoutScalarBodyOps)
+{
+    // Pure elementwise pipeline: fusible.
+    EXPECT_TRUE(lowerKernel(saxpyKernel()).fusible);
+
+    // A phi introduces cross-iteration state: not fusible.
+    {
+        KernelBuilder b("with-phi");
+        int in = b.inStream("x");
+        int out = b.outStream("y");
+        auto p = b.phi(Word::fromInt(0), 1);
+        auto s = b.iadd(p, b.sbRead(in));
+        b.setPhiSource(p, s);
+        b.sbWrite(out, s);
+        EXPECT_FALSE(lowerKernel(b.build()).fusible);
+    }
+    // COMM is cross-lane but confined to one iteration's strip, so
+    // it fuses (each sub-strip exchanges within itself).
+    {
+        KernelBuilder b("with-comm");
+        int in = b.inStream("x");
+        int out = b.outStream("y");
+        b.sbWrite(out, b.comm(b.sbRead(in), b.constI(1)));
+        EXPECT_TRUE(lowerKernel(b.build()).fusible);
+    }
+    // The scratchpad carries state across iterations (read-modify-
+    // write accumulators): not fusible.
+    {
+        KernelBuilder b("with-sp");
+        b.scratchpad(4);
+        int in = b.inStream("x");
+        int out = b.outStream("y");
+        auto addr = b.iand(b.sbRead(in), b.constI(3));
+        auto sum = b.iadd(b.spRead(addr), b.sbRead(in));
+        b.spWrite(addr, sum);
+        b.sbWrite(out, sum);
+        EXPECT_FALSE(lowerKernel(b.build()).fusible);
+    }
+}
+
+TEST(LoweredCacheTest, OneEntryServesEveryBackend)
+{
+    // The cache key is the structural fingerprint; nothing about the
+    // lowering depends on the execution backend, so running the same
+    // kernel under every backend must not add entries.
+    LoweredCache cache;
+    Kernel k = saxpyKernel();
+    const LoweredKernel &lk = cache.get(k);
+    std::vector<StreamData> inputs{
+        StreamData::fromFloats({1.f, 2.f, 3.f, 4.f, 5.f})};
+    ExecResult want = executeLowered(lk, 2, inputs,
+                                     SimdBackend::Scalar);
+    for (SimdBackend backend : availableSimdBackends()) {
+        ExecResult got = executeLowered(cache.get(k), 2, inputs,
+                                        backend);
+        EXPECT_EQ(got.outputs[0].words, want.outputs[0].words)
+            << simdBackendName(backend);
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.counters().misses, 1u);
+}
+
 } // namespace
 } // namespace sps::interp

@@ -7,10 +7,13 @@
  * case asserts both the reference semantics (hand-computed expected
  * values) and reference/lowered bit-identity.
  */
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "interp/interpreter.h"
 #include "interp/lowered.h"
+#include "interp/simd.h"
 #include "kernel/builder.h"
 
 namespace sps::interp {
@@ -171,6 +174,129 @@ TEST(LoweredTailEdgeTest, CondStreamsPlusPhiAcrossPartialStrips)
     runBoth(k, 4,
             {StreamData::fromInts(drv_data),
              StreamData::fromInts(cs_data)});
+}
+
+/** A kernel stressing every lane class that SIMD handles (int, float,
+ *  compare/select, conversions, multi-word records) plus a phi so the
+ *  program is deliberately NOT megastrip-fusible — the fused variant
+ *  is covered by the equivalence and fuzz suites. */
+Kernel
+mixedKernel()
+{
+    KernelBuilder b("width-matrix");
+    int in = b.inStream("in", 2);
+    int out = b.outStream("out", 2);
+    auto p = b.phi(Word::fromInt(1), 1);
+    auto x = b.sbRead(in, 0);
+    auto y = b.sbRead(in, 1);
+    auto fx = b.itof(x);
+    auto g = b.fmul(b.fadd(fx, b.itof(y)), b.constF(0.25f));
+    auto fl = b.ffloor(g);
+    auto sum = b.iadd(p, x);
+    b.setPhiSource(p, sum);
+    auto sel = b.select(b.icmpLt(x, y), sum, b.ftoi(fl));
+    b.sbWrite(out, sel, 0);
+    b.sbWrite(out, b.iadd(b.imin(x, y), b.ishr(sum, b.constI(2))), 1);
+    return b.build();
+}
+
+/** Reference vs every backend (plus forced scalar) must agree at
+ *  driver lengths straddling -1/0/+1 around multiples of the SIMD
+ *  widths (4, 8), of C, and of the C*8 megastrip granule. */
+TEST(LoweredTailEdgeTest, WidthBoundaryMatrixAcrossBackends)
+{
+    Kernel k = mixedKernel();
+    for (int c : {1, 3, 4, 7, 8, 9, 16, 17}) {
+        std::vector<int64_t> lengths{0, 1, 2};
+        for (int64_t m : {int64_t{4}, int64_t{8},
+                          static_cast<int64_t>(c),
+                          static_cast<int64_t>(c) * 8}) {
+            for (int64_t delta : {-1, 0, 1})
+                lengths.push_back(std::max<int64_t>(0, 2 * m + delta));
+        }
+        for (int64_t len : lengths) {
+            SCOPED_TRACE("C=" + std::to_string(c) +
+                         " len=" + std::to_string(len));
+            std::vector<int32_t> words;
+            words.reserve(static_cast<size_t>(len) * 2);
+            for (int64_t i = 0; i < len * 2; ++i)
+                words.push_back(static_cast<int32_t>(i * 2654435761u));
+            std::vector<StreamData> inputs{
+                StreamData::fromInts(words, 2)};
+            ExecResult want = runKernelReference(k, c, inputs);
+            for (SimdBackend backend : availableSimdBackends()) {
+                SCOPED_TRACE(simdBackendName(backend));
+                ExecResult got = runKernel(k, c, inputs, backend);
+                EXPECT_EQ(got.iterations, want.iterations);
+                ASSERT_EQ(got.outputs.size(), want.outputs.size());
+                EXPECT_EQ(got.outputs[0].words, want.outputs[0].words);
+            }
+        }
+    }
+}
+
+/** Forced-scalar and every ISA tier run the same lowered kernel and
+ *  must produce identical ExecResults — the dispatch layer may pick
+ *  any tier without changing a single bit. */
+TEST(SimdDispatchTest, AllTiersBitIdenticalToForcedScalar)
+{
+    Kernel k = mixedKernel();
+    std::vector<int32_t> words;
+    for (int i = 0; i < 2 * 77; ++i)
+        words.push_back(i * 37 - 1000);
+    std::vector<StreamData> inputs{StreamData::fromInts(words, 2)};
+    ExecResult scalar =
+        runKernel(k, 8, inputs, SimdBackend::Scalar);
+    for (SimdBackend backend : availableSimdBackends()) {
+        ExecResult got = runKernel(k, 8, inputs, backend);
+        EXPECT_EQ(got.iterations, scalar.iterations)
+            << simdBackendName(backend);
+        ASSERT_EQ(got.outputs.size(), scalar.outputs.size());
+        EXPECT_EQ(got.outputs[0].words, scalar.outputs[0].words)
+            << simdBackendName(backend);
+    }
+    // An explicitly unsupported request must fall back, not crash:
+    // run with every enum value regardless of host support.
+    for (SimdBackend backend :
+         {SimdBackend::Scalar, SimdBackend::Sse2, SimdBackend::Avx2}) {
+        ExecResult got = runKernel(k, 8, inputs, backend);
+        EXPECT_EQ(got.outputs[0].words, scalar.outputs[0].words)
+            << simdBackendName(backend);
+    }
+}
+
+TEST(SimdDispatchTest, ParseAndNameRoundTrip)
+{
+    for (SimdBackend b : {SimdBackend::Scalar, SimdBackend::Sse2,
+                          SimdBackend::Avx2}) {
+        SimdBackend parsed;
+        ASSERT_TRUE(parseSimdBackend(simdBackendName(b), &parsed));
+        EXPECT_EQ(parsed, b);
+    }
+    SimdBackend parsed;
+    EXPECT_FALSE(parseSimdBackend("avx512", &parsed));
+    EXPECT_FALSE(parseSimdBackend("", &parsed));
+}
+
+TEST(SimdDispatchTest, EnvResolutionPolicy)
+{
+    // SPS_INTERP_SCALAR wins over everything unless it is "" or "0".
+    EXPECT_EQ(resolveSimdBackend("1", "avx2"), SimdBackend::Scalar);
+    EXPECT_EQ(resolveSimdBackend("yes", nullptr), SimdBackend::Scalar);
+    EXPECT_EQ(resolveSimdBackend("0", nullptr), bestSimdBackend());
+    EXPECT_EQ(resolveSimdBackend("", nullptr), bestSimdBackend());
+    // Explicit backend requests resolve to a supported tier at or
+    // below the request; garbage falls back to the best tier.
+    EXPECT_EQ(resolveSimdBackend(nullptr, "scalar"),
+              SimdBackend::Scalar);
+    EXPECT_TRUE(
+        simdBackendSupported(resolveSimdBackend(nullptr, "avx2")));
+    EXPECT_EQ(resolveSimdBackend(nullptr, "bogus"), bestSimdBackend());
+    EXPECT_EQ(resolveSimdBackend(nullptr, nullptr), bestSimdBackend());
+    // Scalar is always available and availableSimdBackends leads
+    // with it.
+    ASSERT_FALSE(availableSimdBackends().empty());
+    EXPECT_EQ(availableSimdBackends().front(), SimdBackend::Scalar);
 }
 
 } // namespace
