@@ -98,6 +98,9 @@ struct InterpRow
     double refWps = 0.0;
     double scalarWps = 0.0;
     double simdWps = 0.0;
+    /** Fraction of steady-state body ops in fused regions under the
+     *  default (partial) megastrip-fusion policy. */
+    double fusedFraction = 0.0;
 };
 
 /**
@@ -120,6 +123,10 @@ interpThroughput(int c, int64_t records, double *aggregate)
         row.name = entry.name;
         row.words = sps::bench::wordsPerRun(
             inputs, sps::interp::runKernel(*entry.kernel, c, inputs));
+        row.fusedFraction =
+            sps::interp::LoweredCache::global()
+                .get(*entry.kernel)
+                .fusedOpFraction(sps::interp::FusionPolicy::Partial);
         double ref = secondsPerRun([&] {
             sps::interp::runKernelReference(*entry.kernel, c, inputs);
         });
@@ -252,12 +259,13 @@ writeInterpJson(const char *path, int c, int64_t records,
             "\"reference_words_per_sec\": %.4e, "
             "\"scalar_words_per_sec\": %.4e, "
             "\"simd_words_per_sec\": %.4e, "
-            "\"scalar_speedup\": %.3f, \"speedup\": %.3f}%s\n",
+            "\"scalar_speedup\": %.3f, \"speedup\": %.3f, "
+            "\"fused_fraction\": %.3f}%s\n",
             r.name.c_str(), static_cast<long long>(r.words), r.refWps,
             r.scalarWps, r.simdWps,
             r.refWps > 0.0 ? r.scalarWps / r.refWps : 0.0,
             r.refWps > 0.0 ? r.simdWps / r.refWps : 0.0,
-            i + 1 < rows.size() ? "," : "");
+            r.fusedFraction, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"aggregate_speedup\": %.3f\n}\n",
                  aggregate);
@@ -392,7 +400,7 @@ main(int argc, char **argv)
 
     TextTable it;
     it.header({"Kernel", "ref Mwords/s", "scalar Mwords/s",
-               "simd Mwords/s", "speedup"});
+               "simd Mwords/s", "speedup", "fused frac"});
     for (const InterpRow &r : rows)
         it.row({r.name, TextTable::num(r.refWps / 1e6, 1),
                 TextTable::num(r.scalarWps / 1e6, 1),
@@ -400,8 +408,9 @@ main(int argc, char **argv)
                 TextTable::num(r.refWps > 0.0 ? r.simdWps / r.refWps
                                               : 0.0,
                                2) +
-                    "x"});
-    const double interp_gate = 8.0;
+                    "x",
+                TextTable::num(r.fusedFraction, 2)});
+    const double interp_gate = 10.0;
     const bool interp_fast = aggregate >= interp_gate;
     std::printf("\nInterpreter throughput: Table-4 kernels at C=%d, "
                 "%lld records (simd backend: %s)\n\n%s\n"

@@ -4,6 +4,8 @@
  * cost-model evaluation, kernel compilation (modulo scheduling),
  * functional interpretation, and stream-level simulation throughput.
  */
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "core/design.h"
@@ -90,10 +92,19 @@ BM_InterpTable4(benchmark::State &state)
         benchmark::DoNotOptimize(r.iterations);
     }
     state.SetItemsProcessed(state.iterations() * words);
+    // Fraction of body ops the megastrip-fusion engine runs fused
+    // under the default (partial) policy: why the speedups moved, not
+    // just that they did.
+    const double fused =
+        lk.fusedOpFraction(sps::interp::FusionPolicy::Partial);
+    state.counters["fused_fraction"] = fused;
+    char fused_buf[32];
+    std::snprintf(fused_buf, sizeof(fused_buf), " fused=%.2f", fused);
     state.SetLabel(
         entry.name + " " +
         (engine == 0 ? "reference"
-                     : sps::interp::simdBackendName(backend)));
+                     : sps::interp::simdBackendName(backend)) +
+        fused_buf);
 }
 BENCHMARK(BM_InterpTable4)
     ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1, 2}});

@@ -347,11 +347,18 @@ runSpanScalar(const ExecCtx &ctx, int64_t from, int64_t to)
 }
 
 /**
- * SIMD backends (interp/simd.cpp): run unguarded virtual iterations
- * [from, to) at execution width `ew` (ew == c * fuse for fused
- * megastrip blocks, ew == c for plain strips). `backend` must be a
- * supported non-Scalar tier.
+ * SIMD backends (interp/simd.cpp): run body ops [bodyBegin, bodyEnd)
+ * of unguarded virtual iterations [from, to) at execution width `ew`
+ * (ew == c * fuse for fused megastrip spans, ew == c for plain strips
+ * and partial-fusion serial cores). `latch` fires the end-of-iteration
+ * phi latch. `backend` must be a supported non-Scalar tier.
  */
+void runSpanSimd(SimdBackend backend, const ExecCtx &ctx, int64_t from,
+                 int64_t to, int ew, int bodyBegin, int bodyEnd,
+                 bool latch);
+
+/** Full-body runSpanSimd (all ops, latch on): plain steady strips and
+ *  fully fused megastrip blocks. */
 void runSteadySimd(SimdBackend backend, const ExecCtx &ctx,
                    int64_t from, int64_t to, int ew);
 

@@ -131,6 +131,14 @@ runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs,
 }
 
 ExecResult
+runKernel(const Kernel &k, int c, const std::vector<StreamData> &inputs,
+          SimdBackend backend, FusionPolicy fusion)
+{
+    return executeLowered(LoweredCache::global().get(k), c, inputs,
+                          backend, fusion);
+}
+
+ExecResult
 runKernelReference(const Kernel &k, int c,
                    const std::vector<StreamData> &inputs)
 {

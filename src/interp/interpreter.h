@@ -78,6 +78,13 @@ ExecResult runKernel(const kernel::Kernel &k, int c,
                      const std::vector<StreamData> &inputs,
                      SimdBackend backend);
 
+/** Same, also pinning the megastrip-fusion policy (differential tests
+ *  and the SPS_INTERP_FUSION escape hatch). Results are bit-identical
+ *  across every backend x policy combination. */
+ExecResult runKernel(const kernel::Kernel &k, int c,
+                     const std::vector<StreamData> &inputs,
+                     SimdBackend backend, FusionPolicy fusion);
+
 /**
  * Reference interpreter: the original op-at-a-time engine that walks
  * the kernel IR directly, re-decoding each op every iteration. Kept

@@ -75,6 +75,163 @@ laneClassOf(Opcode code)
     return LaneClass::Scalar;
 }
 
+const char *
+regionName(Region r)
+{
+    switch (r) {
+      case Region::Prefix:
+        return "prefix";
+      case Region::Core:
+        return "core";
+      case Region::Suffix:
+        return "suffix";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * Dependence-cone partition (see Region in lowered.h): seed from the
+ * loop-carried ops, slice forward and backward over dataflow args,
+ * side-effect token edges (Op::orderAfter), and phi-latch edges
+ * (latch source -> phi), then reorder the body into
+ * [prefix | core | suffix] with program order kept inside each
+ * region. `bodyOf` maps a ValueId to its body index (-1 for preamble
+ * ops, which are iteration-invariant and partition-neutral).
+ */
+void
+partitionRegions(const Kernel &k, const std::vector<int> &bodyOf,
+                 LoweredKernel &lk)
+{
+    const int n = static_cast<int>(lk.body.size());
+    std::vector<std::vector<int>> succ(static_cast<size_t>(n));
+    std::vector<std::vector<int>> pred(static_cast<size_t>(n));
+    auto addEdge = [&](int from, int to) {
+        if (from >= 0 && to >= 0 && from != to) {
+            succ[static_cast<size_t>(from)].push_back(to);
+            pred[static_cast<size_t>(to)].push_back(from);
+        }
+    };
+    for (int j = 0; j < n; ++j) {
+        const LoweredInsn &insn = lk.body[static_cast<size_t>(j)];
+        for (kernel::ValueId a : {insn.a0, insn.a1, insn.a2}) {
+            if (a != kernel::kNoValue)
+                addEdge(bodyOf[static_cast<size_t>(a)], j);
+        }
+        // Token edges keep side effects (same-stream accesses,
+        // scratchpad traffic) in program order across regions.
+        const Op &op = k.ops[static_cast<size_t>(insn.dst)];
+        for (kernel::ValueId t : op.orderAfter)
+            addEdge(bodyOf[static_cast<size_t>(t)], j);
+    }
+    // Phi-latch edges: the latch reads its source at end of
+    // iteration, so the source must be computed by the time the
+    // carried core of the same iteration retires.
+    for (const LoweredKernel::PhiLatch &latch : lk.latches) {
+        for (int j = 0; j < n; ++j) {
+            const LoweredInsn &insn = lk.body[static_cast<size_t>(j)];
+            if (insn.code == Opcode::Phi &&
+                insn.histBase == latch.histBase)
+                addEdge(bodyOf[static_cast<size_t>(latch.src)], j);
+        }
+    }
+
+    std::vector<char> inF(static_cast<size_t>(n), 0);
+    std::vector<char> inB(static_cast<size_t>(n), 0);
+    std::vector<int> work;
+    for (int j = 0; j < n; ++j) {
+        if (lk.body[static_cast<size_t>(j)].lanes ==
+            LaneClass::Scalar) {
+            inF[static_cast<size_t>(j)] = 1;
+            inB[static_cast<size_t>(j)] = 1;
+            work.push_back(j);
+        }
+    }
+    std::vector<int> seeds = work;
+    while (!work.empty()) {
+        int j = work.back();
+        work.pop_back();
+        for (int s : succ[static_cast<size_t>(j)]) {
+            if (!inF[static_cast<size_t>(s)]) {
+                inF[static_cast<size_t>(s)] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+    work = seeds;
+    while (!work.empty()) {
+        int j = work.back();
+        work.pop_back();
+        for (int p : pred[static_cast<size_t>(j)]) {
+            if (!inB[static_cast<size_t>(p)]) {
+                inB[static_cast<size_t>(p)] = 1;
+                work.push_back(p);
+            }
+        }
+    }
+
+    std::vector<LoweredInsn> prefix, core, suffix;
+    for (int j = 0; j < n; ++j) {
+        LoweredInsn &insn = lk.body[static_cast<size_t>(j)];
+        if (!inF[static_cast<size_t>(j)]) {
+            insn.region = Region::Prefix;
+            prefix.push_back(insn);
+        } else if (inB[static_cast<size_t>(j)]) {
+            insn.region = Region::Core;
+            core.push_back(insn);
+        } else {
+            insn.region = Region::Suffix;
+            suffix.push_back(insn);
+        }
+    }
+    lk.coreBegin = static_cast<int>(prefix.size());
+    lk.coreEnd = lk.coreBegin + static_cast<int>(core.size());
+    lk.body.clear();
+    lk.body.insert(lk.body.end(), prefix.begin(), prefix.end());
+    lk.body.insert(lk.body.end(), core.begin(), core.end());
+    lk.body.insert(lk.body.end(), suffix.begin(), suffix.end());
+}
+
+/**
+ * Partial megastrip fusion over one run's steady-state blocks: for
+ * each block of `fuse` adjacent full strips, run the fusible prefix
+ * once across all c * fuse lanes, iterate the serial core strip by
+ * strip in strict iteration order (a pointer-bumped ExecCtx windows
+ * lanes [t*c, (t+1)*c) of the megastrip SoA rows; scratch, cursors and
+ * phi history are deliberately NOT shifted — they are per-cluster
+ * state addressed at lanes [0, c)), then run the fusible suffix once
+ * across all lanes. The phi latch fires inside the core phase, per
+ * real iteration, exactly as in unfused execution.
+ */
+void
+runPartialFused(SimdBackend backend, const detail::ExecCtx &ctx,
+                int64_t blocks, int64_t fuse)
+{
+    const LoweredKernel &lk = *ctx.lk;
+    const int c = ctx.c;
+    const int ewFused = static_cast<int>(c * fuse);
+    const int nbody = static_cast<int>(lk.body.size());
+    detail::ExecCtx strip = ctx;
+    for (int64_t b = 0; b < blocks; ++b) {
+        if (lk.coreBegin > 0)
+            detail::runSpanSimd(backend, ctx, b, b + 1, ewFused, 0,
+                                lk.coreBegin, /*latch=*/false);
+        for (int64_t t = 0; t < fuse; ++t) {
+            strip.val =
+                ctx.val + static_cast<size_t>(t) * static_cast<size_t>(c);
+            detail::runSpanSimd(backend, strip, b * fuse + t,
+                                b * fuse + t + 1, c, lk.coreBegin,
+                                lk.coreEnd, /*latch=*/true);
+        }
+        if (lk.coreEnd < nbody)
+            detail::runSpanSimd(backend, ctx, b, b + 1, ewFused,
+                                lk.coreEnd, nbody, /*latch=*/false);
+    }
+}
+
+} // namespace
+
 LoweredKernel
 lowerKernel(const Kernel &k)
 {
@@ -98,6 +255,7 @@ lowerKernel(const Kernel &k)
     }
     lk.driverOrdinal = lk.ports[static_cast<size_t>(k.lengthDriver)].ordinal;
 
+    std::vector<int> bodyOf(k.ops.size(), -1);
     for (size_t i = 0; i < k.ops.size(); ++i) {
         const Op &op = k.ops[i];
         LoweredInsn insn;
@@ -144,14 +302,14 @@ lowerKernel(const Kernel &k)
           default:
             break;
         }
+        bodyOf[i] = static_cast<int>(lk.body.size());
         lk.body.push_back(insn);
     }
 
-    lk.fusible =
-        std::none_of(lk.body.begin(), lk.body.end(),
-                     [](const LoweredInsn &insn) {
-                         return insn.lanes == LaneClass::Scalar;
-                     });
+    partitionRegions(k, bodyOf, lk);
+    // Fully fusible <=> the serial core is empty (no LaneClass::Scalar
+    // body op seeds the carried cone).
+    lk.fusible = lk.coreBegin == lk.coreEnd;
     return lk;
 }
 
@@ -166,6 +324,15 @@ ExecResult
 executeLowered(const LoweredKernel &lk, int c,
                const std::vector<StreamData> &inputs,
                SimdBackend backend)
+{
+    return executeLowered(lk, c, inputs, backend,
+                          defaultFusionPolicy());
+}
+
+ExecResult
+executeLowered(const LoweredKernel &lk, int c,
+               const std::vector<StreamData> &inputs,
+               SimdBackend backend, FusionPolicy fusion)
 {
     SPS_ASSERT(c >= 1, "need at least one cluster");
     SPS_ASSERT(static_cast<int>(inputs.size()) == lk.nIn,
@@ -209,17 +376,23 @@ executeLowered(const LoweredKernel &lk, int c,
             steady, inputs[static_cast<size_t>(ord)].records() / c);
     steady = std::min(steady, iterations);
 
-    // Megastrip fusion (SIMD backends, fusible bodies only): treat
-    // `fuse` adjacent full strips as one virtual strip of c * fuse
-    // lanes so narrow cluster counts still fill whole vectors and
-    // per-iteration dispatch amortizes. Correct because a fusible
-    // body has no cross-iteration state: lane l = it * c + cl of the
-    // megastrip computes exactly what strip it, cluster cl computes,
-    // and the only cross-lane traffic (CommPerm) stays inside each
-    // c-wide sub-strip. Leftover strips past the last full block run
-    // unfused through the same buffers.
+    // Megastrip fusion (SIMD backends): treat `fuse` adjacent full
+    // strips as one virtual strip of c * fuse lanes so narrow cluster
+    // counts still fill whole vectors and per-iteration dispatch
+    // amortizes. For fully fusible bodies (no cross-iteration state)
+    // the whole body fuses: lane l = it * c + cl of the megastrip
+    // computes exactly what strip it, cluster cl computes, and the
+    // only cross-lane traffic (CommPerm) stays inside each c-wide
+    // sub-strip. Under FusionPolicy::Partial, bodies with a
+    // loop-carried core still fuse their prefix/suffix regions and
+    // serialize only the core (runPartialFused). Leftover strips past
+    // the last full block run unfused through the same buffers.
+    const bool partial = !lk.fusible &&
+                         fusion == FusionPolicy::Partial &&
+                         lk.partiallyFusible();
     int64_t fuse = 1;
-    if (backend != SimdBackend::Scalar && lk.fusible && steady > 1)
+    if (backend != SimdBackend::Scalar && steady > 1 &&
+        fusion != FusionPolicy::Off && (lk.fusible || partial))
         fuse = std::clamp<int64_t>(64 / c, 1, steady);
 
     // Structure-of-arrays state: row `op`, stride adjacent lane words
@@ -271,9 +444,13 @@ executeLowered(const LoweredKernel &lk, int c,
         detail::runSpanScalar<false>(ctx, 0, steady);
     } else {
         const int64_t blocks = steady / fuse;
-        if (blocks > 0)
-            detail::runSteadySimd(backend, ctx, 0, blocks,
-                                  static_cast<int>(cw * fuse));
+        if (blocks > 0) {
+            if (fuse == 1 || lk.fusible)
+                detail::runSteadySimd(backend, ctx, 0, blocks,
+                                      static_cast<int>(cw * fuse));
+            else
+                runPartialFused(backend, ctx, blocks, fuse);
+        }
         if (blocks * fuse < steady)
             detail::runSteadySimd(backend, ctx, blocks * fuse, steady,
                                   c);

@@ -70,6 +70,38 @@ enum class LaneClass : uint8_t
 /** The LaneClass lowering assigns to `code`. */
 LaneClass laneClassOf(isa::Opcode code);
 
+/**
+ * Dependence-cone region of a body op, emitted by lowering (the
+ * partial-megastrip-fusion partition). The loop-carried ops
+ * (LaneClass::Scalar: phi, conditional streams, scratchpad) seed two
+ * slices over the body's dataflow + side-effect-token + phi-latch
+ * edges: the forward slice F (ops transitively reading carried state)
+ * and the backward slice B (ops carried state transitively reads).
+ *
+ *   Prefix  = not in F   — depends on nothing carried; safe to run
+ *                          megastrip-fused across strips *before* any
+ *                          of the block's serial cores.
+ *   Core    = F ∩ B      — the carried chain's cone; must run strip
+ *                          by strip in strict iteration order.
+ *   Suffix  = F \ B      — reads core results but feeds nothing
+ *                          carried (no cross-iteration out-edges);
+ *                          safe to fuse *after* the block's cores.
+ *
+ * Prefix-then-core-then-suffix is a topological order of the body, so
+ * lowering stores the body already partitioned ([prefix|core|suffix],
+ * program order preserved within each region) and execution in that
+ * order is bit-identical to program order.
+ */
+enum class Region : uint8_t
+{
+    Prefix = 0,
+    Core = 1,
+    Suffix = 2,
+};
+
+/** Stable lower-case name ("prefix", "core", "suffix"). */
+const char *regionName(Region r);
+
 /** One lowered instruction: opcode plus fully pre-resolved operands. */
 struct LoweredInsn
 {
@@ -96,6 +128,8 @@ struct LoweredInsn
     int32_t histBase = 0;
     /** Lane-width legality for the SIMD executors. */
     LaneClass lanes = LaneClass::Scalar;
+    /** Dependence-cone region (partial megastrip fusion). */
+    Region region = Region::Core;
 };
 
 /**
@@ -149,13 +183,54 @@ struct LoweredKernel
     std::vector<int> steadyReadOrdinals;
 
     /**
-     * True when no body op is LaneClass::Scalar: the body has no
-     * cross-iteration state, so adjacent full strips can fuse into
-     * one megastrip of c * fuse virtual lanes to amortize dispatch
-     * (the stretch goal in ROADMAP). Cross-lane CommPerm does not
-     * block fusion: each c-wide sub-strip exchanges within itself.
+     * Region split points: body is stored partitioned as
+     * [0, coreBegin) prefix, [coreBegin, coreEnd) serial core,
+     * [coreEnd, body.size()) suffix. The partition is a property of
+     * the kernel's dataflow alone — independent of backend, fusion
+     * policy, and cluster count — so one LoweredCache entry serves
+     * every execution configuration.
+     */
+    int coreBegin = 0;
+    int coreEnd = 0;
+
+    /**
+     * True when no body op is LaneClass::Scalar (the core is empty):
+     * the body has no cross-iteration state, so adjacent full strips
+     * can fuse into one megastrip of c * fuse virtual lanes to
+     * amortize dispatch. Cross-lane CommPerm does not block fusion:
+     * each c-wide sub-strip exchanges within itself.
      */
     bool fusible = false;
+
+    /** True when the body has a loop-carried core but also a nonempty
+     *  fusible prefix and/or suffix: partial megastrip fusion can run
+     *  the off-chain regions fused and serialize only the cone. */
+    bool
+    partiallyFusible() const
+    {
+        return coreEnd > coreBegin &&
+               (coreBegin > 0 ||
+                coreEnd < static_cast<int>(body.size()));
+    }
+
+    /**
+     * Fraction of steady-state body ops that execute in fused
+     * (prefix/suffix) regions when megastrip fusion engages under
+     * `policy`: 1 for fully fusible bodies, the off-cone fraction for
+     * partially fusible ones, 0 when fusion cannot engage.
+     */
+    double
+    fusedOpFraction(FusionPolicy policy) const
+    {
+        if (body.empty() || policy == FusionPolicy::Off)
+            return 0.0;
+        if (fusible)
+            return 1.0;
+        if (policy != FusionPolicy::Partial || !partiallyFusible())
+            return 0.0;
+        return 1.0 - static_cast<double>(coreEnd - coreBegin) /
+                         static_cast<double>(body.size());
+    }
 };
 
 /** Lower `k` (validating it once). Uncached; see LoweredCache. */
@@ -174,6 +249,15 @@ ExecResult executeLowered(const LoweredKernel &lk, int c,
 ExecResult executeLowered(const LoweredKernel &lk, int c,
                           const std::vector<StreamData> &inputs,
                           SimdBackend backend);
+
+/**
+ * Execute with an explicit backend AND megastrip-fusion policy
+ * (tests, benchmarks, the SPS_INTERP_FUSION escape hatch). Results
+ * are bit-identical across every backend x policy combination.
+ */
+ExecResult executeLowered(const LoweredKernel &lk, int c,
+                          const std::vector<StreamData> &inputs,
+                          SimdBackend backend, FusionPolicy fusion);
 
 /**
  * Thread-safe memoized lowering cache keyed by the structural kernel

@@ -144,20 +144,66 @@ defaultSimdBackend()
     return b;
 }
 
+const char *
+fusionPolicyName(FusionPolicy p)
+{
+    switch (p) {
+      case FusionPolicy::Off:
+        return "off";
+      case FusionPolicy::Full:
+        return "full";
+      case FusionPolicy::Partial:
+        return "partial";
+    }
+    return "unknown";
+}
+
+bool
+parseFusionPolicy(std::string_view name, FusionPolicy *out)
+{
+    for (FusionPolicy p : {FusionPolicy::Off, FusionPolicy::Full,
+                           FusionPolicy::Partial}) {
+        if (name == fusionPolicyName(p)) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+FusionPolicy
+resolveFusionPolicy(const char *fusion_env)
+{
+    FusionPolicy p = FusionPolicy::Partial;
+    if (fusion_env != nullptr)
+        parseFusionPolicy(fusion_env, &p);
+    return p;
+}
+
+FusionPolicy
+defaultFusionPolicy()
+{
+    static const FusionPolicy p =
+        resolveFusionPolicy(std::getenv("SPS_INTERP_FUSION"));
+    return p;
+}
+
 namespace detail {
 
 void
-runSteadySimd(SimdBackend backend, const ExecCtx &ctx, int64_t from,
-              int64_t to, int ew)
+runSpanSimd(SimdBackend backend, const ExecCtx &ctx, int64_t from,
+            int64_t to, int ew, int bodyBegin, int bodyEnd, bool latch)
 {
 #if SPS_HAVE_X86_SIMD
     // An 8-wide strip executor over fewer than 8 lanes would fall
     // through to all-scalar remainders; hand narrow widths to the
     // 4-wide tier instead (which itself scalarizes below 4 lanes).
     if (backend == SimdBackend::Avx2 && ew >= 8)
-        avx2_tier::runSteady(ctx, from, to, ew);
+        avx2_tier::runSpan(ctx, from, to, ew, bodyBegin, bodyEnd,
+                           latch);
     else
-        sse2_tier::runSteady(ctx, from, to, ew);
+        sse2_tier::runSpan(ctx, from, to, ew, bodyBegin, bodyEnd,
+                           latch);
 #else
     // executeLowered clamps to a supported backend first, and Scalar
     // never routes here, so this is unreachable off x86-64.
@@ -165,9 +211,21 @@ runSteadySimd(SimdBackend backend, const ExecCtx &ctx, int64_t from,
     (void)from;
     (void)to;
     (void)ew;
+    (void)bodyBegin;
+    (void)bodyEnd;
+    (void)latch;
     panic("SIMD backend %s unavailable on this platform",
           simdBackendName(backend));
 #endif
+}
+
+void
+runSteadySimd(SimdBackend backend, const ExecCtx &ctx, int64_t from,
+              int64_t to, int ew)
+{
+    runSpanSimd(backend, ctx, from, to, ew, 0,
+                static_cast<int>(ctx.lk->body.size()),
+                /*latch=*/true);
 }
 
 } // namespace detail

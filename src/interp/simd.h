@@ -20,7 +20,9 @@
  *
  * Escape hatch: SPS_INTERP_SCALAR=1 in the environment (or
  * sim::RunOptions::forceScalarInterp) forces the scalar span executor;
- * SPS_INTERP_BACKEND=scalar|sse2|avx2 pins a specific tier.
+ * SPS_INTERP_BACKEND=scalar|sse2|avx2 pins a specific tier;
+ * SPS_INTERP_FUSION=off|full|partial (or sim::RunOptions::interpFusion)
+ * pins the megastrip fusion policy.
  */
 #ifndef SPS_INTERP_SIMD_H
 #define SPS_INTERP_SIMD_H
@@ -69,6 +71,41 @@ SimdBackend resolveSimdBackend(const char *scalar_env,
 /** Process-wide default: resolveSimdBackend over the real
  *  environment, resolved once on first use. */
 SimdBackend defaultSimdBackend();
+
+/**
+ * Megastrip-fusion policy for the SIMD steady state. Fusion never
+ * changes results (bit-identical by construction); the policy exists
+ * as a perf escape hatch and for differential testing.
+ */
+enum class FusionPolicy : uint8_t
+{
+    /** No megastrip fusion: every strip runs at width C. */
+    Off = 0,
+    /** All-or-nothing fusion only: bodies with any loop-carried op
+     *  run entirely unfused (the pre-partial behaviour). */
+    Full = 1,
+    /** Full fusion plus partial (prefix/suffix) fusion around the
+     *  loop-carried serial core (the default). */
+    Partial = 2,
+};
+
+/** Stable lower-case name ("off", "full", "partial"). */
+const char *fusionPolicyName(FusionPolicy p);
+
+/** Parse a policy name (case-sensitive, as in fusionPolicyName).
+ *  Returns false and leaves *out untouched on unknown names. */
+bool parseFusionPolicy(std::string_view name, FusionPolicy *out);
+
+/**
+ * Pure selection policy (unit-testable): `fusion_env` is the value of
+ * SPS_INTERP_FUSION (null when unset). A recognized name wins;
+ * anything else resolves to Partial, the default.
+ */
+FusionPolicy resolveFusionPolicy(const char *fusion_env);
+
+/** Process-wide default: resolveFusionPolicy over the real
+ *  environment, resolved once on first use. */
+FusionPolicy defaultFusionPolicy();
 
 } // namespace sps::interp
 

@@ -77,7 +77,7 @@ void
 runKernelFunctionally(const StreamOp &op, int clusters,
                       FunctionalContext &ctx,
                       const stream::StreamProgram &prog,
-                      bool force_scalar)
+                      bool force_scalar, interp::FusionPolicy fusion)
 {
     const kernel::Kernel &k = *op.k;
     std::vector<interp::StreamData> inputs;
@@ -99,7 +99,8 @@ runKernelFunctionally(const StreamOp &op, int clusters,
     interp::ExecResult exec = interp::runKernel(
         k, clusters, inputs,
         force_scalar ? interp::SimdBackend::Scalar
-                     : interp::defaultSimdBackend());
+                     : interp::defaultSimdBackend(),
+        fusion);
     SPS_ASSERT(exec.outputs.size() == out_streams.size(),
                "kernel %s: output count mismatch", k.name.c_str());
     for (size_t o = 0; o < out_streams.size(); ++o)
@@ -357,7 +358,8 @@ executeProgram(const stream::StreamProgram &prog,
             if (opts.functional)
                 runKernelFunctionally(op, cfg.clusters,
                                       *opts.functional, prog,
-                                      opts.forceScalarInterp);
+                                      opts.forceScalarInterp,
+                                      opts.interpFusion);
             complete[i] = end;
             in_flight.push(end);
             iv.start = start;

@@ -55,6 +55,10 @@ struct RunOptions
      *  flag); false uses interp::defaultSimdBackend(). Results are
      *  bit-identical either way. */
     bool forceScalarInterp = false;
+    /** Megastrip-fusion policy for functional kernel calls (the
+     *  SPS_INTERP_FUSION escape hatch as a per-run knob). Results are
+     *  bit-identical under every policy. */
+    interp::FusionPolicy interpFusion = interp::defaultFusionPolicy();
 };
 
 /**

@@ -290,23 +290,159 @@ TEST(LoweredKernelTest, FusibleOnlyWithoutScalarBodyOps)
     }
 }
 
+/** Update-style sandwich: independent head feeding a scratchpad
+ *  read-modify-write chain whose result feeds an independent tail. */
+Kernel
+sandwichKernel()
+{
+    KernelBuilder b("sandwich");
+    b.scratchpad(4);
+    int in = b.inStream("x");
+    int out = b.outStream("y");
+    auto x = b.sbRead(in);
+    auto addr = b.iand(x, b.constI(3));
+    auto prev = b.spRead(addr);
+    auto sum = b.iadd(prev, x);
+    b.spWrite(addr, sum);
+    auto scaled = b.imul(sum, b.constI(2));
+    b.sbWrite(out, scaled);
+    return b.build();
+}
+
+TEST(LoweredKernelTest, RegionPartitionSplitsSandwichBody)
+{
+    LoweredKernel lk = lowerKernel(sandwichKernel());
+    // Body: sbRead, iand (prefix) | spRead, iadd, spWrite (core) |
+    // imul, sbWrite (suffix). Constants hoist to the preamble.
+    ASSERT_EQ(lk.body.size(), 7u);
+    EXPECT_EQ(lk.coreBegin, 2);
+    EXPECT_EQ(lk.coreEnd, 5);
+    EXPECT_FALSE(lk.fusible);
+    EXPECT_TRUE(lk.partiallyFusible());
+    for (int j = 0; j < static_cast<int>(lk.body.size()); ++j) {
+        Region want = j < lk.coreBegin   ? Region::Prefix
+                      : j < lk.coreEnd   ? Region::Core
+                                         : Region::Suffix;
+        EXPECT_EQ(lk.body[static_cast<size_t>(j)].region, want)
+            << "body op " << j;
+    }
+    // Off-cone fraction: 4 of 7 body ops run fused under Partial.
+    EXPECT_DOUBLE_EQ(lk.fusedOpFraction(FusionPolicy::Partial),
+                     4.0 / 7.0);
+    EXPECT_DOUBLE_EQ(lk.fusedOpFraction(FusionPolicy::Full), 0.0);
+    EXPECT_DOUBLE_EQ(lk.fusedOpFraction(FusionPolicy::Off), 0.0);
+    // A fully fusible body reports fraction 1 under any fusing policy.
+    LoweredKernel saxpy = lowerKernel(saxpyKernel());
+    EXPECT_DOUBLE_EQ(saxpy.fusedOpFraction(FusionPolicy::Partial), 1.0);
+    EXPECT_DOUBLE_EQ(saxpy.fusedOpFraction(FusionPolicy::Full), 1.0);
+}
+
+TEST(LoweredKernelTest, RegionPartitionDegenerateSplits)
+{
+    // Empty suffix: the carried accumulator feeds nothing downstream;
+    // the output is written straight from the prefix.
+    {
+        KernelBuilder b("suffix-empty");
+        b.scratchpad(2);
+        int in = b.inStream("x");
+        int out = b.outStream("y");
+        auto x = b.sbRead(in);
+        auto addr = b.iand(x, b.constI(1));
+        b.spWrite(addr, b.iadd(b.spRead(addr), x));
+        b.sbWrite(out, x);
+        LoweredKernel lk = lowerKernel(b.build());
+        EXPECT_TRUE(lk.partiallyFusible());
+        EXPECT_GT(lk.coreBegin, 0);
+        EXPECT_EQ(lk.coreEnd, static_cast<int>(lk.body.size()));
+    }
+    // Empty prefix: the carried chain starts the body (its inputs are
+    // preamble constants; the driver stream is deliberately unread)
+    // and everything else hangs off it.
+    {
+        KernelBuilder b("prefix-empty");
+        b.inStream("len");
+        int out = b.outStream("y");
+        auto p = b.phi(Word::fromInt(0), 1);
+        auto s = b.iadd(p, b.constI(1));
+        b.setPhiSource(p, s);
+        b.sbWrite(out, s);
+        LoweredKernel lk = lowerKernel(b.build());
+        EXPECT_TRUE(lk.partiallyFusible());
+        EXPECT_EQ(lk.coreBegin, 0);
+        EXPECT_LT(lk.coreEnd, static_cast<int>(lk.body.size()));
+    }
+    // Phi whose latch source is off-chain: the source is pulled into
+    // the cone (it must be computed before the strip retires), never
+    // into the suffix.
+    {
+        KernelBuilder b("latch-pull");
+        int in = b.inStream("x");
+        int out = b.outStream("y");
+        auto x = b.sbRead(in);
+        auto p = b.phi(Word::fromInt(0), 1);
+        b.setPhiSource(p, x);
+        b.sbWrite(out, b.iadd(p, x));
+        LoweredKernel lk = lowerKernel(b.build());
+        for (const LoweredInsn &insn : lk.body) {
+            if (insn.code == Opcode::SbRead)
+                EXPECT_NE(insn.region, Region::Suffix);
+        }
+    }
+}
+
+TEST(LoweredKernelTest, PartialFusionMatchesReferenceOnSandwich)
+{
+    Kernel k = sandwichKernel();
+    std::vector<int32_t> data;
+    for (int i = 0; i < 531; ++i)
+        data.push_back(i * 7 - 300);
+    auto in = StreamData::fromInts(data);
+    for (int c : {1, 2, 4, 8}) {
+        auto want = runKernelReference(k, c, {in});
+        for (SimdBackend backend : availableSimdBackends()) {
+            for (FusionPolicy fusion :
+                 {FusionPolicy::Off, FusionPolicy::Full,
+                  FusionPolicy::Partial}) {
+                auto got = runKernel(k, c, {in}, backend, fusion);
+                EXPECT_EQ(got.outputs[0].words, want.outputs[0].words)
+                    << "C=" << c << " " << simdBackendName(backend)
+                    << "/" << fusionPolicyName(fusion);
+            }
+        }
+    }
+}
+
 TEST(LoweredCacheTest, OneEntryServesEveryBackend)
 {
     // The cache key is the structural fingerprint; nothing about the
-    // lowering depends on the execution backend, so running the same
-    // kernel under every backend must not add entries.
+    // lowering — including the region partition — depends on the
+    // execution backend or fusion policy, so running the same kernel
+    // under every backend x policy combination must not add entries,
+    // and the shared entry's region metadata must be what every
+    // configuration executes.
     LoweredCache cache;
-    Kernel k = saxpyKernel();
+    Kernel k = sandwichKernel();
     const LoweredKernel &lk = cache.get(k);
+    const int core_begin = lk.coreBegin;
+    const int core_end = lk.coreEnd;
     std::vector<StreamData> inputs{
-        StreamData::fromFloats({1.f, 2.f, 3.f, 4.f, 5.f})};
+        StreamData::fromInts({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})};
     ExecResult want = executeLowered(lk, 2, inputs,
                                      SimdBackend::Scalar);
     for (SimdBackend backend : availableSimdBackends()) {
-        ExecResult got = executeLowered(cache.get(k), 2, inputs,
-                                        backend);
-        EXPECT_EQ(got.outputs[0].words, want.outputs[0].words)
-            << simdBackendName(backend);
+        for (FusionPolicy fusion :
+             {FusionPolicy::Off, FusionPolicy::Full,
+              FusionPolicy::Partial}) {
+            const LoweredKernel &entry = cache.get(k);
+            EXPECT_EQ(&entry, &lk);
+            EXPECT_EQ(entry.coreBegin, core_begin);
+            EXPECT_EQ(entry.coreEnd, core_end);
+            ExecResult got =
+                executeLowered(entry, 2, inputs, backend, fusion);
+            EXPECT_EQ(got.outputs[0].words, want.outputs[0].words)
+                << simdBackendName(backend) << "/"
+                << fusionPolicyName(fusion);
+        }
     }
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.counters().misses, 1u);

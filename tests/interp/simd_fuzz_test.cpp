@@ -5,9 +5,10 @@
  * plus select / phi / COMM / scratchpad / conditional-stream
  * patterns) x cluster counts straddling the vector widths x stream
  * lengths biased onto SIMD-width and strip boundaries, asserting that
- * every available backend (scalar span executor, SSE2, AVX2) produces
- * results bit-for-bit identical to runKernelReference — int and float
- * values alike are compared as raw bit patterns.
+ * every available backend (scalar span executor, SSE2, AVX2) — the
+ * SIMD tiers under every megastrip-fusion policy (off/full/partial) —
+ * produces results bit-for-bit identical to runKernelReference — int
+ * and float values alike are compared as raw bit patterns.
  *
  * Every assertion message carries the program seed; replay one
  * program with
@@ -36,6 +37,7 @@ namespace {
 
 using sps::Prng;
 using sps::interp::ExecResult;
+using sps::interp::FusionPolicy;
 using sps::interp::SimdBackend;
 using sps::interp::StreamData;
 using sps::isa::Word;
@@ -128,7 +130,40 @@ generate(uint64_t seed)
         out_rw.push_back(rw);
     }
 
-    const bool use_sp = rng.below(3) == 0;
+    // Dedicated partially-fusible shapes for the partial-megastrip-
+    // fusion paths (the region partition in interp/lowered.cpp):
+    //   1: scratchpad chain sandwiched between independent prefix ops
+    //      and suffix ops (the chain result feeds COMM + the outputs)
+    //   2: empty-prefix degenerate split (the carried chain leads the
+    //      body and everything else descends from it)
+    //   3: empty-suffix degenerate split (the chain consumes prefix
+    //      values but feeds nothing downstream)
+    const uint64_t shape_roll = rng.below(6);
+    const int shape = shape_roll <= 3 ? static_cast<int>(shape_roll) : 0;
+
+    if (shape == 2) {
+        b.scratchpad(8);
+        const ValueId addr =
+            b.constI(static_cast<int32_t>(rng.below(8)));
+        const ValueId prev = b.spRead(addr);
+        const ValueId sum = b.iadd(
+            prev, b.constI(std::bit_cast<int32_t>(randomBits(rng))));
+        b.spWrite(addr, sum);
+        const ValueId t = b.ixor(
+            sum, b.constI(std::bit_cast<int32_t>(randomBits(rng))));
+        for (size_t o = 0; o < out_streams.size(); ++o) {
+            if (out_conditional[o]) {
+                b.condWrite(out_streams[o], t, sum);
+            } else {
+                for (int f = 0; f < out_rw[o]; ++f)
+                    b.sbWrite(out_streams[o], f % 2 == 0 ? sum : t, f);
+            }
+        }
+        gk.k = b.build();
+        return gk;
+    }
+
+    const bool use_sp = shape != 0 || rng.below(3) == 0;
     if (use_sp)
         b.scratchpad(8);
     ValueId sp_mask = sps::kernel::kNoValue;
@@ -233,6 +268,26 @@ generate(uint64_t seed)
         }
     }
 
+    if (shape != 0) {
+        // Scratchpad accumulator chain after the free-form (mostly
+        // fusible) body above: the serial core of the partition.
+        if (sp_mask == sps::kernel::kNoValue)
+            sp_mask = b.constI(7);
+        const ValueId addr = b.iand(b.iabs(pick()), sp_mask);
+        const ValueId prev = b.spRead(addr);
+        const ValueId sum = b.iadd(prev, pick());
+        b.spWrite(addr, sum);
+        if (shape == 1) {
+            // Suffix ops: the chain result feeds COMM, elementwise
+            // ops, and (via vals) the output writes below.
+            vals.push_back(b.comm(sum, pick()));
+            vals.push_back(b.ixor(sum, pick()));
+            vals.push_back(sum);
+        }
+        // shape 3: the chain feeds nothing downstream, so the core
+        // trails the body (empty suffix).
+    }
+
     for (size_t o = 0; o < out_streams.size(); ++o) {
         if (out_conditional[o]) {
             b.condWrite(out_streams[o], pick(), pick());
@@ -335,7 +390,8 @@ sameBits(const ExecResult &ref, const ExecResult &got)
     return testing::AssertionSuccess();
 }
 
-/** One program seed x one (C, length) point, over every backend. */
+/** One program seed x one (C, length) point, over every backend and
+ *  (for the SIMD tiers, where fusion applies) every fusion policy. */
 void
 runCase(const GenKernel &gk, uint64_t seed, int c,
         int64_t driver_records, Prng &rng)
@@ -345,12 +401,27 @@ runCase(const GenKernel &gk, uint64_t seed, int c,
     const ExecResult ref =
         sps::interp::runKernelReference(gk.k, c, inputs);
     for (SimdBackend backend : sps::interp::availableSimdBackends()) {
-        const ExecResult got =
-            sps::interp::runKernel(gk.k, c, inputs, backend);
-        EXPECT_TRUE(sameBits(ref, got))
-            << "backend " << sps::interp::simdBackendName(backend)
-            << " C=" << c << " len=" << driver_records
-            << "  replay: interp_simd_test --seed=" << seed;
+        if (backend == SimdBackend::Scalar) {
+            // The scalar span executor never fuses; one run covers it.
+            const ExecResult got =
+                sps::interp::runKernel(gk.k, c, inputs, backend);
+            EXPECT_TRUE(sameBits(ref, got))
+                << "backend scalar C=" << c << " len=" << driver_records
+                << "  replay: interp_simd_test --seed=" << seed;
+            continue;
+        }
+        for (FusionPolicy fusion :
+             {FusionPolicy::Off, FusionPolicy::Full,
+              FusionPolicy::Partial}) {
+            const ExecResult got =
+                sps::interp::runKernel(gk.k, c, inputs, backend,
+                                       fusion);
+            EXPECT_TRUE(sameBits(ref, got))
+                << "backend " << sps::interp::simdBackendName(backend)
+                << "/" << sps::interp::fusionPolicyName(fusion)
+                << " C=" << c << " len=" << driver_records
+                << "  replay: interp_simd_test --seed=" << seed;
+        }
     }
 }
 
@@ -398,6 +469,14 @@ TEST(SimdFuzzTest, CorpusCoversOpClasses)
     bool saw_phi = false, saw_comm = false, saw_cond_in = false,
          saw_cond_out = false, saw_sp = false, saw_fusible = false,
          saw_unfusible = false;
+    // Region-partition coverage: every region class must occur, and
+    // the partially-fusible shapes must include sandwich bodies, the
+    // empty-prefix and empty-suffix degenerate splits, and a carried
+    // chain feeding COMM (a suffix CommPerm).
+    bool saw_partial = false, saw_sandwich = false,
+         saw_empty_prefix = false, saw_empty_suffix = false,
+         saw_prefix_op = false, saw_core_op = false,
+         saw_suffix_op = false, saw_suffix_comm = false;
     for (uint64_t s = 0; s < 100; ++s) {
         const GenKernel gk = generate(1000 + s);
         const sps::interp::LoweredKernel lk =
@@ -406,12 +485,26 @@ TEST(SimdFuzzTest, CorpusCoversOpClasses)
             saw_fusible = true;
         else
             saw_unfusible = true;
+        const int nbody = static_cast<int>(lk.body.size());
+        if (lk.partiallyFusible()) {
+            saw_partial = true;
+            if (lk.coreBegin > 0 && lk.coreEnd < nbody)
+                saw_sandwich = true;
+            if (lk.coreBegin == 0)
+                saw_empty_prefix = true;
+            if (lk.coreEnd == nbody)
+                saw_empty_suffix = true;
+        }
         for (const auto &insn : lk.body) {
+            using sps::interp::Region;
             using sps::isa::Opcode;
             if (insn.code == Opcode::Phi)
                 saw_phi = true;
-            if (insn.code == Opcode::CommPerm)
+            if (insn.code == Opcode::CommPerm) {
                 saw_comm = true;
+                if (insn.region == Region::Suffix)
+                    saw_suffix_comm = true;
+            }
             if (insn.code == Opcode::SbCondRead)
                 saw_cond_in = true;
             if (insn.code == Opcode::SbCondWrite)
@@ -419,6 +512,12 @@ TEST(SimdFuzzTest, CorpusCoversOpClasses)
             if (insn.code == Opcode::SpRead ||
                 insn.code == Opcode::SpWrite)
                 saw_sp = true;
+            if (insn.region == Region::Prefix)
+                saw_prefix_op = true;
+            else if (insn.region == Region::Core)
+                saw_core_op = true;
+            else
+                saw_suffix_op = true;
         }
     }
     EXPECT_TRUE(saw_phi);
@@ -428,6 +527,14 @@ TEST(SimdFuzzTest, CorpusCoversOpClasses)
     EXPECT_TRUE(saw_sp);
     EXPECT_TRUE(saw_fusible);
     EXPECT_TRUE(saw_unfusible);
+    EXPECT_TRUE(saw_partial);
+    EXPECT_TRUE(saw_sandwich);
+    EXPECT_TRUE(saw_empty_prefix);
+    EXPECT_TRUE(saw_empty_suffix);
+    EXPECT_TRUE(saw_prefix_op);
+    EXPECT_TRUE(saw_core_op);
+    EXPECT_TRUE(saw_suffix_op);
+    EXPECT_TRUE(saw_suffix_comm);
 }
 
 } // namespace

@@ -278,6 +278,70 @@ TEST(SimdDispatchTest, ParseAndNameRoundTrip)
     EXPECT_FALSE(parseSimdBackend("", &parsed));
 }
 
+TEST(FusionDispatchTest, ParseAndNameRoundTrip)
+{
+    for (FusionPolicy p : {FusionPolicy::Off, FusionPolicy::Full,
+                           FusionPolicy::Partial}) {
+        FusionPolicy parsed;
+        ASSERT_TRUE(parseFusionPolicy(fusionPolicyName(p), &parsed));
+        EXPECT_EQ(parsed, p);
+    }
+    FusionPolicy parsed = FusionPolicy::Off;
+    EXPECT_FALSE(parseFusionPolicy("mega", &parsed));
+    EXPECT_FALSE(parseFusionPolicy("", &parsed));
+    EXPECT_FALSE(parseFusionPolicy("Partial", &parsed));
+    // Failed parses leave *out untouched.
+    EXPECT_EQ(parsed, FusionPolicy::Off);
+}
+
+TEST(FusionDispatchTest, EnvResolutionPolicy)
+{
+    // Mirrors SPS_INTERP_BACKEND resolution: a recognized
+    // SPS_INTERP_FUSION value wins; unset or garbage resolves to the
+    // Partial default (fusion never changes results, so the safe
+    // default is the fast one).
+    EXPECT_EQ(resolveFusionPolicy("off"), FusionPolicy::Off);
+    EXPECT_EQ(resolveFusionPolicy("full"), FusionPolicy::Full);
+    EXPECT_EQ(resolveFusionPolicy("partial"), FusionPolicy::Partial);
+    EXPECT_EQ(resolveFusionPolicy(nullptr), FusionPolicy::Partial);
+    EXPECT_EQ(resolveFusionPolicy(""), FusionPolicy::Partial);
+    EXPECT_EQ(resolveFusionPolicy("bogus"), FusionPolicy::Partial);
+}
+
+/** Every backend x fusion-policy combination must be bit-identical on
+ *  a partially fusible body — the policy is a perf knob, never a
+ *  semantics knob. */
+TEST(FusionDispatchTest, PoliciesBitIdenticalAcrossBackends)
+{
+    Kernel k = mixedKernel();
+    LoweredKernel lk = lowerKernel(k);
+    // mixedKernel carries a phi: partially fusible, never fully.
+    EXPECT_FALSE(lk.fusible);
+    EXPECT_TRUE(lk.partiallyFusible());
+    std::vector<int32_t> words;
+    for (int i = 0; i < 2 * 413; ++i)
+        words.push_back(i * 37 - 1000);
+    std::vector<StreamData> inputs{StreamData::fromInts(words, 2)};
+    for (int c : {1, 2, 4, 8}) {
+        ExecResult want = runKernelReference(k, c, inputs);
+        for (SimdBackend backend : availableSimdBackends()) {
+            for (FusionPolicy fusion :
+                 {FusionPolicy::Off, FusionPolicy::Full,
+                  FusionPolicy::Partial}) {
+                SCOPED_TRACE(std::string(simdBackendName(backend)) +
+                             "/" + fusionPolicyName(fusion) +
+                             " C=" + std::to_string(c));
+                ExecResult got =
+                    runKernel(k, c, inputs, backend, fusion);
+                EXPECT_EQ(got.iterations, want.iterations);
+                ASSERT_EQ(got.outputs.size(), want.outputs.size());
+                EXPECT_EQ(got.outputs[0].words,
+                          want.outputs[0].words);
+            }
+        }
+    }
+}
+
 TEST(SimdDispatchTest, EnvResolutionPolicy)
 {
     // SPS_INTERP_SCALAR wins over everything unless it is "" or "0".
