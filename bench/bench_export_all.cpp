@@ -19,15 +19,37 @@
  *                    (per-tier hit/miss/dedup counters).
  *   --expect-warm    exit nonzero if the run compiled any schedule or
  *                    simulated any app (the warm-cache CI assertion).
+ *   --max-cache-bytes N  bound the --cache-dir store: writes that
+ *                    cross the budget evict least-recently-used
+ *                    entries (eviction counters land in
+ *                    cache_stats.csv).
+ *
+ * Client mode:
+ *   --server SOCK    evaluate the Figure-15 app grid through a
+ *                    resident sps_evald daemon listening on the
+ *                    Unix-domain socket SOCK instead of in-process.
+ *                    Results come back bit-identical (the store
+ *                    codec's encoding rides the wire), so the CSVs
+ *                    are byte-identical to an in-process run; many
+ *                    concurrent client processes share the daemon's
+ *                    warm tiers and dedup against each other.
+ *                    cache_stats.csv then records the daemon's
+ *                    cumulative per-tier counters, and --expect-warm
+ *                    asserts the daemon simulated nothing for *this*
+ *                    run (the delta while we were connected).
  */
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "svc/eval_client.h"
 #include "svc/eval_service.h"
 #include "trace/counters_csv.h"
 #include "vlsi/sweep.h"
@@ -37,6 +59,18 @@ namespace {
 std::string g_dir = "results";
 sps::core::EvalEngine *g_engine = nullptr;
 sps::svc::EvalService *g_service = nullptr;
+sps::svc::EvalClient *g_client = nullptr;
+
+/** Value of one (tier, counter) row in a stats snapshot, or 0. */
+uint64_t
+statsValue(const std::vector<std::vector<std::string>> &rows,
+           const char *tier, const char *counter)
+{
+    for (const auto &row : rows)
+        if (row.size() == 3 && row[0] == tier && row[1] == counter)
+            return std::strtoull(row[2].c_str(), nullptr, 10);
+    return 0;
+}
 
 std::string
 path(const char *name)
@@ -147,9 +181,14 @@ exportFig15()
 {
     // The app grid routes through the evaluation service: submissions
     // batch onto the engine pool, identical points (the baseline and
-    // its grid twin) dedup, and results read/write the disk store.
+    // its grid twin) dedup, and results read/write the disk store. In
+    // --server mode the same sweep plan rides the socket to the
+    // daemon instead; the result bytes are identical either way.
     auto pts =
-        g_service
+        g_client
+            ? g_client->appPerformance({8, 16, 32, 64, 128},
+                                       {2, 5, 10, 14})
+        : g_service
             ? g_service->appPerformance({8, 16, 32, 64, 128},
                                         {2, 5, 10, 14})
             : sps::core::appPerformance({8, 16, 32, 64, 128},
@@ -197,6 +236,8 @@ main(int argc, char **argv)
     bool serial = false;
     bool expect_warm = false;
     std::string cache_dir;
+    std::string server_sock;
+    unsigned long long max_cache_bytes = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--serial") == 0)
             serial = true;
@@ -205,6 +246,12 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
                  i + 1 < argc)
             cache_dir = argv[++i];
+        else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc)
+            server_sock = argv[++i];
+        else if (std::strcmp(argv[i], "--max-cache-bytes") == 0 &&
+                 i + 1 < argc)
+            max_cache_bytes =
+                std::strtoull(argv[++i], nullptr, 10);
         else
             g_dir = argv[i];
     }
@@ -217,11 +264,30 @@ main(int argc, char **argv)
     // ours to control -- so it is deliberately leaked.
     sps::store::ResultStore *store = nullptr;
     if (!cache_dir.empty()) {
-        store = new sps::store::ResultStore(cache_dir);
+        store = new sps::store::ResultStore(cache_dir,
+                                            max_cache_bytes);
         g_engine->cache().attachStore(store);
     }
     sps::svc::EvalService service(g_engine, store);
     g_service = &service;
+
+    // --server: the Figure-15 app grid evaluates in the daemon; the
+    // figure-12-and-earlier sweeps and kernel exports stay local
+    // (they are pure cost-model / schedule work, not app sims). The
+    // starting stats snapshot turns the daemon's cumulative counters
+    // into this run's delta for --expect-warm.
+    sps::svc::EvalClient *client = nullptr;
+    std::vector<std::vector<std::string>> server_stats_before;
+    if (!server_sock.empty()) {
+        try {
+            client = new sps::svc::EvalClient(server_sock);
+            server_stats_before = client->stats();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        g_client = client;
+    }
 
     std::error_code ec;
     std::filesystem::create_directories(g_dir, ec);
@@ -230,10 +296,15 @@ main(int argc, char **argv)
                      ec.message().c_str());
         return 1;
     }
-    exportIntraInterSweeps();
-    exportKernelSpeedups();
-    exportTable5();
-    exportFig15();
+    try {
+        exportIntraInterSweeps();
+        exportKernelSpeedups();
+        exportTable5();
+        exportFig15();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "export failed: %s\n", e.what());
+        return 1;
+    }
     auto ctr = g_engine->cache().counters();
     auto svc_ctr = service.counters();
     std::printf("wrote figure data CSVs to %s/ "
@@ -246,13 +317,48 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(ctr.hits),
                 static_cast<unsigned long long>(svc_ctr.computed),
                 static_cast<unsigned long long>(svc_ctr.diskHits));
-    if (store) {
+    if (client) {
+        // The daemon's cumulative per-tier counters: a second
+        // concurrent client shows up here as in-flight dedup and
+        // memory hits, which is the observable proof of cross-client
+        // sharing.
+        std::vector<std::vector<std::string>> after;
+        try {
+            after = client->stats();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "stats query failed: %s\n", e.what());
+            return 1;
+        }
+        sps::CsvWriter stats;
+        stats.header({"tier", "counter", "value"});
+        for (const auto &row : after)
+            stats.row(row);
+        stats.writeFile(path("cache_stats.csv"));
+        if (expect_warm) {
+            uint64_t sims =
+                statsValue(after, "eval_service", "sims") -
+                statsValue(server_stats_before, "eval_service",
+                           "sims");
+            if (sims > 0) {
+                std::fprintf(
+                    stderr,
+                    "--expect-warm: daemon simulated %llu app(s) "
+                    "for this run\n",
+                    static_cast<unsigned long long>(sims));
+                g_client = nullptr;
+                g_service = nullptr;
+                return 1;
+            }
+        }
+        g_client = nullptr;
+        delete client;
+    } else if (store) {
         sps::CsvWriter stats;
         stats.header({"tier", "counter", "value"});
         sps::svc::appendCacheStatsRows(stats, ctr, store, &service);
         stats.writeFile(path("cache_stats.csv"));
     }
-    if (expect_warm &&
+    if (!client && expect_warm &&
         (ctr.misses > 0 || svc_ctr.computed > 0)) {
         std::fprintf(stderr,
                      "--expect-warm: cache was cold (%llu schedule "

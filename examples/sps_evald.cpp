@@ -1,0 +1,141 @@
+/**
+ * @file
+ * sps_evald: the resident evaluation daemon. One process owns the
+ * warm tiers -- the in-memory request map, the shared schedule cache,
+ * and (with --cache-dir) the disk-backed result store -- and serves
+ * any number of concurrent sweep clients over a Unix-domain socket
+ * (svc::EvalServer). Identical points requested by different clients
+ * are simulated once; results stream back bit-identical to an
+ * in-process run, so client-side CSVs match byte for byte.
+ *
+ *   sps_evald --sock /tmp/sps-eval.sock --cache-dir cache \
+ *             [--max-cache-bytes N] [--threads N] \
+ *             [--reap-tmp-seconds S]
+ *
+ * --max-cache-bytes bounds the cache directory: every write that
+ * crosses the budget evicts least-recently-used entries. At startup
+ * the daemon also reaps `.tmp.*` debris older than --reap-tmp-seconds
+ * (default 900) left by writers that died mid-put.
+ *
+ * The daemon runs until SIGINT/SIGTERM, then prints its cumulative
+ * cache-tier counters and exits cleanly.
+ */
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/eval_engine.h"
+#include "svc/eval_server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+handleStop(int)
+{
+    g_stop.store(true);
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --sock PATH [--cache-dir DIR] "
+        "[--max-cache-bytes N] [--threads N] [--reap-tmp-seconds S]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string sock;
+    std::string cache_dir;
+    unsigned long long max_cache_bytes = 0;
+    int threads = 0;
+    unsigned long long reap_tmp_seconds = 900;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--sock") == 0)
+            sock = value("--sock");
+        else if (std::strcmp(argv[i], "--cache-dir") == 0)
+            cache_dir = value("--cache-dir");
+        else if (std::strcmp(argv[i], "--max-cache-bytes") == 0)
+            max_cache_bytes =
+                std::strtoull(value("--max-cache-bytes"), nullptr, 10);
+        else if (std::strcmp(argv[i], "--threads") == 0)
+            threads = std::atoi(value("--threads"));
+        else if (std::strcmp(argv[i], "--reap-tmp-seconds") == 0)
+            reap_tmp_seconds = std::strtoull(
+                value("--reap-tmp-seconds"), nullptr, 10);
+        else
+            return usage(argv[0]);
+    }
+    if (sock.empty())
+        return usage(argv[0]);
+
+    sps::core::EvalEngine engine(threads);
+
+    // The store must outlive the global schedule cache, whose
+    // destruction order against locals is not ours to control, so it
+    // is deliberately leaked (same pattern as bench_export_all).
+    sps::store::ResultStore *store = nullptr;
+    if (!cache_dir.empty()) {
+        store = new sps::store::ResultStore(cache_dir,
+                                            max_cache_bytes);
+        uint64_t reaped = store->reapOrphanTemps(reap_tmp_seconds);
+        if (reaped > 0)
+            std::fprintf(stderr,
+                         "sps_evald: reaped %llu orphaned temp "
+                         "file(s) from %s\n",
+                         static_cast<unsigned long long>(reaped),
+                         cache_dir.c_str());
+        store->sweepToBudget();
+        engine.cache().attachStore(store);
+    }
+
+    sps::svc::EvalService service(&engine, store);
+    try {
+        sps::svc::EvalServer server(&service, sock);
+        std::signal(SIGINT, handleStop);
+        std::signal(SIGTERM, handleStop);
+        std::printf("sps_evald: listening on %s (%d threads%s%s)\n",
+                    sock.c_str(), engine.threadCount(),
+                    cache_dir.empty() ? "" : ", cache ",
+                    cache_dir.c_str());
+        std::fflush(stdout);
+        while (!g_stop.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        server.stop();
+        auto sc = server.counters();
+        std::printf("sps_evald: served %llu request(s) over %llu "
+                    "connection(s), %llu protocol error(s)\n",
+                    static_cast<unsigned long long>(sc.requests),
+                    static_cast<unsigned long long>(sc.connections),
+                    static_cast<unsigned long long>(
+                        sc.protocolErrors));
+        for (const auto &row : sps::svc::cacheStatsRows(
+                 engine.cache().counters(), store, &service))
+            std::printf("  %s %s = %s\n", row[0].c_str(),
+                        row[1].c_str(), row[2].c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sps_evald: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "store/result_store.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -58,7 +60,8 @@ putHeader(const Key &key, const std::vector<uint8_t> &payload,
 
 } // namespace
 
-ResultStore::ResultStore(std::string root) : root_(std::move(root))
+ResultStore::ResultStore(std::string root, uint64_t maxCacheBytes)
+    : root_(std::move(root)), maxCacheBytes_(maxCacheBytes)
 {
     std::error_code ec;
     for (Kind k : {Kind::Schedule, Kind::SimResult})
@@ -108,6 +111,13 @@ ResultStore::get(const Key &key, std::vector<uint8_t> *payload)
     }
     payload->assign(bytes.begin() + kHeaderBytes, bytes.end());
     hits_.fetch_add(1, std::memory_order_relaxed);
+    // Refresh the entry's file time so the LRU sweep orders entries
+    // by *access* recency. Best effort: an entry evicted between the
+    // read and the touch was still served correctly.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        entryPath(key), std::filesystem::file_time_type::clock::now(),
+        ec);
     return true;
 }
 
@@ -124,19 +134,25 @@ ResultStore::put(const Key &key, const std::vector<uint8_t> &payload)
     std::string temp_path =
         final_path + ".tmp." + std::to_string(SPS_GETPID()) + "." +
         std::to_string(tempSeq_.fetch_add(1, std::memory_order_relaxed));
+    bool wrote;
     {
         std::ofstream out(temp_path, std::ios::binary);
-        if (!out ||
-            !out.write(
-                reinterpret_cast<const char *>(w.bytes().data()),
-                static_cast<std::streamsize>(w.bytes().size())) ||
-            !out.write(reinterpret_cast<const char *>(payload.data()),
-                       static_cast<std::streamsize>(payload.size()))) {
-            writeErrors_.fetch_add(1, std::memory_order_relaxed);
-            return false;
-        }
+        wrote =
+            out &&
+            out.write(reinterpret_cast<const char *>(w.bytes().data()),
+                      static_cast<std::streamsize>(w.bytes().size())) &&
+            out.write(reinterpret_cast<const char *>(payload.data()),
+                      static_cast<std::streamsize>(payload.size()));
     }
     std::error_code ec;
+    if (!wrote) {
+        // A partial write (e.g. disk full) leaves a temp file behind;
+        // remove it so failed puts never accumulate `.tmp.*` residue.
+        // When the open itself failed the remove is a no-op.
+        writeErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::filesystem::remove(temp_path, ec);
+        return false;
+    }
     std::filesystem::rename(temp_path, final_path, ec);
     if (ec) {
         writeErrors_.fetch_add(1, std::memory_order_relaxed);
@@ -144,6 +160,8 @@ ResultStore::put(const Key &key, const std::vector<uint8_t> &payload)
         return false;
     }
     writes_.fetch_add(1, std::memory_order_relaxed);
+    if (maxCacheBytes_ != 0)
+        sweepToBudget();
     return true;
 }
 
@@ -192,6 +210,117 @@ ResultStore::storeSimResult(const Key &key, const sim::SimResult &res)
     return put(key, w.bytes());
 }
 
+namespace {
+
+struct EntryFile
+{
+    std::filesystem::path path;
+    uint64_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+};
+
+bool
+isTempFile(const std::filesystem::path &p)
+{
+    return p.filename().string().find(".tmp.") != std::string::npos;
+}
+
+/** Completed entry files (or, with wantTemps, temp files) under the
+ *  per-kind directories of `root`. Unreadable files are skipped. */
+std::vector<EntryFile>
+listFiles(const std::string &root, bool wantTemps)
+{
+    std::vector<EntryFile> out;
+    for (Kind k : {Kind::Schedule, Kind::SimResult}) {
+        std::error_code ec;
+        std::filesystem::directory_iterator it(
+            std::filesystem::path(root) / kindDir(k), ec);
+        if (ec)
+            continue;
+        for (const auto &e : it) {
+            std::error_code fec;
+            if (!e.is_regular_file(fec) || fec)
+                continue;
+            if (isTempFile(e.path()) != wantTemps)
+                continue;
+            EntryFile f;
+            f.path = e.path();
+            f.bytes = e.file_size(fec);
+            if (fec)
+                continue;
+            f.mtime = e.last_write_time(fec);
+            if (fec)
+                continue;
+            out.push_back(std::move(f));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+uint64_t
+ResultStore::totalEntryBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &f : listFiles(root_, /*wantTemps=*/false))
+        total += f.bytes;
+    return total;
+}
+
+uint64_t
+ResultStore::sweepToBudget()
+{
+    if (maxCacheBytes_ == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(sweepMu_);
+    std::vector<EntryFile> files =
+        listFiles(root_, /*wantTemps=*/false);
+    uint64_t total = 0;
+    for (const auto &f : files)
+        total += f.bytes;
+    if (total <= maxCacheBytes_)
+        return 0;
+    // Least recently used first; get() refreshes mtime on every hit.
+    std::sort(files.begin(), files.end(),
+              [](const EntryFile &a, const EntryFile &b) {
+                  return a.mtime < b.mtime;
+              });
+    uint64_t reclaimed = 0;
+    for (const auto &f : files) {
+        if (total <= maxCacheBytes_)
+            break;
+        std::error_code ec;
+        if (!std::filesystem::remove(f.path, ec) || ec)
+            continue; // already evicted by someone else
+        total -= f.bytes;
+        reclaimed += f.bytes;
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        reclaimedBytes_.fetch_add(f.bytes, std::memory_order_relaxed);
+    }
+    return reclaimed;
+}
+
+uint64_t
+ResultStore::reapOrphanTemps(uint64_t minAgeSeconds)
+{
+    std::lock_guard<std::mutex> lock(sweepMu_);
+    auto now = std::filesystem::file_time_type::clock::now();
+    uint64_t reaped = 0;
+    for (const auto &f : listFiles(root_, /*wantTemps=*/true)) {
+        auto age = std::chrono::duration_cast<std::chrono::seconds>(
+            now - f.mtime);
+        if (age.count() < static_cast<int64_t>(minAgeSeconds))
+            continue; // young enough to still have a live writer
+        std::error_code ec;
+        if (!std::filesystem::remove(f.path, ec) || ec)
+            continue;
+        ++reaped;
+        reclaimedBytes_.fetch_add(f.bytes, std::memory_order_relaxed);
+    }
+    return reaped;
+}
+
 StoreCounters
 ResultStore::counters() const
 {
@@ -201,6 +330,9 @@ ResultStore::counters() const
     c.corrupt = corrupt_.load(std::memory_order_relaxed);
     c.writes = writes_.load(std::memory_order_relaxed);
     c.writeErrors = writeErrors_.load(std::memory_order_relaxed);
+    c.evicted = evicted_.load(std::memory_order_relaxed);
+    c.reclaimedBytes =
+        reclaimedBytes_.load(std::memory_order_relaxed);
     return c;
 }
 

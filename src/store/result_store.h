@@ -21,12 +21,23 @@
  *
  * Thread safety: get()/put() may be called concurrently from any
  * number of threads (and processes); counters are atomics.
+ *
+ * Eviction/GC: a nonzero byte budget turns the store into a bounded
+ * LRU cache. Every put() that leaves the entry files over budget
+ * sweeps the least-recently-used entries (get() refreshes an entry's
+ * file time on every verified hit, so recency is access recency, not
+ * write recency) until the directory fits again; reapOrphanTemps()
+ * removes `.tmp.*` files abandoned by crashed writers once they are
+ * old enough that no live writer can still own them. A get() racing
+ * an eviction stays miss-or-truth: the reader either opened the file
+ * before the unlink (and serves the verified entry) or misses.
  */
 #ifndef SPS_STORE_RESULT_STORE_H
 #define SPS_STORE_RESULT_STORE_H
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +71,8 @@ struct StoreCounters
     uint64_t corrupt = 0; ///< damaged/version-mismatched entries
     uint64_t writes = 0;  ///< entries durably renamed into place
     uint64_t writeErrors = 0;
+    uint64_t evicted = 0;        ///< entries removed by the LRU sweep
+    uint64_t reclaimedBytes = 0; ///< bytes freed by sweeps + reaps
 };
 
 class ResultStore
@@ -67,10 +80,14 @@ class ResultStore
   public:
     /** Open (creating directories as needed) a store rooted at
      *  `root`. An empty/uncreatable root makes every get a miss and
-     *  every put a write error rather than an exception. */
-    explicit ResultStore(std::string root);
+     *  every put a write error rather than an exception.
+     *  maxCacheBytes == 0 means unbounded; a nonzero budget caps the
+     *  total entry bytes on disk, enforced by an LRU sweep after
+     *  every put that crosses the budget. */
+    explicit ResultStore(std::string root, uint64_t maxCacheBytes = 0);
 
     const std::string &root() const { return root_; }
+    uint64_t maxCacheBytes() const { return maxCacheBytes_; }
 
     /**
      * Fetch the verified payload of `key` into `payload`. False on
@@ -94,13 +111,38 @@ class ResultStore
     /** Entry file path of a key (exposed for corruption tests). */
     std::string entryPath(const Key &key) const;
 
+    /** Total bytes of completed entry files (temps excluded). */
+    uint64_t totalEntryBytes() const;
+
+    /**
+     * Evict least-recently-used entries until the store fits the byte
+     * budget (no-op when unbounded or already under budget). put()
+     * calls this automatically; exposed for tests and for sweeping a
+     * directory that grew under a different (or no) budget. Returns
+     * bytes reclaimed.
+     */
+    uint64_t sweepToBudget();
+
+    /**
+     * Remove `.tmp.*` files older than `minAge` seconds -- the debris
+     * of writers that died between temp write and rename. The age
+     * threshold is what keeps live writers safe: a temp file younger
+     * than minAge may still be in flight and is never touched.
+     * Returns the number of files reaped.
+     */
+    uint64_t reapOrphanTemps(uint64_t minAgeSeconds);
+
   private:
     std::string root_;
+    uint64_t maxCacheBytes_ = 0;
+    std::mutex sweepMu_; ///< one sweep/reap at a time
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> corrupt_{0};
     std::atomic<uint64_t> writes_{0};
     std::atomic<uint64_t> writeErrors_{0};
+    std::atomic<uint64_t> evicted_{0};
+    std::atomic<uint64_t> reclaimedBytes_{0};
     std::atomic<uint64_t> tempSeq_{0};
 };
 

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Client side of the evaluation-service socket protocol: connects to
+ * an sps_evald (svc::EvalServer) Unix-domain socket and evaluates
+ * design points remotely. A decoded result is bit-identical to what
+ * the server computed (the payload is the store codec's SimResult
+ * encoding), so a sweep driven through a client produces CSVs byte
+ * for byte equal to the same sweep run in-process.
+ *
+ * appPerformance() pipelines the whole Figure-15 sweep: every request
+ * is written before the first response is read (from a background
+ * sender thread, so neither side's socket buffer can deadlock the
+ * conversation), which lets the server evaluate the full grid
+ * concurrently and dedup it against other clients mid-flight.
+ */
+#ifndef SPS_SVC_EVAL_CLIENT_H
+#define SPS_SVC_EVAL_CLIENT_H
+
+#ifndef _WIN32
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/eval_service.h"
+
+namespace sps::svc {
+
+class EvalClient
+{
+  public:
+    /** Connect to the server socket; throws std::runtime_error when
+     *  the socket does not exist or refuses the connection. */
+    explicit EvalClient(std::string socketPath);
+    ~EvalClient();
+
+    EvalClient(const EvalClient &) = delete;
+    EvalClient &operator=(const EvalClient &) = delete;
+
+    const std::string &socketPath() const { return socketPath_; }
+
+    /**
+     * Evaluate one point on the server (round trip). Throws
+     * std::runtime_error carrying the server's message when the
+     * server answers with an Error frame (e.g. unknown application),
+     * or a transport message when the connection breaks.
+     */
+    sim::SimResult eval(const EvalPoint &pt);
+
+    /**
+     * Figure 15 through the server: same submission order and
+     * assembly as EvalService::appPerformance, so the output is
+     * byte-identical to the in-process sweep. Requests are pipelined.
+     */
+    std::vector<core::AppPoint>
+    appPerformance(const std::vector<int> &c_values,
+                   const std::vector<int> &n_values);
+
+    /** The server's cumulative cache-tier counters
+     *  (svc::cacheStatsRows of the daemon's service). */
+    std::vector<std::vector<std::string>> stats();
+
+  private:
+    sim::SimResult readResult();
+
+    std::string socketPath_;
+    int fd_ = -1;
+    std::mutex mu_; ///< one conversation at a time per client
+};
+
+} // namespace sps::svc
+
+#endif // !_WIN32
+
+#endif // SPS_SVC_EVAL_CLIENT_H

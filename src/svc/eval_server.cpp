@@ -1,0 +1,278 @@
+#ifndef _WIN32
+
+#include "svc/eval_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "svc/protocol.h"
+
+namespace sps::svc {
+
+namespace {
+
+/** One queued response: either an immediate frame (stats, errors) or
+ *  a pending evaluation whose result frame is produced on delivery. */
+struct PendingResponse
+{
+    bool immediate = false;
+    FrameKind kind = FrameKind::Error;
+    std::vector<uint8_t> payload;
+    std::shared_future<sim::SimResult> future;
+};
+
+std::vector<uint8_t>
+errorPayload(const std::string &message)
+{
+    store::ByteWriter w;
+    encodeErrorString(message, &w);
+    return w.bytes();
+}
+
+} // namespace
+
+EvalServer::EvalServer(EvalService *service, std::string socketPath)
+    : service_(service), socketPath_(std::move(socketPath))
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath_.size() >= sizeof addr.sun_path)
+        throw std::runtime_error("EvalServer: socket path too long: " +
+                                 socketPath_);
+    std::memcpy(addr.sun_path, socketPath_.c_str(),
+                socketPath_.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("EvalServer: socket() failed");
+    ::unlink(socketPath_.c_str()); // replace a stale socket file
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd_, 128) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("EvalServer: cannot bind " +
+                                 socketPath_);
+    }
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+EvalServer::~EvalServer()
+{
+    stop();
+}
+
+void
+EvalServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // Closing the listening socket makes the blocked accept() fail,
+    // which exits the acceptor; severing live connections wakes their
+    // blocked reads.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        conns.swap(conns_);
+    }
+    for (auto &t : conns)
+        t.join();
+    ::unlink(socketPath_.c_str());
+}
+
+void
+EvalServer::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listening socket closed: shutting down
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        connFds_.insert(fd);
+        conns_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+std::vector<std::vector<std::string>>
+EvalServer::statsRows() const
+{
+    return cacheStatsRows(service_->engine().cache().counters(),
+                          service_->store(), service_);
+}
+
+void
+EvalServer::serveConnection(int fd)
+{
+    std::mutex qmu;
+    std::condition_variable qcv;
+    std::deque<PendingResponse> queue;
+    bool reader_done = false;
+
+    auto enqueue = [&](PendingResponse r) {
+        {
+            std::lock_guard<std::mutex> lock(qmu);
+            queue.push_back(std::move(r));
+        }
+        qcv.notify_one();
+    };
+
+    // Delivery thread: responses go out strictly in request order, so
+    // pipelined clients can match responses to requests positionally.
+    std::thread writer([&] {
+        for (;;) {
+            PendingResponse r;
+            {
+                std::unique_lock<std::mutex> lock(qmu);
+                qcv.wait(lock, [&] {
+                    return reader_done || !queue.empty();
+                });
+                if (queue.empty())
+                    return; // reader finished and everything delivered
+                r = std::move(queue.front());
+                queue.pop_front();
+            }
+            bool ok;
+            if (r.immediate) {
+                ok = writeFrame(fd, r.kind, r.payload);
+            } else {
+                try {
+                    const sim::SimResult &res = r.future.get();
+                    store::ByteWriter w;
+                    store::encodeSimResult(res, &w);
+                    ok = writeFrame(fd, FrameKind::EvalResult,
+                                    w.bytes());
+                } catch (const std::exception &e) {
+                    ok = writeFrame(fd, FrameKind::Error,
+                                    errorPayload(e.what()));
+                } catch (...) {
+                    ok = writeFrame(fd, FrameKind::Error,
+                                    errorPayload("evaluation failed"));
+                }
+            }
+            if (!ok) {
+                // Peer vanished mid-delivery: wake the reader too.
+                ::shutdown(fd, SHUT_RDWR);
+                return;
+            }
+        }
+    });
+
+    for (;;) {
+        Frame frame;
+        ReadStatus st = readFrame(fd, &frame);
+        if (st == ReadStatus::Eof)
+            break;
+        if (st == ReadStatus::Malformed) {
+            // The stream cannot be resynchronized after garbage; tell
+            // the peer (best effort) and drop the connection. Only
+            // this connection dies -- the listener and every other
+            // client keep going.
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            PendingResponse r;
+            r.immediate = true;
+            r.kind = FrameKind::Error;
+            r.payload = errorPayload("malformed frame");
+            enqueue(std::move(r));
+            break;
+        }
+        switch (frame.kind) {
+        case FrameKind::EvalRequest: {
+            EvalPoint pt;
+            if (!decodeEvalRequest(frame.payload, &pt)) {
+                protocolErrors_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                PendingResponse r;
+                r.immediate = true;
+                r.kind = FrameKind::Error;
+                r.payload = errorPayload("malformed eval request");
+                enqueue(std::move(r));
+                break;
+            }
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            PendingResponse r;
+            r.future = service_->submit(pt);
+            enqueue(std::move(r));
+            break;
+        }
+        case FrameKind::StatsRequest: {
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            store::ByteWriter w;
+            encodeStatsRows(statsRows(), &w);
+            PendingResponse r;
+            r.immediate = true;
+            r.kind = FrameKind::StatsReply;
+            r.payload = w.bytes();
+            enqueue(std::move(r));
+            break;
+        }
+        default: {
+            // A response kind arriving at the server is a confused
+            // peer; answer with an error but keep the stream (the
+            // frame itself was well-formed).
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            PendingResponse r;
+            r.immediate = true;
+            r.kind = FrameKind::Error;
+            r.payload = errorPayload("unexpected frame kind");
+            enqueue(std::move(r));
+            break;
+        }
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(qmu);
+        reader_done = true;
+    }
+    qcv.notify_all();
+    writer.join();
+    {
+        // Unregister before close: once closed, the fd number can be
+        // reused by a fresh accept, and the erase must not hit it.
+        std::lock_guard<std::mutex> lock(mu_);
+        connFds_.erase(fd);
+    }
+    ::close(fd);
+}
+
+EvalServer::Counters
+EvalServer::counters() const
+{
+    Counters c;
+    c.connections = connections_.load(std::memory_order_relaxed);
+    c.requests = requests_.load(std::memory_order_relaxed);
+    c.protocolErrors =
+        protocolErrors_.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace sps::svc
+
+#endif // !_WIN32

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The socket front end of the evaluation service: a Unix-domain
+ * stream server speaking the svc/protocol.h frame protocol over one
+ * shared svc::EvalService. Every connection gets a reader thread
+ * (decode frame -> submit to the service) and a writer thread that
+ * delivers responses strictly in request order, so clients may
+ * pipeline; the *evaluation* of pipelined and cross-connection
+ * requests is concurrent and deduplicated by the service (two clients
+ * asking for the same point share one simulation through the
+ * memory -> disk -> compute tiers).
+ *
+ * Robustness contract: a malformed frame (truncated, bit-flipped,
+ * wrong magic/version/kind, checksum mismatch) terminates only that
+ * connection -- after a best-effort Error frame -- and never the
+ * server; an unknown application or a simulation failure is delivered
+ * to the requesting client as an Error frame. The daemon binary
+ * around this class is examples/sps_evald.cpp.
+ */
+#ifndef SPS_SVC_EVAL_SERVER_H
+#define SPS_SVC_EVAL_SERVER_H
+
+#ifndef _WIN32
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "svc/eval_service.h"
+
+namespace sps::svc {
+
+class EvalServer
+{
+  public:
+    /**
+     * Bind and listen on `socketPath` (an existing socket file is
+     * replaced) and start accepting. The service must outlive the
+     * server. Throws std::runtime_error when the socket cannot be
+     * created or bound.
+     */
+    EvalServer(EvalService *service, std::string socketPath);
+    ~EvalServer();
+
+    EvalServer(const EvalServer &) = delete;
+    EvalServer &operator=(const EvalServer &) = delete;
+
+    const std::string &socketPath() const { return socketPath_; }
+    EvalService &service() const { return *service_; }
+
+    /** Stop accepting, sever live connections, join every thread,
+     *  and remove the socket file. Idempotent. */
+    void stop();
+
+    struct Counters
+    {
+        uint64_t connections = 0;    ///< accepted connections
+        uint64_t requests = 0;       ///< well-formed frames handled
+        uint64_t protocolErrors = 0; ///< malformed frames/streams
+    };
+    Counters counters() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    std::vector<std::vector<std::string>> statsRows() const;
+
+    EvalService *service_;
+    std::string socketPath_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex mu_; ///< guards conns_/connFds_
+    std::vector<std::thread> conns_;
+    std::unordered_set<int> connFds_;
+
+    std::atomic<uint64_t> connections_{0};
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> protocolErrors_{0};
+
+    std::thread acceptor_;
+};
+
+} // namespace sps::svc
+
+#endif // !_WIN32
+
+#endif // SPS_SVC_EVAL_SERVER_H

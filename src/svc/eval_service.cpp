@@ -104,6 +104,17 @@ EvalService::~EvalService()
     dispatcher_.join();
 }
 
+sim::SimConfig
+effectiveSimConfig(const EvalPoint &pt)
+{
+    sim::SimConfig cfg = pt.config ? *pt.config : sim::SimConfig{};
+    // The point's size always wins: a request is "this app at this
+    // machine size", and the override only reshapes the rest of the
+    // configuration.
+    cfg.size = pt.size;
+    return cfg;
+}
+
 std::string
 EvalService::requestKey(const EvalPoint &pt) const
 {
@@ -111,12 +122,12 @@ EvalService::requestKey(const EvalPoint &pt) const
     // key (program x machine x config) is derived in the worker once
     // the program is built. Both must separate the same points: two
     // requests differing only in configuration never share a key
-    // because the (default) sim config hash covers the size.
-    sim::SimConfig cfg;
-    cfg.size = pt.size;
+    // because both hash the *effective* configuration -- the same
+    // sim::SimConfig the worker instantiates the processor from, so
+    // the request key cannot diverge from the store key.
     return pt.app + "|" + std::to_string(pt.size.clusters) + "|" +
            std::to_string(pt.size.alusPerCluster) + "|" +
-           std::to_string(simConfigHash(cfg));
+           std::to_string(simConfigHash(effectiveSimConfig(pt)));
 }
 
 std::shared_future<sim::SimResult>
@@ -198,8 +209,11 @@ EvalService::runJob(Job &job)
             throw std::runtime_error(
                 "EvalService: unknown application " + job.pt.app);
 
-        core::StreamProcessorDesign design(job.pt.size);
-        sim::StreamProcessor proc = design.makeProcessor();
+        // The processor is built from the same effective config the
+        // request key hashed; StreamProcessor carries it verbatim, so
+        // simConfigHash(proc.config()) below keys the store entry
+        // under exactly the configuration that was simulated.
+        sim::StreamProcessor proc(effectiveSimConfig(job.pt));
         stream::StreamProgram prog =
             entry->build(job.pt.size, proc.srf());
 
@@ -222,43 +236,42 @@ EvalService::runJob(Job &job)
     }
 }
 
-std::vector<core::AppPoint>
-EvalService::appPerformance(const std::vector<int> &c_values,
-                            const std::vector<int> &n_values)
+AppSweepPlan
+appSweepPlan(const std::vector<int> &c_values,
+             const std::vector<int> &n_values)
 {
+    AppSweepPlan plan;
     auto apps = workloads::appSuite();
-
-    // Submit the whole sweep -- baselines first, then the grid in the
-    // canonical app -> n -> c axis order -- and only then collect, so
-    // the service batches everything into one engine dispatch and the
-    // baseline dedups against its grid twin.
-    std::vector<std::shared_future<sim::SimResult>> base_futures;
-    base_futures.reserve(apps.size());
+    plan.baselines.reserve(apps.size());
     for (const auto &app : apps)
-        base_futures.push_back(
-            submit(EvalPoint{app.name, core::kBaseline}));
-
-    std::vector<std::shared_future<sim::SimResult>> grid_futures;
-    std::vector<EvalPoint> grid_points;
-    grid_futures.reserve(apps.size() * n_values.size() *
-                         c_values.size());
+        plan.baselines.push_back(
+            EvalPoint{app.name, core::kBaseline, {}});
+    plan.grid.reserve(apps.size() * n_values.size() * c_values.size());
     for (const auto &app : apps)
         for (int n : n_values)
-            for (int c : c_values) {
-                EvalPoint pt{app.name, vlsi::MachineSize{c, n}};
-                grid_points.push_back(pt);
-                grid_futures.push_back(submit(pt));
-            }
+            for (int c : c_values)
+                plan.grid.push_back(
+                    EvalPoint{app.name, vlsi::MachineSize{c, n}, {}});
+    return plan;
+}
 
+std::vector<core::AppPoint>
+assembleAppPoints(const AppSweepPlan &plan,
+                  const std::vector<sim::SimResult> &base_by_app,
+                  std::vector<sim::SimResult> grid_results)
+{
     std::vector<core::AppPoint> out;
-    out.reserve(grid_futures.size());
-    const size_t per_app = n_values.size() * c_values.size();
-    for (size_t i = 0; i < grid_futures.size(); ++i) {
-        const sim::SimResult &base = base_futures[i / per_app].get();
-        sim::SimResult res = grid_futures[i].get();
+    out.reserve(grid_results.size());
+    const size_t per_app = plan.baselines.empty()
+                               ? 1
+                               : plan.grid.size() /
+                                     plan.baselines.size();
+    for (size_t i = 0; i < grid_results.size(); ++i) {
+        const sim::SimResult &base = base_by_app[i / per_app];
+        sim::SimResult res = std::move(grid_results[i]);
         core::AppPoint pt;
-        pt.app = grid_points[i].app;
-        pt.size = grid_points[i].size;
+        pt.app = plan.grid[i].app;
+        pt.size = plan.grid[i].size;
         pt.cycles = res.cycles;
         pt.speedup = static_cast<double>(base.cycles) /
                      static_cast<double>(res.cycles);
@@ -268,6 +281,35 @@ EvalService::appPerformance(const std::vector<int> &c_values,
         out.push_back(std::move(pt));
     }
     return out;
+}
+
+std::vector<core::AppPoint>
+EvalService::appPerformance(const std::vector<int> &c_values,
+                            const std::vector<int> &n_values)
+{
+    // Submit the whole sweep -- baselines first, then the grid in the
+    // canonical app -> n -> c axis order -- and only then collect, so
+    // the service batches everything into one engine dispatch and the
+    // baseline dedups against its grid twin.
+    AppSweepPlan plan = appSweepPlan(c_values, n_values);
+    std::vector<std::shared_future<sim::SimResult>> base_futures;
+    base_futures.reserve(plan.baselines.size());
+    for (const auto &pt : plan.baselines)
+        base_futures.push_back(submit(pt));
+    std::vector<std::shared_future<sim::SimResult>> grid_futures;
+    grid_futures.reserve(plan.grid.size());
+    for (const auto &pt : plan.grid)
+        grid_futures.push_back(submit(pt));
+
+    std::vector<sim::SimResult> base;
+    base.reserve(base_futures.size());
+    for (auto &f : base_futures)
+        base.push_back(f.get());
+    std::vector<sim::SimResult> grid;
+    grid.reserve(grid_futures.size());
+    for (auto &f : grid_futures)
+        grid.push_back(f.get());
+    return assembleAppPoints(plan, base, std::move(grid));
 }
 
 void
@@ -316,6 +358,9 @@ cacheStatsRows(const sched::ScheduleCache::Counters &sched,
         rows.push_back({"result_store", "writes", n(sc.writes)});
         rows.push_back(
             {"result_store", "write_errors", n(sc.writeErrors)});
+        rows.push_back({"result_store", "evicted", n(sc.evicted)});
+        rows.push_back({"result_store", "reclaimed_bytes",
+                        n(sc.reclaimedBytes)});
     }
     if (service) {
         ServiceCounters vc = service->counters();

@@ -33,6 +33,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,7 +61,47 @@ struct EvalPoint
     /** Application name from workloads::appSuite() (e.g. "RENDER"). */
     std::string app;
     vlsi::MachineSize size{8, 5};
+    /**
+     * Optional explicit simulator configuration. When set, the
+     * simulation runs under exactly this configuration (with its size
+     * field overridden by `size`); when unset, the default
+     * configuration for `size`. The socket protocol carries this
+     * field, so remote clients can sweep non-default configurations.
+     */
+    std::optional<sim::SimConfig> config;
 };
+
+/**
+ * The configuration `pt` actually simulates under: the override when
+ * present (size forced to pt.size), the defaults otherwise. Both the
+ * request key and the worker derive from this one function, so the
+ * request key can never silently diverge from the store key.
+ */
+sim::SimConfig effectiveSimConfig(const EvalPoint &pt);
+
+/**
+ * The canonical Figure-15 submission order: one baseline point per
+ * app, then the app -> n -> c grid. Both EvalService::appPerformance
+ * and the socket client submit in exactly this order, which is what
+ * keeps their CSVs byte-identical to core::appPerformance.
+ */
+struct AppSweepPlan
+{
+    std::vector<EvalPoint> baselines; ///< one per app, suite order
+    std::vector<EvalPoint> grid;      ///< app -> n -> c
+};
+AppSweepPlan appSweepPlan(const std::vector<int> &c_values,
+                          const std::vector<int> &n_values);
+
+/**
+ * Assemble Figure-15 AppPoints from simulation results gathered in
+ * appSweepPlan order: `base_by_app[i]` is the baseline result of app
+ * i, `grid_results[j]` the result of `plan.grid[j]`.
+ */
+std::vector<core::AppPoint>
+assembleAppPoints(const AppSweepPlan &plan,
+                  const std::vector<sim::SimResult> &base_by_app,
+                  std::vector<sim::SimResult> grid_results);
 
 /** Monotonic per-tier counters of one service instance. */
 struct ServiceCounters

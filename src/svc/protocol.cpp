@@ -1,0 +1,402 @@
+#include "svc/protocol.h"
+
+#include <array>
+#include <mutex>
+#include <unordered_set>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace sps::svc {
+
+namespace {
+
+bool
+knownKind(uint32_t kind)
+{
+    switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::EvalRequest:
+    case FrameKind::EvalResult:
+    case FrameKind::Error:
+    case FrameKind::StatsRequest:
+    case FrameKind::StatsReply:
+        return true;
+    }
+    return false;
+}
+
+/**
+ * FNV-1a over the header prefix (magic through length, 24 bytes)
+ * chained with the payload. Covering the header means a bit flip in
+ * the *kind* field breaks the checksum too -- a damaged EvalResult
+ * can never decode as a well-formed Error (or vice versa), which a
+ * payload-only checksum would allow.
+ */
+uint64_t
+frameChecksum(const uint8_t *prefix, const std::vector<uint8_t> &payload)
+{
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](const uint8_t *d, size_t n) {
+        for (size_t i = 0; i < n; ++i) {
+            h ^= d[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(prefix, kFrameHeaderBytes - 8);
+    mix(payload.data(), payload.size());
+    return h;
+}
+
+void
+putFrameHeader(FrameKind kind, const std::vector<uint8_t> &payload,
+               store::ByteWriter *w)
+{
+    size_t base = w->bytes().size();
+    w->u32(kProtocolMagic);
+    w->u32(kProtocolVersion);
+    w->u32(static_cast<uint32_t>(kind));
+    w->u32(0); // reserved
+    w->u64(payload.size());
+    w->u64(frameChecksum(w->bytes().data() + base, payload));
+}
+
+/**
+ * Validate the six header fields. On success fills kind/length/
+ * checksum; the caller still verifies the checksum once the payload
+ * is in hand.
+ */
+bool
+parseFrameHeader(const uint8_t *header, FrameKind *kind,
+                 uint64_t *length, uint64_t *checksum)
+{
+    store::ByteReader r(header, kFrameHeaderBytes);
+    uint32_t magic = 0, version = 0, kind_raw = 0, reserved = 0;
+    if (!r.u32(&magic) || !r.u32(&version) || !r.u32(&kind_raw) ||
+        !r.u32(&reserved) || !r.u64(length) || !r.u64(checksum))
+        return false;
+    if (magic != kProtocolMagic || version != kProtocolVersion ||
+        !knownKind(kind_raw) || *length > kMaxFramePayloadBytes)
+        return false;
+    *kind = static_cast<FrameKind>(kind_raw);
+    return true;
+}
+
+/** The vlsi::Params fields, in wire order (part of the protocol
+ *  version; mirrors svc::simConfigHash's coverage). */
+constexpr std::array<double vlsi::Params::*, 32> kParamFields = {
+    &vlsi::Params::aSram,        &vlsi::Params::aSb,
+    &vlsi::Params::wAlu,         &vlsi::Params::wLrf,
+    &vlsi::Params::wSp,          &vlsi::Params::h,
+    &vlsi::Params::v0,           &vlsi::Params::tCyc,
+    &vlsi::Params::tMux,         &vlsi::Params::eW,
+    &vlsi::Params::eAlu,         &vlsi::Params::eSram,
+    &vlsi::Params::eSb,          &vlsi::Params::eLrf,
+    &vlsi::Params::eSp,          &vlsi::Params::tMem,
+    &vlsi::Params::gSrf,         &vlsi::Params::gSb,
+    &vlsi::Params::gComm,        &vlsi::Params::gSp,
+    &vlsi::Params::i0,           &vlsi::Params::iN,
+    &vlsi::Params::lC,           &vlsi::Params::lO,
+    &vlsi::Params::lN,           &vlsi::Params::rM,
+    &vlsi::Params::rUc,          &vlsi::Params::kCommArea,
+    &vlsi::Params::kCommEnergy,  &vlsi::Params::kIntraEnergy,
+    &vlsi::Params::kDistEnergy,  &vlsi::Params::xbarConnectivity,
+};
+
+/**
+ * Technology::name is a `const char *`; a decoded name is interned
+ * into process-lifetime storage (node-based set: c_str() pointers
+ * stay valid across inserts) so the decoded struct can carry it.
+ */
+const char *
+internTechName(const std::string &name)
+{
+    static std::mutex mu;
+    static std::unordered_set<std::string> names;
+    std::lock_guard<std::mutex> lock(mu);
+    return names.insert(name).first->c_str();
+}
+
+} // namespace
+
+void
+encodeFrame(FrameKind kind, const std::vector<uint8_t> &payload,
+            std::vector<uint8_t> *out)
+{
+    store::ByteWriter header;
+    putFrameHeader(kind, payload, &header);
+    out->insert(out->end(), header.bytes().begin(),
+                header.bytes().end());
+    out->insert(out->end(), payload.begin(), payload.end());
+}
+
+bool
+decodeFrame(const std::vector<uint8_t> &bytes, Frame *out)
+{
+    if (bytes.size() < kFrameHeaderBytes)
+        return false;
+    FrameKind kind;
+    uint64_t length = 0, checksum = 0;
+    if (!parseFrameHeader(bytes.data(), &kind, &length, &checksum))
+        return false;
+    if (bytes.size() != kFrameHeaderBytes + length)
+        return false; // truncated payload or trailing bytes
+    std::vector<uint8_t> payload(bytes.begin() + kFrameHeaderBytes,
+                                 bytes.end());
+    if (checksum != frameChecksum(bytes.data(), payload))
+        return false;
+    out->kind = kind;
+    out->payload = std::move(payload);
+    return true;
+}
+
+void
+encodeSimConfig(const sim::SimConfig &cfg, store::ByteWriter *w)
+{
+    w->i32(cfg.size.clusters);
+    w->i32(cfg.size.alusPerCluster);
+    for (auto field : kParamFields)
+        w->f64(cfg.params.*field);
+    w->i32(cfg.params.b);
+    w->str(cfg.tech.name);
+    w->f64(cfg.tech.trackPitchUm);
+    w->f64(cfg.tech.fo4Ps);
+    w->f64(cfg.tech.ewFj);
+    w->f64(cfg.tech.clockFo4);
+    w->f64(cfg.tech.memBwGBs);
+    w->f64(cfg.tech.hostBwGBs);
+    w->i32(cfg.memConfig.channels);
+    w->f64(cfg.memConfig.peakWordsPerCycle);
+    w->i32(cfg.memConfig.latencyCycles);
+    w->i32(cfg.memConfig.timing.tRas);
+    w->i32(cfg.memConfig.timing.tPre);
+    w->i32(cfg.memConfig.timing.tCol);
+    w->i32(cfg.memConfig.timing.banks);
+    w->i32(cfg.memConfig.timing.rowWords);
+    w->i32(cfg.memConfig.schedWindow);
+    w->i32(cfg.memConfig.schedMaxBypass);
+    w->i32(cfg.ucConfig.pipeFillCycles);
+    w->i32(cfg.ucConfig.loadCyclesPerInstruction);
+    w->i32(cfg.hostIssueCycles);
+    w->i32(cfg.scoreboardDepth);
+    w->f64(cfg.energyConfig.idleFraction);
+    w->f64(cfg.energyConfig.dram.rowHitEnergyEw);
+    w->f64(cfg.energyConfig.dram.rowMissEnergyEw);
+    w->f64(cfg.energyConfig.dram.channelBusyEnergyEw);
+}
+
+bool
+decodeSimConfig(store::ByteReader *r, sim::SimConfig *out)
+{
+    sim::SimConfig cfg;
+    if (!r->i32(&cfg.size.clusters) ||
+        !r->i32(&cfg.size.alusPerCluster))
+        return false;
+    for (auto field : kParamFields)
+        if (!r->f64(&(cfg.params.*field)))
+            return false;
+    if (!r->i32(&cfg.params.b))
+        return false;
+    std::string name;
+    if (!r->str(&name))
+        return false;
+    cfg.tech.name = internTechName(name);
+    if (!r->f64(&cfg.tech.trackPitchUm) || !r->f64(&cfg.tech.fo4Ps) ||
+        !r->f64(&cfg.tech.ewFj) || !r->f64(&cfg.tech.clockFo4) ||
+        !r->f64(&cfg.tech.memBwGBs) || !r->f64(&cfg.tech.hostBwGBs))
+        return false;
+    if (!r->i32(&cfg.memConfig.channels) ||
+        !r->f64(&cfg.memConfig.peakWordsPerCycle) ||
+        !r->i32(&cfg.memConfig.latencyCycles) ||
+        !r->i32(&cfg.memConfig.timing.tRas) ||
+        !r->i32(&cfg.memConfig.timing.tPre) ||
+        !r->i32(&cfg.memConfig.timing.tCol) ||
+        !r->i32(&cfg.memConfig.timing.banks) ||
+        !r->i32(&cfg.memConfig.timing.rowWords) ||
+        !r->i32(&cfg.memConfig.schedWindow) ||
+        !r->i32(&cfg.memConfig.schedMaxBypass))
+        return false;
+    if (!r->i32(&cfg.ucConfig.pipeFillCycles) ||
+        !r->i32(&cfg.ucConfig.loadCyclesPerInstruction))
+        return false;
+    if (!r->i32(&cfg.hostIssueCycles) ||
+        !r->i32(&cfg.scoreboardDepth))
+        return false;
+    if (!r->f64(&cfg.energyConfig.idleFraction) ||
+        !r->f64(&cfg.energyConfig.dram.rowHitEnergyEw) ||
+        !r->f64(&cfg.energyConfig.dram.rowMissEnergyEw) ||
+        !r->f64(&cfg.energyConfig.dram.channelBusyEnergyEw))
+        return false;
+    *out = cfg;
+    return true;
+}
+
+void
+encodeEvalRequest(const EvalPoint &pt, store::ByteWriter *w)
+{
+    w->str(pt.app);
+    w->i32(pt.size.clusters);
+    w->i32(pt.size.alusPerCluster);
+    w->u8(pt.config ? 1 : 0);
+    if (pt.config)
+        encodeSimConfig(*pt.config, w);
+}
+
+bool
+decodeEvalRequest(const std::vector<uint8_t> &bytes, EvalPoint *out)
+{
+    store::ByteReader r(bytes);
+    EvalPoint pt;
+    uint8_t has_config = 0;
+    if (!r.str(&pt.app) || !r.i32(&pt.size.clusters) ||
+        !r.i32(&pt.size.alusPerCluster) || !r.u8(&has_config))
+        return false;
+    if (has_config > 1)
+        return false;
+    if (has_config) {
+        sim::SimConfig cfg;
+        if (!decodeSimConfig(&r, &cfg))
+            return false;
+        pt.config = cfg;
+    }
+    if (!r.done())
+        return false; // trailing bytes are as bad as missing ones
+    *out = std::move(pt);
+    return true;
+}
+
+void
+encodeStatsRows(const std::vector<std::vector<std::string>> &rows,
+                store::ByteWriter *w)
+{
+    w->u64(rows.size());
+    for (const auto &row : rows) {
+        w->u64(row.size());
+        for (const auto &cell : row)
+            w->str(cell);
+    }
+}
+
+bool
+decodeStatsRows(const std::vector<uint8_t> &bytes,
+                std::vector<std::vector<std::string>> *out)
+{
+    store::ByteReader r(bytes);
+    uint64_t n_rows = 0;
+    if (!r.u64(&n_rows) || n_rows > bytes.size())
+        return false;
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(static_cast<size_t>(n_rows));
+    for (uint64_t i = 0; i < n_rows; ++i) {
+        uint64_t n_cells = 0;
+        if (!r.u64(&n_cells) || n_cells > bytes.size())
+            return false;
+        std::vector<std::string> row;
+        row.reserve(static_cast<size_t>(n_cells));
+        for (uint64_t j = 0; j < n_cells; ++j) {
+            std::string cell;
+            if (!r.str(&cell))
+                return false;
+            row.push_back(std::move(cell));
+        }
+        rows.push_back(std::move(row));
+    }
+    if (!r.done())
+        return false;
+    *out = std::move(rows);
+    return true;
+}
+
+void
+encodeErrorString(const std::string &message, store::ByteWriter *w)
+{
+    w->str(message);
+}
+
+bool
+decodeErrorString(const std::vector<uint8_t> &bytes, std::string *out)
+{
+    store::ByteReader r(bytes);
+    return r.str(out) && r.done();
+}
+
+#ifndef _WIN32
+
+namespace {
+
+bool
+writeAll(int fd, const uint8_t *data, size_t n)
+{
+    while (n > 0) {
+        // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not
+        // kill the daemon with SIGPIPE.
+        ssize_t k = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += k;
+        n -= static_cast<size_t>(k);
+    }
+    return true;
+}
+
+/** Read exactly n bytes; returns bytes read (short only at EOF/error). */
+size_t
+readAll(int fd, uint8_t *data, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t k = ::read(fd, data + got, n - got);
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (k == 0)
+            break;
+        got += static_cast<size_t>(k);
+    }
+    return got;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, FrameKind kind, const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    encodeFrame(kind, payload, &frame);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+ReadStatus
+readFrame(int fd, Frame *out)
+{
+    uint8_t header[kFrameHeaderBytes];
+    size_t got = readAll(fd, header, sizeof header);
+    if (got == 0)
+        return ReadStatus::Eof;
+    if (got != sizeof header)
+        return ReadStatus::Malformed;
+    FrameKind kind;
+    uint64_t length = 0, checksum = 0;
+    if (!parseFrameHeader(header, &kind, &length, &checksum))
+        return ReadStatus::Malformed;
+    std::vector<uint8_t> payload(static_cast<size_t>(length));
+    if (readAll(fd, payload.data(), payload.size()) != payload.size())
+        return ReadStatus::Malformed;
+    if (checksum != frameChecksum(header, payload))
+        return ReadStatus::Malformed;
+    out->kind = kind;
+    out->payload = std::move(payload);
+    return ReadStatus::Ok;
+}
+
+#endif // !_WIN32
+
+} // namespace sps::svc

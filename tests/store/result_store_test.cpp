@@ -7,10 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
 
 #include "sched/machine.h"
 #include "sched/modulo.h"
@@ -225,6 +230,53 @@ TEST(ResultStoreTest, ConcurrentWritersConverge)
     }
     EXPECT_EQ(stray, 0);
 }
+
+#ifndef _WIN32
+/** A put whose data write fails part-way must clean up its temp file:
+ *  the `.tmp.*` debris of failed puts used to accumulate forever in
+ *  cache directories. RLIMIT_FSIZE makes the failure deterministic --
+ *  any write past the limit fails with EFBIG (SIGXFSZ ignored), which
+ *  is exactly the disk-full shape the bug escaped under. */
+TEST(ResultStoreTest, FailedPutLeavesNoTempResidue)
+{
+    ResultStore store(freshRoot("failedput"));
+    Key key{Kind::SimResult, 0xdead, 1, 2};
+    // Warm the directory so the failure is in the data write, not in
+    // directory creation.
+    ASSERT_TRUE(store.put({Kind::SimResult, 1, 1, 1}, {1}));
+
+    struct rlimit old_limit;
+    ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    auto old_handler = std::signal(SIGXFSZ, SIG_IGN);
+    struct rlimit small = old_limit;
+    small.rlim_cur = 4096;
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &small), 0);
+
+    // A payload far beyond the file-size limit: the temp-file write
+    // fails part-way through.
+    std::vector<uint8_t> huge(1 << 20, 0x77);
+    EXPECT_FALSE(store.put(key, huge));
+
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    std::signal(SIGXFSZ, old_handler);
+
+    EXPECT_EQ(store.counters().writeErrors, 1u);
+    std::vector<uint8_t> out;
+    EXPECT_FALSE(store.get(key, &out));
+    // The regression: no `.tmp.*` residue after the failed put.
+    int stray = 0;
+    for (auto &e : std::filesystem::recursive_directory_iterator(
+             store.root())) {
+        if (e.path().string().find(".tmp.") != std::string::npos)
+            ++stray;
+    }
+    EXPECT_EQ(stray, 0);
+    // And the store still works at full size afterwards.
+    EXPECT_TRUE(store.put(key, huge));
+    EXPECT_TRUE(store.get(key, &out));
+    EXPECT_EQ(out, huge);
+}
+#endif // !_WIN32
 
 TEST(ResultStoreTest, UncreatableRootDegradesGracefully)
 {

@@ -1,0 +1,193 @@
+// Tests for the store's eviction/GC layer: a byte budget is never
+// exceeded after a put, the sweep removes entries in LRU order (and a
+// get() refreshes recency), orphaned temp files are reaped only once
+// they are old enough that no live writer can own them, and a reader
+// racing an eviction stays miss-or-truth.
+#include "store/result_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sps::store {
+namespace {
+
+std::string
+freshRoot(const char *name)
+{
+    std::string root = ::testing::TempDir() + "sps_gc_" + name;
+    std::filesystem::remove_all(root);
+    return root;
+}
+
+/** Push an entry's file time `seconds` into the past, so LRU order
+ *  is deterministic without sleeping through mtime granularity. */
+void
+backdate(const std::string &path, int seconds)
+{
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::seconds(seconds));
+}
+
+uint64_t
+entryBytes(ResultStore &store, const Key &key)
+{
+    return std::filesystem::file_size(store.entryPath(key));
+}
+
+TEST(StoreGcTest, UnboundedStoreNeverSweeps)
+{
+    ResultStore store(freshRoot("unbounded"));
+    EXPECT_EQ(store.maxCacheBytes(), 0u);
+    for (uint64_t i = 0; i < 8; ++i)
+        ASSERT_TRUE(store.put({Kind::Schedule, i, 0, 0},
+                              std::vector<uint8_t>(1024, 0x11)));
+    EXPECT_EQ(store.sweepToBudget(), 0u);
+    EXPECT_EQ(store.counters().evicted, 0u);
+    std::vector<uint8_t> out;
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(store.get({Kind::Schedule, i, 0, 0}, &out));
+}
+
+TEST(StoreGcTest, BudgetRespectedAfterEveryPut)
+{
+    // Each entry is ~1 KiB payload + 32-byte header; a 4 KiB budget
+    // holds at most three.
+    ResultStore store(freshRoot("budget"), 4096);
+    for (uint64_t i = 0; i < 16; ++i) {
+        ASSERT_TRUE(store.put({Kind::SimResult, i, 0, 0},
+                              std::vector<uint8_t>(1024, 0x22)));
+        EXPECT_LE(store.totalEntryBytes(), 4096u)
+            << "over budget after put " << i;
+    }
+    auto c = store.counters();
+    EXPECT_EQ(c.writes, 16u);
+    EXPECT_GE(c.evicted, 13u);
+    EXPECT_GT(c.reclaimedBytes, 0u);
+    // The newest entry always survives its own put.
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(store.get({Kind::SimResult, 15, 0, 0}, &out));
+}
+
+TEST(StoreGcTest, SweepEvictsLeastRecentlyUsedFirst)
+{
+    ResultStore store(freshRoot("lru"));
+    Key oldest{Kind::Schedule, 1, 0, 0};
+    Key middle{Kind::Schedule, 2, 0, 0};
+    Key newest{Kind::Schedule, 3, 0, 0};
+    std::vector<uint8_t> payload(512, 0x33);
+    ASSERT_TRUE(store.put(oldest, payload));
+    ASSERT_TRUE(store.put(middle, payload));
+    ASSERT_TRUE(store.put(newest, payload));
+    backdate(store.entryPath(oldest), 300);
+    backdate(store.entryPath(middle), 200);
+    backdate(store.entryPath(newest), 100);
+
+    // A bounded store over the same root: budget for exactly two.
+    uint64_t per_entry = entryBytes(store, oldest);
+    ResultStore bounded(store.root(), 2 * per_entry);
+    EXPECT_EQ(bounded.sweepToBudget(), per_entry);
+    std::vector<uint8_t> out;
+    EXPECT_FALSE(bounded.get(oldest, &out));
+    EXPECT_TRUE(bounded.get(middle, &out));
+    EXPECT_TRUE(bounded.get(newest, &out));
+    EXPECT_EQ(bounded.counters().evicted, 1u);
+    EXPECT_EQ(bounded.counters().reclaimedBytes, per_entry);
+}
+
+TEST(StoreGcTest, GetRefreshesRecency)
+{
+    ResultStore store(freshRoot("touch"));
+    Key stale{Kind::SimResult, 1, 0, 0};
+    Key touched{Kind::SimResult, 2, 0, 0};
+    std::vector<uint8_t> payload(512, 0x44);
+    ASSERT_TRUE(store.put(stale, payload));
+    ASSERT_TRUE(store.put(touched, payload));
+    backdate(store.entryPath(stale), 500);
+    backdate(store.entryPath(touched), 600);
+
+    // `touched` is older on disk, but a hit refreshes its file time,
+    // so the sweep evicts `stale` instead.
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(store.get(touched, &out));
+    uint64_t per_entry = entryBytes(store, stale);
+    ResultStore bounded(store.root(), per_entry);
+    bounded.sweepToBudget();
+    EXPECT_FALSE(bounded.get(stale, &out));
+    EXPECT_TRUE(bounded.get(touched, &out));
+}
+
+TEST(StoreGcTest, YoungTempsSurviveTheReaper)
+{
+    ResultStore store(freshRoot("reap"));
+    ASSERT_TRUE(store.put({Kind::Schedule, 1, 0, 0}, {1, 2, 3}));
+
+    // One in-flight temp (fresh) and one orphan (backdated 2 hours).
+    std::string dir = std::filesystem::path(store.root()) / "sched";
+    std::string inflight = dir + "/abcd.tmp.42";
+    std::string orphan = dir + "/ef01.tmp.43";
+    for (const auto &path : {inflight, orphan}) {
+        std::ofstream out(path, std::ios::binary);
+        out << "partial";
+    }
+    backdate(orphan, 7200);
+
+    EXPECT_EQ(store.reapOrphanTemps(900), 1u);
+    EXPECT_TRUE(std::filesystem::exists(inflight));
+    EXPECT_FALSE(std::filesystem::exists(orphan));
+    EXPECT_GT(store.counters().reclaimedBytes, 0u);
+
+    // Temps are invisible to the entry accounting and the sweep.
+    uint64_t entries = store.totalEntryBytes();
+    EXPECT_LT(entries, 100u);
+    ResultStore bounded(store.root(), 1);
+    bounded.sweepToBudget();
+    EXPECT_TRUE(std::filesystem::exists(inflight));
+}
+
+TEST(StoreGcTest, ConcurrentGetDuringEvictionIsMissOrTruth)
+{
+    ResultStore store(freshRoot("race"), 8192);
+    Key hot{Kind::SimResult, 0xcafe, 1, 2};
+    std::vector<uint8_t> truth(1024, 0x5a);
+    ASSERT_TRUE(store.put(hot, truth));
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> hits{0};
+    std::thread reader([&] {
+        while (!stop.load()) {
+            std::vector<uint8_t> out;
+            if (store.get(hot, &out)) {
+                hits.fetch_add(1);
+                // Never a wrong payload, even mid-eviction.
+                if (out != truth) {
+                    ADD_FAILURE() << "corrupt read during eviction";
+                    return;
+                }
+            } else {
+                // Evicted: write it back and keep hammering.
+                store.put(hot, truth);
+            }
+        }
+    });
+    // Churn enough distinct entries through the budget that the hot
+    // key keeps getting swept out from under the reader.
+    for (uint64_t i = 0; i < 200; ++i)
+        store.put({Kind::SimResult, i, 3, 4},
+                  std::vector<uint8_t>(1024, static_cast<uint8_t>(i)));
+    stop.store(true);
+    reader.join();
+    EXPECT_GT(hits.load(), 0u);
+    EXPECT_GT(store.counters().evicted, 0u);
+    EXPECT_LE(store.totalEntryBytes(), 8192u);
+}
+
+} // namespace
+} // namespace sps::store

@@ -33,7 +33,7 @@ encodeRes(const sim::SimResult &r)
     return w.bytes();
 }
 
-const EvalPoint kPoint{"DEPTH", vlsi::MachineSize{8, 5}};
+const EvalPoint kPoint{"DEPTH", vlsi::MachineSize{8, 5}, {}};
 
 TEST(EvalServiceTest, RepeatRequestResolvesFromMemory)
 {
@@ -70,8 +70,8 @@ TEST(EvalServiceTest, DistinctPointsAreDistinctRequests)
     core::EvalEngine engine(2);
     EvalService service(&engine);
     auto a = service.submit(kPoint);
-    auto b = service.submit(EvalPoint{"DEPTH", {16, 5}});
-    auto c = service.submit(EvalPoint{"CONV", {8, 5}});
+    auto b = service.submit(EvalPoint{"DEPTH", {16, 5}, {}});
+    auto c = service.submit(EvalPoint{"CONV", {8, 5}, {}});
     a.wait();
     b.wait();
     c.wait();
@@ -191,7 +191,7 @@ TEST(EvalServiceTest, UnknownAppDeliversExceptionNotExit)
 {
     core::EvalEngine engine(2);
     EvalService service(&engine);
-    auto f = service.submit(EvalPoint{"NOSUCHAPP", {8, 5}});
+    auto f = service.submit(EvalPoint{"NOSUCHAPP", {8, 5}, {}});
     EXPECT_THROW(f.get(), std::runtime_error);
     // The service survives and keeps answering real requests.
     EXPECT_GT(service.eval(kPoint).cycles, 0);
@@ -223,6 +223,79 @@ TEST(EvalServiceTest, SimConfigHashSeparatesConfigurations)
     sim::SimConfig tech = base;
     tech.tech.fo4Ps *= 2.0;
     EXPECT_NE(simConfigHash(tech), h);
+}
+
+TEST(EvalServiceTest, EffectiveConfigPointSizeWins)
+{
+    sim::SimConfig cfg;
+    cfg.size = {1, 1}; // stale size inside the override
+    cfg.hostIssueCycles = 3;
+    EvalPoint pt{"DEPTH", {16, 10}, cfg};
+    sim::SimConfig eff = effectiveSimConfig(pt);
+    EXPECT_EQ(eff.size.clusters, 16);
+    EXPECT_EQ(eff.size.alusPerCluster, 10);
+    EXPECT_EQ(eff.hostIssueCycles, 3);
+    // No override: the defaults for the point's size.
+    sim::SimConfig plain = effectiveSimConfig(kPoint);
+    EXPECT_EQ(plain.size.clusters, 8);
+    EXPECT_EQ(simConfigHash(plain), simConfigHash(sim::SimConfig{}));
+}
+
+TEST(EvalServiceTest, DefaultConfigOverrideDedupsAgainstPlainPoint)
+{
+    // An explicit override equal to the defaults is the *same*
+    // request: the key hashes the effective config, not the presence
+    // of the optional.
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    sim::SimResult a = service.eval(kPoint);
+    EvalPoint same{"DEPTH", {8, 5}, sim::SimConfig{}};
+    sim::SimResult b = service.eval(same);
+    EXPECT_EQ(encodeRes(a), encodeRes(b));
+    EXPECT_EQ(service.counters().computed, 1u);
+    EXPECT_EQ(service.counters().submitted, 1u);
+}
+
+TEST(EvalServiceTest, ConfigOverrideComputesUnderItsOwnKey)
+{
+    core::EvalEngine engine(2);
+    EvalService service(&engine);
+    sim::SimConfig slow;
+    slow.memConfig.latencyCycles += 500;
+    EvalPoint overridden{"DEPTH", {8, 5}, slow};
+    sim::SimResult a = service.eval(kPoint);
+    sim::SimResult b = service.eval(overridden);
+    EXPECT_EQ(service.counters().computed, 2u);
+    // The override really was simulated (not served from the plain
+    // point's slot): the added memory latency shows up.
+    EXPECT_NE(encodeRes(a), encodeRes(b));
+}
+
+/** Regression for the request-key/store-key divergence: the request
+ *  key used to hash a default-constructed SimConfig while the worker
+ *  simulated (and persisted) under the point's real config. With the
+ *  key derived from effectiveSimConfig, a second service over the
+ *  same store must answer an overridden point from disk. */
+TEST(EvalServiceTest, OverriddenPointWarmHitsAcrossServices)
+{
+    std::string root = freshRoot("override_warm");
+    sim::SimConfig cfg;
+    cfg.scoreboardDepth = 4;
+    EvalPoint pt{"DEPTH", {8, 5}, cfg};
+    std::vector<uint8_t> cold_bytes;
+    {
+        store::ResultStore store(root);
+        core::EvalEngine engine(2);
+        EvalService service(&engine, &store);
+        cold_bytes = encodeRes(service.eval(pt));
+        EXPECT_EQ(service.counters().computed, 1u);
+    }
+    store::ResultStore store(root);
+    core::EvalEngine engine(2);
+    EvalService service(&engine, &store);
+    EXPECT_EQ(encodeRes(service.eval(pt)), cold_bytes);
+    EXPECT_EQ(service.counters().computed, 0u);
+    EXPECT_EQ(service.counters().diskHits, 1u);
 }
 
 } // namespace
