@@ -37,6 +37,13 @@
  *                    cumulative per-tier counters, and --expect-warm
  *                    asserts the daemon simulated nothing for *this*
  *                    run (the delta while we were connected).
+ *   --metrics [prom|json]  scrape verb (requires --server): fetch a
+ *                    live metrics snapshot from the daemon
+ *                    (MetricsRequest round trip), print it to stdout
+ *                    in the Prometheus text format (default) or as
+ *                    JSON, and exit without exporting anything --
+ *                    `bench_export_all --server SOCK --metrics` is
+ *                    the command-line scrape for a running daemon.
  */
 #include <cstdint>
 #include <cstdio>
@@ -235,6 +242,8 @@ main(int argc, char **argv)
 {
     bool serial = false;
     bool expect_warm = false;
+    bool metrics = false;
+    bool metrics_json = false;
     std::string cache_dir;
     std::string server_sock;
     unsigned long long max_cache_bytes = 0;
@@ -243,6 +252,15 @@ main(int argc, char **argv)
             serial = true;
         else if (std::strcmp(argv[i], "--expect-warm") == 0)
             expect_warm = true;
+        else if (std::strcmp(argv[i], "--metrics") == 0) {
+            metrics = true;
+            // Optional format operand; anything else is the usual
+            // positional output directory.
+            if (i + 1 < argc &&
+                (std::strcmp(argv[i + 1], "prom") == 0 ||
+                 std::strcmp(argv[i + 1], "json") == 0))
+                metrics_json = std::strcmp(argv[++i], "json") == 0;
+        }
         else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
                  i + 1 < argc)
             cache_dir = argv[++i];
@@ -255,6 +273,29 @@ main(int argc, char **argv)
         else
             g_dir = argv[i];
     }
+
+    // The metrics verb is a pure scrape: connect, fetch, print, exit.
+    if (metrics) {
+        if (server_sock.empty()) {
+            std::fprintf(stderr,
+                         "--metrics requires --server SOCK\n");
+            return 2;
+        }
+        try {
+            sps::svc::EvalClient client(server_sock);
+            sps::obs::MetricsSnapshot snap = client.metrics();
+            std::fputs(metrics_json
+                           ? sps::obs::renderJson(snap).c_str()
+                           : sps::obs::renderPrometheus(snap).c_str(),
+                       stdout);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "metrics scrape failed: %s\n",
+                         e.what());
+            return 1;
+        }
+        return 0;
+    }
+
     sps::core::EvalEngine serial_engine(serial ? 1 : 0);
     g_engine = serial ? &serial_engine
                       : &sps::core::EvalEngine::global();

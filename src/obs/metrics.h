@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Service-layer telemetry: a low-overhead registry of named metrics
+ * for the long-lived serving stack (svc::EvalServer / EvalService /
+ * store::ResultStore / sched::ScheduleCache). Where trace::Tracer and
+ * sim::SimCounters observe the *simulated machine*, this registry
+ * observes the *daemon itself* while it serves traffic.
+ *
+ * Three metric kinds:
+ *  - Counter:   monotonically increasing u64 (requests, hits, errors);
+ *  - Gauge:     last-write-wins i64 (active connections, queue depth),
+ *               also settable at snapshot time by collector callbacks
+ *               so cheap cumulative counters owned by other subsystems
+ *               (store tiers, schedule cache) appear in every scrape
+ *               without paying anything on their hot paths;
+ *  - Histogram: log2-bucketed latency/size distribution with exact
+ *               count and sum, and p50/p95/p99 extraction from the
+ *               bucket boundaries.
+ *
+ * Cost model: the hot path is one relaxed atomic fetch_add (Counter,
+ * Histogram bucket+count+sum) or store (Gauge) on a pre-resolved
+ * handle -- registration resolves the name once, recording never
+ * touches the registry lock, a map, or a string. snapshot() is the
+ * only reader and pays the whole cost of consistency: it runs the
+ * collectors, then copies every metric under the registration lock.
+ *
+ * Because recording is lock-free, a snapshot taken under concurrent
+ * load is a *near-point-in-time* view: each individual atomic is read
+ * once, so per-metric values are exact, and cross-metric invariants
+ * that hold monotonically (e.g. requests_total >= sum of per-tier
+ * outcomes, histogram count >= completed observations) hold in every
+ * snapshot; exact conservation holds in any quiescent snapshot.
+ *
+ * Exposition: renderPrometheus() emits the Prometheus text format
+ * (counters/gauges as plain samples, histograms as cumulative
+ * `_bucket{le=...}` series plus `_sum`/`_count`); renderJson() emits
+ * one self-describing JSON object. Both render from the same
+ * MetricsSnapshot, so a scrape is internally consistent across
+ * formats.
+ */
+#ifndef SPS_OBS_METRICS_H
+#define SPS_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sps::obs {
+
+/** Monotonic counter. Obtain from MetricsRegistry::counter(); the
+ *  handle stays valid for the registry's lifetime. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-write-wins gauge (signed: depths and deltas may dip). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+    void
+    add(int64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/**
+ * Log2-bucketed histogram over non-negative integer observations
+ * (canonically microseconds). Bucket i counts observations v with
+ * upperBound(i-1) < v <= upperBound(i), where upperBound(i) =
+ * 2^(i+1) - 2 for i < kBuckets-1 (bucket 0 is exactly {0}) and +inf
+ * for the last bucket; count and sum are exact. observe() is three
+ * relaxed fetch_adds.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 40;
+
+    void
+    observe(uint64_t v)
+    {
+        buckets_[bucketIndex(v)].fetch_add(1,
+                                           std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    /** Index of the bucket v falls into: floor(log2(v+1)) capped. */
+    static int
+    bucketIndex(uint64_t v)
+    {
+        if (v == UINT64_MAX)
+            return kBuckets - 1; // v+1 would make clzll(0) UB
+        int bit = 64 - __builtin_clzll(v + 1) - 1; // v+1 >= 1
+        return bit < kBuckets - 1 ? bit : kBuckets - 1;
+    }
+
+    /** Inclusive upper bound of bucket i (UINT64_MAX on the last):
+     *  the largest v with bucketIndex(v) == i, which is what the
+     *  Prometheus `le` contract requires of a bucket boundary. */
+    static uint64_t
+    upperBound(int i)
+    {
+        if (i >= kBuckets - 1)
+            return UINT64_MAX;
+        return (uint64_t(1) << (i + 1)) - 2;
+    }
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** What a snapshot entry describes. */
+enum class MetricKind : uint32_t {
+    Counter = 1,
+    Gauge = 2,
+    Histogram = 3,
+};
+
+/** One metric frozen at snapshot time. */
+struct MetricSample
+{
+    std::string name;   ///< Prometheus-legal metric name
+    std::string labels; ///< preformatted `key="value",...` or empty
+    std::string help;   ///< one-line description
+    MetricKind kind = MetricKind::Counter;
+    /** Counter/Gauge value (counters nonnegative by construction). */
+    int64_t value = 0;
+    /** Histogram per-bucket counts (size kBuckets) -- empty for
+     *  counters/gauges. */
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0; ///< histogram observation count
+    uint64_t sum = 0;   ///< histogram observation sum
+
+    /**
+     * Smallest bucket upper bound covering quantile q in [0,1] --
+     * e.g. quantile(0.99) -- computed by rank walk over the bucket
+     * counts. 0 when the histogram is empty. Log-bucketed, so the
+     * value is the bucket ceiling (within 2x of the true quantile).
+     */
+    uint64_t quantile(double q) const;
+};
+
+/** A point-in-time copy of every registered metric. */
+struct MetricsSnapshot
+{
+    std::vector<MetricSample> metrics;
+
+    /** First metric matching (name, labels), or nullptr. */
+    const MetricSample *find(const std::string &name,
+                             const std::string &labels = "") const;
+    /** Counter/gauge value of (name, labels), or 0 when absent. */
+    int64_t value(const std::string &name,
+                  const std::string &labels = "") const;
+};
+
+/**
+ * Registry of named metrics. counter()/gauge()/histogram() register
+ * on first use and return the existing handle on repeated calls with
+ * the same (name, labels) -- handles are stable for the registry's
+ * lifetime. Registration takes a mutex; recording through a handle
+ * never does.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter *counter(const std::string &name,
+                     const std::string &labels = "",
+                     const std::string &help = "");
+    Gauge *gauge(const std::string &name,
+                 const std::string &labels = "",
+                 const std::string &help = "");
+    Histogram *histogram(const std::string &name,
+                         const std::string &labels = "",
+                         const std::string &help = "");
+
+    /**
+     * Register a callback run at the start of every snapshot(),
+     * before metric values are read -- the hook by which subsystems
+     * with their own cheap atomic counters (result store, schedule
+     * cache, server) publish them as gauges without any hot-path
+     * cost. The objects a collector touches must outlive the
+     * registry's last snapshot().
+     */
+    void addCollector(std::function<void()> fn);
+
+    /** Point-in-time copy of every metric (runs collectors first). */
+    MetricsSnapshot snapshot() const;
+
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string labels;
+        std::string help;
+        MetricKind kind;
+        std::unique_ptr<Counter> c;
+        std::unique_ptr<Gauge> g;
+        std::unique_ptr<Histogram> h;
+    };
+
+    Entry *findOrNull(const std::string &name,
+                      const std::string &labels, MetricKind kind);
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+    std::vector<std::function<void()>> collectors_;
+};
+
+/** Render a snapshot in the Prometheus text exposition format. */
+std::string renderPrometheus(const MetricsSnapshot &snap);
+
+/** Render a snapshot as a JSON object keyed by metric name. */
+std::string renderJson(const MetricsSnapshot &snap);
+
+/** Monotonic now() in microseconds (steady clock), the canonical
+ *  unit for every duration histogram in this subsystem. */
+uint64_t monotonicMicros();
+
+} // namespace sps::obs
+
+#endif // SPS_OBS_METRICS_H

@@ -1,0 +1,162 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/log.h"
+#include "trace/tracer.h"
+
+namespace sps::obs {
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+    case Tier::Unknown:
+        return "unknown";
+    case Tier::Mem:
+        return "mem";
+    case Tier::Disk:
+        return "disk";
+    case Tier::Compute:
+        return "compute";
+    case Tier::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+RequestSpan::RequestSpan(uint64_t id, std::string label)
+    : id_(id), label_(std::move(label)), beginUs_(monotonicMicros())
+{
+}
+
+void
+RequestSpan::stage(const char *name, uint64_t beginUs, uint64_t endUs)
+{
+    stages_.push_back(SpanStage{name, beginUs, endUs});
+}
+
+uint64_t
+RequestSpan::stageUs(const char *name) const
+{
+    for (const auto &s : stages_)
+        if (std::string_view(s.name) == name)
+            return s.durationUs();
+    return 0;
+}
+
+uint64_t
+RequestSpan::totalUs() const
+{
+    return (finished_ ? endUs_ : monotonicMicros()) - beginUs_;
+}
+
+void
+RequestSpan::finish(SpanRecorder *recorder)
+{
+    if (finished_)
+        return;
+    endUs_ = monotonicMicros();
+    finished_ = true;
+    if (recorder)
+        recorder->retire(
+            std::shared_ptr<const RequestSpan>(new RequestSpan(*this)));
+}
+
+std::string
+RequestSpan::describe() const
+{
+    std::string out = strformat(
+        "id=%llu label=%s tier=%s total_us=%llu",
+        static_cast<unsigned long long>(id_), label_.c_str(),
+        tierName(tier_), static_cast<unsigned long long>(totalUs()));
+    for (const auto &s : stages_)
+        out += strformat(
+            " %s_us=%llu", s.name,
+            static_cast<unsigned long long>(s.durationUs()));
+    return out;
+}
+
+void
+SpanRecorder::retire(std::shared_ptr<const RequestSpan> span)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(std::move(span));
+    ++retired_;
+    while (ring_.size() > capacity_) {
+        ring_.pop_front();
+        ++dropped_;
+    }
+}
+
+std::vector<std::shared_ptr<const RequestSpan>>
+SpanRecorder::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {ring_.begin(), ring_.end()};
+}
+
+size_t
+SpanRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+uint64_t
+SpanRecorder::retiredCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return retired_;
+}
+
+uint64_t
+SpanRecorder::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+SpanRecorder::toTracer(trace::Tracer *tracer) const
+{
+    auto spans = this->spans();
+    if (spans.empty() || !tracer)
+        return;
+    uint64_t base = UINT64_MAX;
+    for (const auto &s : spans)
+        base = std::min(base, s->beginUs());
+
+    // Track 0 carries the whole-request async spans; each distinct
+    // stage name gets its own track above it, in first-seen order, so
+    // the daemon trace reads top-down like the request pipeline.
+    tracer->setTrackName(0, "request");
+    std::map<std::string, int> stageTrack;
+    auto trackOf = [&](const char *name) {
+        auto [it, inserted] = stageTrack.emplace(
+            name, static_cast<int>(stageTrack.size()) + 1);
+        if (inserted)
+            tracer->setTrackName(it->second, name);
+        return it->second;
+    };
+
+    for (const auto &s : spans) {
+        int64_t b = static_cast<int64_t>(s->beginUs() - base);
+        int64_t e = static_cast<int64_t>(s->endUs() - base);
+        tracer->span("daemon", s->label(), b, e,
+                     static_cast<int64_t>(s->id()), 0,
+                     {{"tier", static_cast<int64_t>(s->tier())},
+                      {"total_us", e - b}});
+        for (const auto &st : s->stages())
+            tracer->complete(
+                "daemon", st.name,
+                static_cast<int64_t>(st.beginUs - base),
+                static_cast<int64_t>(st.endUs - base),
+                trackOf(st.name),
+                {{"req", static_cast<int64_t>(s->id())}});
+    }
+}
+
+} // namespace sps::obs

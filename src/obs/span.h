@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Per-request spans for the evaluation daemon: one RequestSpan is
+ * created per EvalRequest frame in svc::EvalServer and threaded
+ * through svc::EvalService's submit -> dispatch -> tier resolution ->
+ * delivery pipeline. Each stage the request passes (queue wait, store
+ * read, simulation, store write-back, delivery) records a named
+ * [begin, end) interval in monotonic microseconds, plus the tier that
+ * ultimately served the request (memory / disk / compute / error), so
+ * a slow request decomposes into exactly where its time went.
+ *
+ * Synchronization contract: a span has no locks of its own. Writers
+ * are sequenced by the request lifecycle itself -- the server's
+ * reader thread writes at creation/submit, a service worker writes
+ * while it owns the job (publication via the job's promise), and the
+ * server's writer thread records delivery after future.get() (which
+ * synchronizes with set_value). finish()ing hands the span to a
+ * SpanRecorder, after which it is immutable.
+ *
+ * Completed spans land in a SpanRecorder (bounded ring of the most
+ * recent spans) and export as Chrome trace events through the same
+ * trace::Tracer used for simulator timelines -- daemon-side request
+ * spans open in exactly the same Perfetto viewer, one track per
+ * stage, async-span ids keeping concurrent requests apart.
+ */
+#ifndef SPS_OBS_SPAN_H
+#define SPS_OBS_SPAN_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sps::trace {
+class Tracer;
+}
+
+namespace sps::obs {
+
+/** Which tier ultimately served a request. */
+enum class Tier : uint8_t {
+    Unknown = 0, ///< still in flight (or dropped before resolution)
+    Mem = 1,     ///< completed result or joined in-flight twin
+    Disk = 2,    ///< decoded from the result store
+    Compute = 3, ///< simulated
+    Error = 4,   ///< resolved to an exception
+};
+
+const char *tierName(Tier t);
+
+/** One named stage interval inside a request (microseconds). */
+struct SpanStage
+{
+    const char *name; ///< static string (e.g. "queue", "sim")
+    uint64_t beginUs = 0;
+    uint64_t endUs = 0;
+
+    uint64_t durationUs() const { return endUs - beginUs; }
+};
+
+class SpanRecorder;
+
+class RequestSpan
+{
+  public:
+    /** Begin a span now. `id` must be unique per recorder (the
+     *  server uses its request counter). */
+    RequestSpan(uint64_t id, std::string label);
+
+    uint64_t id() const { return id_; }
+    const std::string &label() const { return label_; }
+    uint64_t beginUs() const { return beginUs_; }
+    uint64_t endUs() const { return endUs_; }
+    Tier tier() const { return tier_; }
+    const std::vector<SpanStage> &stages() const { return stages_; }
+
+    void setTier(Tier t) { tier_ = t; }
+
+    /** Record a completed stage interval. */
+    void stage(const char *name, uint64_t beginUs, uint64_t endUs);
+
+    /** Duration of the first stage named `name`, or 0. */
+    uint64_t stageUs(const char *name) const;
+
+    /** Total wall time so far (or final, once finished). */
+    uint64_t totalUs() const;
+
+    /**
+     * Close the span (records end time) and, when a recorder is
+     * given, retire it there. After finish() the span is immutable;
+     * finish() is idempotent.
+     */
+    void finish(SpanRecorder *recorder);
+
+    /** One structured line for the slow-request log:
+     *  "id=.. label=.. tier=.. total_us=.. queue_us=.. ..." */
+    std::string describe() const;
+
+  private:
+    uint64_t id_;
+    std::string label_;
+    uint64_t beginUs_;
+    uint64_t endUs_ = 0;
+    bool finished_ = false;
+    Tier tier_ = Tier::Unknown;
+    std::vector<SpanStage> stages_;
+};
+
+/**
+ * Bounded ring of the most recently completed request spans. Spans
+ * are retired here by RequestSpan::finish(); once capacity is
+ * exceeded the oldest span is dropped (droppedCount() says how
+ * many). Thread-safe.
+ */
+class SpanRecorder
+{
+  public:
+    explicit SpanRecorder(size_t capacity = 1024)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    void retire(std::shared_ptr<const RequestSpan> span);
+
+    /** Completed spans, oldest first (copy). */
+    std::vector<std::shared_ptr<const RequestSpan>> spans() const;
+
+    size_t size() const;
+    uint64_t retiredCount() const;
+    uint64_t droppedCount() const;
+
+    /**
+     * Export every retained span as Chrome trace events on `tracer`:
+     * one async span per request on a "request" track plus one
+     * complete event per stage on that stage's own track, timestamps
+     * rebased to the earliest retained span so the trace starts near
+     * zero. Compose with trace::writeChromeTrace to hit disk.
+     */
+    void toTracer(trace::Tracer *tracer) const;
+
+  private:
+    size_t capacity_;
+    mutable std::mutex mu_;
+    std::deque<std::shared_ptr<const RequestSpan>> ring_;
+    uint64_t retired_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+/** Scoped stage timer: records [construction, destruction) onto the
+ *  span (no-op for a null span). */
+class StageTimer
+{
+  public:
+    StageTimer(RequestSpan *span, const char *name)
+        : span_(span), name_(name),
+          begin_(span ? monotonicMicros() : 0)
+    {
+    }
+
+    ~StageTimer()
+    {
+        if (span_)
+            span_->stage(name_, begin_, monotonicMicros());
+    }
+
+    StageTimer(const StageTimer &) = delete;
+    StageTimer &operator=(const StageTimer &) = delete;
+
+  private:
+    RequestSpan *span_;
+    const char *name_;
+    uint64_t begin_;
+};
+
+} // namespace sps::obs
+
+#endif // SPS_OBS_SPAN_H

@@ -2,6 +2,7 @@
 
 #include "common/fnv.h"
 #include "kernel/fingerprint.h"
+#include "obs/metrics.h"
 #include "store/result_store.h"
 
 namespace sps::sched {
@@ -68,7 +69,11 @@ ScheduleCache::get(const kernel::Kernel &k, const MachineModel &m,
             outcome = kDisk;
             return;
         }
+        uint64_t t0 = obs::monotonicMicros();
         entry->ck = compileKernel(k, m, opts);
+        if (obs::Histogram *h =
+                compileUs_.load(std::memory_order_relaxed))
+            h->observe(obs::monotonicMicros() - t0);
         outcome = kCompiled;
         if (disk)
             disk->storeSchedule(skey, entry->ck);
@@ -99,6 +104,32 @@ ScheduleCache::attachedStore() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return store_;
+}
+
+void
+ScheduleCache::attachMetrics(obs::MetricsRegistry *registry)
+{
+    if (!registry) {
+        compileUs_.store(nullptr, std::memory_order_relaxed);
+        return;
+    }
+    compileUs_.store(
+        registry->histogram("sps_sched_compile_duration_us", "",
+                            "Kernel compilation latency (us)"),
+        std::memory_order_relaxed);
+    registry->addCollector([this, registry] {
+        Counters c = counters();
+        registry
+            ->gauge("sps_sched_cache_hits", "",
+                    "Schedule cache in-memory hits")
+            ->set(static_cast<int64_t>(c.hits));
+        registry->gauge("sps_sched_cache_disk_hits", "")
+            ->set(static_cast<int64_t>(c.diskHits));
+        registry->gauge("sps_sched_cache_compiles", "")
+            ->set(static_cast<int64_t>(c.misses));
+        registry->gauge("sps_sched_cache_entries", "")
+            ->set(static_cast<int64_t>(size()));
+    });
 }
 
 ScheduleCache::Counters

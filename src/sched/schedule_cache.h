@@ -39,6 +39,11 @@ namespace sps::store {
 class ResultStore;
 }
 
+namespace sps::obs {
+class MetricsRegistry;
+class Histogram;
+}
+
 namespace sps::sched {
 
 /**
@@ -96,6 +101,15 @@ class ScheduleCache
     void attachStore(store::ResultStore *s);
     store::ResultStore *attachedStore() const;
 
+    /**
+     * Publish this cache's telemetry into `registry`: a compile
+     * duration histogram (observed on every true compile from then
+     * on) and a snapshot collector exporting the cumulative Counters
+     * plus the entry count as gauges. Same lifetime contract as
+     * ResultStore::attachMetrics; nullptr detaches the histogram.
+     */
+    void attachMetrics(obs::MetricsRegistry *registry);
+
     Counters counters() const;
     size_t size() const;
 
@@ -149,6 +163,8 @@ class ScheduleCache
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> diskHits_{0};
+    /** Compile-duration histogram (null until attachMetrics). */
+    std::atomic<obs::Histogram *> compileUs_{nullptr};
 };
 
 } // namespace sps::sched

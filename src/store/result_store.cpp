@@ -1,6 +1,8 @@
 #include "store/result_store.h"
 
 #include <algorithm>
+
+#include "obs/metrics.h"
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -83,6 +85,73 @@ ResultStore::entryPath(const Key &key) const
 bool
 ResultStore::get(const Key &key, std::vector<uint8_t> *payload)
 {
+    if (!getHitUs_.load(std::memory_order_relaxed))
+        return get_(key, payload);
+    uint64_t t0 = obs::monotonicMicros();
+    bool ok = get_(key, payload);
+    obs::Histogram *h =
+        (ok ? getHitUs_ : getMissUs_).load(std::memory_order_relaxed);
+    if (h)
+        h->observe(obs::monotonicMicros() - t0);
+    return ok;
+}
+
+bool
+ResultStore::put(const Key &key, const std::vector<uint8_t> &payload)
+{
+    obs::Histogram *h = putUs_.load(std::memory_order_relaxed);
+    if (!h)
+        return put_(key, payload);
+    uint64_t t0 = obs::monotonicMicros();
+    bool ok = put_(key, payload);
+    h->observe(obs::monotonicMicros() - t0);
+    return ok;
+}
+
+void
+ResultStore::attachMetrics(obs::MetricsRegistry *registry)
+{
+    if (!registry) {
+        getHitUs_.store(nullptr, std::memory_order_relaxed);
+        getMissUs_.store(nullptr, std::memory_order_relaxed);
+        putUs_.store(nullptr, std::memory_order_relaxed);
+        return;
+    }
+    getHitUs_.store(
+        registry->histogram("sps_store_get_duration_us",
+                            "result=\"hit\"",
+                            "Result store get() latency (us)"),
+        std::memory_order_relaxed);
+    getMissUs_.store(registry->histogram("sps_store_get_duration_us",
+                                         "result=\"miss\""),
+                     std::memory_order_relaxed);
+    putUs_.store(
+        registry->histogram("sps_store_put_duration_us", "",
+                            "Result store put() latency (us)"),
+        std::memory_order_relaxed);
+    // Cumulative counters ride as collector-refreshed gauges: zero
+    // hot-path cost, always current at snapshot time.
+    registry->addCollector([this, registry] {
+        StoreCounters c = counters();
+        auto pub = [&](const char *name, uint64_t v,
+                       const char *help = "") {
+            registry->gauge(name, "", help)
+                ->set(static_cast<int64_t>(v));
+        };
+        pub("sps_store_hits", c.hits,
+            "Verified result-store entries served");
+        pub("sps_store_misses", c.misses);
+        pub("sps_store_corrupt", c.corrupt);
+        pub("sps_store_writes", c.writes);
+        pub("sps_store_write_errors", c.writeErrors);
+        pub("sps_store_evicted", c.evicted);
+        pub("sps_store_reclaimed_bytes", c.reclaimedBytes);
+    });
+}
+
+bool
+ResultStore::get_(const Key &key, std::vector<uint8_t> *payload)
+{
     std::ifstream in(entryPath(key), std::ios::binary);
     if (!in) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -122,7 +191,7 @@ ResultStore::get(const Key &key, std::vector<uint8_t> *payload)
 }
 
 bool
-ResultStore::put(const Key &key, const std::vector<uint8_t> &payload)
+ResultStore::put_(const Key &key, const std::vector<uint8_t> &payload)
 {
     ByteWriter w;
     putHeader(key, payload, &w);

@@ -43,6 +43,11 @@
 
 #include "store/codec.h"
 
+namespace sps::obs {
+class MetricsRegistry;
+class Histogram;
+}
+
 namespace sps::store {
 
 /** What a stored payload decodes to (part of the entry key/path). */
@@ -108,6 +113,17 @@ class ResultStore
 
     StoreCounters counters() const;
 
+    /**
+     * Publish this store's telemetry into `registry`: get/put latency
+     * histograms (observed on every call from then on) and a snapshot
+     * collector exporting the cumulative StoreCounters as gauges.
+     * Attach once, at wiring time, before concurrent traffic; the
+     * registry must outlive the store's last get()/put(), and this
+     * store must outlive the registry's last snapshot(). nullptr
+     * detaches the histograms (the collector stays registered).
+     */
+    void attachMetrics(obs::MetricsRegistry *registry);
+
     /** Entry file path of a key (exposed for corruption tests). */
     std::string entryPath(const Key &key) const;
 
@@ -144,6 +160,15 @@ class ResultStore
     std::atomic<uint64_t> evicted_{0};
     std::atomic<uint64_t> reclaimedBytes_{0};
     std::atomic<uint64_t> tempSeq_{0};
+
+    bool get_(const Key &key, std::vector<uint8_t> *payload);
+    bool put_(const Key &key, const std::vector<uint8_t> &payload);
+
+    /** Latency histograms (null until attachMetrics): get is split by
+     *  result so a cold directory's misses don't skew hit latency. */
+    std::atomic<obs::Histogram *> getHitUs_{nullptr};
+    std::atomic<obs::Histogram *> getMissUs_{nullptr};
+    std::atomic<obs::Histogram *> putUs_{nullptr};
 };
 
 } // namespace sps::store

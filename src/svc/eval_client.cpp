@@ -55,28 +55,67 @@ EvalClient::~EvalClient()
         ::close(fd_);
 }
 
+void
+EvalClient::markDead(const std::string &reason)
+{
+    // Latch first, then sever: once dead_ is set no later call will
+    // touch the socket, and the shutdown unblocks anything (e.g. a
+    // pipelined sender) still inside a syscall on it.
+    if (dead_)
+        return;
+    dead_ = true;
+    deadReason_ = reason;
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+EvalClient::ensureAlive() const
+{
+    if (dead_)
+        throw std::runtime_error("EvalClient: connection to " +
+                                 socketPath_ +
+                                 " is dead: " + deadReason_);
+}
+
+bool
+EvalClient::dead() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dead_;
+}
+
 sim::SimResult
 EvalClient::readResult()
 {
     Frame frame;
-    if (readFrame(fd_, &frame) != ReadStatus::Ok)
+    if (readFrame(fd_, &frame) != ReadStatus::Ok) {
+        markDead("connection lost or malformed frame");
         throw std::runtime_error(
             "EvalClient: connection lost or malformed frame from " +
             socketPath_);
+    }
     if (frame.kind == FrameKind::Error) {
+        // A clean Error frame consumed exactly one response for
+        // exactly one request: the conversation is still in lockstep,
+        // so the connection stays alive (a pipelined caller that
+        // cannot make that claim marks it dead itself).
         std::string message;
         if (!decodeErrorString(frame.payload, &message))
             message = "unreadable server error";
         throw std::runtime_error("EvalClient: server error: " +
                                  message);
     }
-    if (frame.kind != FrameKind::EvalResult)
+    if (frame.kind != FrameKind::EvalResult) {
+        markDead("unexpected response frame kind");
         throw std::runtime_error(
             "EvalClient: unexpected response frame kind");
+    }
     sim::SimResult res;
-    if (!store::decodeSimResult(frame.payload, &res))
+    if (!store::decodeSimResult(frame.payload, &res)) {
+        markDead("undecodable result payload");
         throw std::runtime_error(
             "EvalClient: undecodable result payload");
+    }
     return res;
 }
 
@@ -84,9 +123,12 @@ sim::SimResult
 EvalClient::eval(const EvalPoint &pt)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!writeFrame(fd_, FrameKind::EvalRequest, requestPayload(pt)))
+    ensureAlive();
+    if (!writeFrame(fd_, FrameKind::EvalRequest, requestPayload(pt))) {
+        markDead("write failed");
         throw std::runtime_error("EvalClient: cannot write to " +
                                  socketPath_);
+    }
     return readResult();
 }
 
@@ -95,6 +137,7 @@ EvalClient::appPerformance(const std::vector<int> &c_values,
                            const std::vector<int> &n_values)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    ensureAlive();
     AppSweepPlan plan = appSweepPlan(c_values, n_values);
 
     // Pipeline: a sender thread writes every request while this
@@ -122,8 +165,12 @@ EvalClient::appPerformance(const std::vector<int> &c_values,
         for (size_t i = 0; i < plan.grid.size(); ++i)
             grid.push_back(readResult());
     } catch (...) {
-        // A dead connection also unblocks the sender's writes.
-        ::shutdown(fd_, SHUT_RDWR);
+        // *Any* abort mid-pipeline kills the connection -- even a
+        // clean server Error frame. Requests already written may
+        // still have responses in flight, and a later call would
+        // silently consume one of those stale frames as its own
+        // answer. markDead also unblocks the sender's writes.
+        markDead("pipelined sweep aborted");
         sender.join();
         throw;
     }
@@ -135,13 +182,18 @@ std::vector<std::vector<std::string>>
 EvalClient::stats()
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!writeFrame(fd_, FrameKind::StatsRequest, {}))
+    ensureAlive();
+    if (!writeFrame(fd_, FrameKind::StatsRequest, {})) {
+        markDead("write failed");
         throw std::runtime_error("EvalClient: cannot write to " +
                                  socketPath_);
+    }
     Frame frame;
-    if (readFrame(fd_, &frame) != ReadStatus::Ok)
+    if (readFrame(fd_, &frame) != ReadStatus::Ok) {
+        markDead("connection lost reading stats");
         throw std::runtime_error(
             "EvalClient: connection lost reading stats");
+    }
     if (frame.kind == FrameKind::Error) {
         std::string message;
         decodeErrorString(frame.payload, &message);
@@ -150,10 +202,44 @@ EvalClient::stats()
     }
     std::vector<std::vector<std::string>> rows;
     if (frame.kind != FrameKind::StatsReply ||
-        !decodeStatsRows(frame.payload, &rows))
+        !decodeStatsRows(frame.payload, &rows)) {
+        markDead("undecodable stats payload");
         throw std::runtime_error(
             "EvalClient: undecodable stats payload");
+    }
     return rows;
+}
+
+obs::MetricsSnapshot
+EvalClient::metrics()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ensureAlive();
+    if (!writeFrame(fd_, FrameKind::MetricsRequest, {})) {
+        markDead("write failed");
+        throw std::runtime_error("EvalClient: cannot write to " +
+                                 socketPath_);
+    }
+    Frame frame;
+    if (readFrame(fd_, &frame) != ReadStatus::Ok) {
+        markDead("connection lost reading metrics");
+        throw std::runtime_error(
+            "EvalClient: connection lost reading metrics");
+    }
+    if (frame.kind == FrameKind::Error) {
+        std::string message;
+        decodeErrorString(frame.payload, &message);
+        throw std::runtime_error("EvalClient: server error: " +
+                                 message);
+    }
+    obs::MetricsSnapshot snap;
+    if (frame.kind != FrameKind::MetricsReply ||
+        !decodeMetricsSnapshot(frame.payload, &snap)) {
+        markDead("undecodable metrics payload");
+        throw std::runtime_error(
+            "EvalClient: undecodable metrics payload");
+    }
+    return snap;
 }
 
 } // namespace sps::svc

@@ -12,6 +12,19 @@
  * sender thread, so neither side's socket buffer can deadlock the
  * conversation), which lets the server evaluate the full grid
  * concurrently and dedup it against other clients mid-flight.
+ *
+ * Failure model: the protocol has no resynchronization, so the client
+ * tracks liveness explicitly. A transport or framing failure (severed
+ * socket, truncated/undecodable frame, unexpected kind) marks the
+ * connection *dead*: the current call throws and every later call
+ * throws immediately instead of reading a stale response. An aborted
+ * pipelined appPerformance() -- even one aborted by a clean server
+ * Error frame -- also goes dead, because responses to the already
+ * written requests may still be buffered and a later eval() would
+ * otherwise silently consume one of them as its own answer. Only a
+ * server Error frame answering a single *unpipelined* request leaves
+ * the connection alive: exactly one response was consumed for exactly
+ * one request, so the conversation is still in lockstep.
  */
 #ifndef SPS_SVC_EVAL_CLIENT_H
 #define SPS_SVC_EVAL_CLIENT_H
@@ -60,12 +73,29 @@ class EvalClient
      *  (svc::cacheStatsRows of the daemon's service). */
     std::vector<std::vector<std::string>> stats();
 
+    /**
+     * A live metrics snapshot from the server (MetricsRequest round
+     * trip). Throws the server's Error message when the daemon runs
+     * without telemetry. Render locally with obs::renderPrometheus /
+     * obs::renderJson, or assert on the numbers directly.
+     */
+    obs::MetricsSnapshot metrics();
+
+    /** True once the connection is unusable (every call will throw). */
+    bool dead() const;
+
   private:
     sim::SimResult readResult();
+    /** Sever the socket and latch the dead state (idempotent). */
+    void markDead(const std::string &reason);
+    /** Throw if a previous failure killed the connection. */
+    void ensureAlive() const;
 
     std::string socketPath_;
     int fd_ = -1;
-    std::mutex mu_; ///< one conversation at a time per client
+    mutable std::mutex mu_; ///< one conversation at a time per client
+    bool dead_ = false;     ///< guarded by mu_
+    std::string deadReason_;
 };
 
 } // namespace sps::svc

@@ -11,9 +11,11 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "common/log.h"
 #include "svc/protocol.h"
 
 namespace sps::svc {
@@ -28,6 +30,8 @@ struct PendingResponse
     FrameKind kind = FrameKind::Error;
     std::vector<uint8_t> payload;
     std::shared_future<sim::SimResult> future;
+    /** Request span to close after delivery (may be null). */
+    std::shared_ptr<obs::RequestSpan> span;
 };
 
 std::vector<uint8_t>
@@ -40,9 +44,35 @@ errorPayload(const std::string &message)
 
 } // namespace
 
-EvalServer::EvalServer(EvalService *service, std::string socketPath)
-    : service_(service), socketPath_(std::move(socketPath))
+EvalServer::EvalServer(EvalService *service, std::string socketPath,
+                       ServerTelemetry telemetry)
+    : service_(service), socketPath_(std::move(socketPath)),
+      telemetry_(telemetry),
+      spans_(telemetry.spanCapacity ? telemetry.spanCapacity : 1)
 {
+    if (obs::MetricsRegistry *reg = telemetry_.registry) {
+        // One wiring point for the whole request path: the server
+        // owns its own metrics and attaches the service's, so a
+        // daemon enables request-tier telemetry with one struct.
+        service_->attachMetrics(reg);
+        e2eUs_ = reg->histogram(
+            "sps_server_request_duration_us", "",
+            "End-to-end request latency incl. delivery (us)");
+        activeConns_ = reg->gauge("sps_server_active_connections", "",
+                                  "Connections currently being served");
+        reg->addCollector([this, reg] {
+            Counters c = counters();
+            reg->gauge("sps_server_connections", "",
+                       "Connections accepted")
+                ->set(static_cast<int64_t>(c.connections));
+            reg->gauge("sps_server_requests", "",
+                       "Well-formed frames handled")
+                ->set(static_cast<int64_t>(c.requests));
+            reg->gauge("sps_server_protocol_errors", "",
+                       "Malformed frames/streams")
+                ->set(static_cast<int64_t>(c.protocolErrors));
+        });
+    }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (socketPath_.size() >= sizeof addr.sun_path)
@@ -130,6 +160,8 @@ EvalServer::statsRows() const
 void
 EvalServer::serveConnection(int fd)
 {
+    if (activeConns_)
+        activeConns_->add(1);
     std::mutex qmu;
     std::condition_variable qcv;
     std::deque<PendingResponse> queue;
@@ -162,19 +194,38 @@ EvalServer::serveConnection(int fd)
             if (r.immediate) {
                 ok = writeFrame(fd, r.kind, r.payload);
             } else {
+                uint64_t tDeliver = obs::monotonicMicros();
+                FrameKind kind = FrameKind::Error;
+                std::vector<uint8_t> payload;
                 try {
                     const sim::SimResult &res = r.future.get();
                     store::ByteWriter w;
                     store::encodeSimResult(res, &w);
-                    ok = writeFrame(fd, FrameKind::EvalResult,
-                                    w.bytes());
+                    kind = FrameKind::EvalResult;
+                    payload = w.bytes();
                 } catch (const std::exception &e) {
-                    ok = writeFrame(fd, FrameKind::Error,
-                                    errorPayload(e.what()));
+                    payload = errorPayload(e.what());
                 } catch (...) {
-                    ok = writeFrame(fd, FrameKind::Error,
-                                    errorPayload("evaluation failed"));
+                    payload = errorPayload("evaluation failed");
                 }
+                if (r.span) {
+                    // future.get() synchronized with the worker's
+                    // set_value, so the stages it wrote are visible
+                    // here; after finish() the span is immutable.
+                    // Recorded *before* the frame goes out: a scrape
+                    // the client issues after receiving this reply
+                    // must already include it.
+                    r.span->stage("deliver", tDeliver,
+                                  obs::monotonicMicros());
+                    r.span->finish(&spans_);
+                    if (e2eUs_)
+                        e2eUs_->observe(r.span->totalUs());
+                    if (telemetry_.slowRequestUs &&
+                        r.span->totalUs() >= telemetry_.slowRequestUs)
+                        warn("slow request: %s",
+                             r.span->describe().c_str());
+                }
+                ok = writeFrame(fd, kind, payload);
             }
             if (!ok) {
                 // Peer vanished mid-delivery: wake the reader too.
@@ -217,7 +268,16 @@ EvalServer::serveConnection(int fd)
             }
             requests_.fetch_add(1, std::memory_order_relaxed);
             PendingResponse r;
-            r.future = service_->submit(pt);
+            if (telemetry_.registry || telemetry_.slowRequestUs) {
+                r.span = std::make_shared<obs::RequestSpan>(
+                    requestSeq_.fetch_add(1,
+                                          std::memory_order_relaxed) +
+                        1,
+                    pt.app + "/" + std::to_string(pt.size.clusters) +
+                        "x" +
+                        std::to_string(pt.size.alusPerCluster));
+            }
+            r.future = service_->submit(pt, r.span);
             enqueue(std::move(r));
             break;
         }
@@ -229,6 +289,26 @@ EvalServer::serveConnection(int fd)
             r.immediate = true;
             r.kind = FrameKind::StatsReply;
             r.payload = w.bytes();
+            enqueue(std::move(r));
+            break;
+        }
+        case FrameKind::MetricsRequest: {
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            PendingResponse r;
+            r.immediate = true;
+            if (telemetry_.registry) {
+                store::ByteWriter w;
+                encodeMetricsSnapshot(telemetry_.registry->snapshot(),
+                                      &w);
+                r.kind = FrameKind::MetricsReply;
+                r.payload = w.bytes();
+            } else {
+                // Well-formed but unanswerable: the conversation
+                // stays synced, the connection stays up.
+                r.kind = FrameKind::Error;
+                r.payload =
+                    errorPayload("metrics not enabled on this server");
+            }
             enqueue(std::move(r));
             break;
         }
@@ -260,6 +340,15 @@ EvalServer::serveConnection(int fd)
         connFds_.erase(fd);
     }
     ::close(fd);
+    if (activeConns_)
+        activeConns_->add(-1);
+}
+
+obs::MetricsSnapshot
+EvalServer::metricsSnapshot() const
+{
+    return telemetry_.registry ? telemetry_.registry->snapshot()
+                               : obs::MetricsSnapshot{};
 }
 
 EvalServer::Counters

@@ -30,9 +30,31 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/span.h"
 #include "svc/eval_service.h"
 
 namespace sps::svc {
+
+/**
+ * Telemetry wiring for one EvalServer. With a registry the server
+ * registers its own metrics (end-to-end request latency, active
+ * connections, cumulative counters as collector gauges), attaches the
+ * service's metrics (the single wiring point for the request tiers),
+ * creates a RequestSpan per EvalRequest, and answers MetricsRequest
+ * frames with a live snapshot. Without one, every telemetry path is
+ * compiled to a null check and MetricsRequest answers with an Error
+ * frame.
+ */
+struct ServerTelemetry
+{
+    /** Null disables metrics; must outlive the server. */
+    obs::MetricsRegistry *registry = nullptr;
+    /** A finished request slower than this (microseconds, end to end)
+     *  logs one structured warn() line; 0 disables. */
+    uint64_t slowRequestUs = 0;
+    /** Completed spans retained for export (bounded ring). */
+    size_t spanCapacity = 1024;
+};
 
 class EvalServer
 {
@@ -43,7 +65,8 @@ class EvalServer
      * server. Throws std::runtime_error when the socket cannot be
      * created or bound.
      */
-    EvalServer(EvalService *service, std::string socketPath);
+    EvalServer(EvalService *service, std::string socketPath,
+               ServerTelemetry telemetry = {});
     ~EvalServer();
 
     EvalServer(const EvalServer &) = delete;
@@ -64,6 +87,14 @@ class EvalServer
     };
     Counters counters() const;
 
+    /** Live snapshot of the attached registry (empty without one).
+     *  The same snapshot a MetricsRequest frame returns. */
+    obs::MetricsSnapshot metricsSnapshot() const;
+
+    /** The ring of recently completed request spans (always present;
+     *  only populated when telemetry is enabled). */
+    const obs::SpanRecorder &spanRecorder() const { return spans_; }
+
   private:
     void acceptLoop();
     void serveConnection(int fd);
@@ -71,6 +102,13 @@ class EvalServer
 
     EvalService *service_;
     std::string socketPath_;
+    ServerTelemetry telemetry_;
+    obs::SpanRecorder spans_;
+    /** Request-span ids (unique per server lifetime). */
+    std::atomic<uint64_t> requestSeq_{0};
+    /** Pre-resolved handles (null without a registry). */
+    obs::Histogram *e2eUs_ = nullptr;
+    obs::Gauge *activeConns_ = nullptr;
     int listenFd_ = -1;
     std::atomic<bool> stopping_{false};
 

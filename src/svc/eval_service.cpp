@@ -133,6 +133,17 @@ EvalService::requestKey(const EvalPoint &pt) const
 std::shared_future<sim::SimResult>
 EvalService::submit(const EvalPoint &pt)
 {
+    return submit(pt, nullptr);
+}
+
+std::shared_future<sim::SimResult>
+EvalService::submit(const EvalPoint &pt,
+                    std::shared_ptr<obs::RequestSpan> span)
+{
+    Metrics *m = metrics_.load(std::memory_order_acquire);
+    uint64_t t0 = m ? obs::monotonicMicros() : 0;
+    if (m)
+        m->requests->inc();
     std::string key = requestKey(pt);
     std::shared_future<sim::SimResult> future;
     {
@@ -143,10 +154,23 @@ EvalService::submit(const EvalPoint &pt)
                          std::future_status::ready;
             (ready ? memHits_ : inflightDedup_)
                 .fetch_add(1, std::memory_order_relaxed);
+            // Both flavors count as the memory tier: the request was
+            // served without touching disk or the engine (a dedup'd
+            // in-flight twin rides the winner's work).
+            constexpr int kMem = static_cast<int>(obs::Tier::Mem);
+            if (span)
+                span->setTier(obs::Tier::Mem);
+            if (m) {
+                m->tier[kMem]->inc();
+                m->durationTier[kMem]->observe(obs::monotonicMicros() -
+                                               t0);
+            }
             return it->second;
         }
         Job job;
         job.pt = pt;
+        job.span = std::move(span);
+        job.enqueueUs = obs::monotonicMicros();
         future = job.promise.get_future().share();
         results_.emplace(std::move(key), future);
         pending_.push_back(std::move(job));
@@ -197,6 +221,16 @@ EvalService::dispatchLoop()
 void
 EvalService::runJob(Job &job)
 {
+    Metrics *m = metrics_.load(std::memory_order_acquire);
+    obs::RequestSpan *span = job.span.get();
+    uint64_t start = obs::monotonicMicros();
+    if (span)
+        span->stage("queue", job.enqueueUs, start);
+    if (m)
+        m->queueWait->observe(start - job.enqueueUs);
+    obs::Tier tier = obs::Tier::Error;
+    sim::SimResult res;
+    std::exception_ptr err;
     try {
         const workloads::AppEntry *entry = nullptr;
         auto apps = workloads::appSuite();
@@ -213,27 +247,62 @@ EvalService::runJob(Job &job)
         // request key hashed; StreamProcessor carries it verbatim, so
         // simConfigHash(proc.config()) below keys the store entry
         // under exactly the configuration that was simulated.
+        uint64_t tBuild = obs::monotonicMicros();
         sim::StreamProcessor proc(effectiveSimConfig(job.pt));
         stream::StreamProgram prog =
             entry->build(job.pt.size, proc.srf());
+        if (span)
+            span->stage("build", tBuild, obs::monotonicMicros());
 
         store::Key key{store::Kind::SimResult,
                        stream::programFingerprint(prog),
                        sched::machineConfigHash(proc.machine()),
                        simConfigHash(proc.config())};
-        sim::SimResult res;
-        if (store_ && store_->loadSimResult(key, &res)) {
-            diskHits_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-            res = proc.run(prog);
-            computed_.fetch_add(1, std::memory_order_relaxed);
-            if (store_)
-                store_->storeSimResult(key, res);
+        bool from_disk = false;
+        if (store_) {
+            obs::StageTimer t(span, "store_get");
+            from_disk = store_->loadSimResult(key, &res);
         }
-        job.promise.set_value(std::move(res));
+        if (from_disk) {
+            diskHits_.fetch_add(1, std::memory_order_relaxed);
+            tier = obs::Tier::Disk;
+        } else {
+            uint64_t tSim = obs::monotonicMicros();
+            res = proc.run(prog);
+            uint64_t tSimEnd = obs::monotonicMicros();
+            if (span)
+                span->stage("sim", tSim, tSimEnd);
+            if (m)
+                m->simDuration->observe(tSimEnd - tSim);
+            computed_.fetch_add(1, std::memory_order_relaxed);
+            tier = obs::Tier::Compute;
+            if (store_) {
+                obs::StageTimer t(span, "store_put");
+                store_->storeSimResult(key, res);
+            }
+        }
     } catch (...) {
-        job.promise.set_exception(std::current_exception());
+        err = std::current_exception();
+        tier = obs::Tier::Error;
     }
+    // One tier outcome per job, success or not: the conservation
+    // invariant (requests == mem + disk + compute + error) counts
+    // exceptional resolutions too. Recorded *before* the promise
+    // resolves: the waiter's get() is the caller's quiescence point,
+    // so a snapshot taken after eval() returns must already include
+    // this request's outcome.
+    if (span)
+        span->setTier(tier);
+    if (m) {
+        int ti = static_cast<int>(tier);
+        m->tier[ti]->inc();
+        m->durationTier[ti]->observe(obs::monotonicMicros() -
+                                     job.enqueueUs);
+    }
+    if (err)
+        job.promise.set_exception(std::move(err));
+    else
+        job.promise.set_value(std::move(res));
 }
 
 AppSweepPlan
@@ -326,6 +395,59 @@ EvalService::clearMemory()
         else
             ++it;
     }
+}
+
+void
+EvalService::attachMetrics(obs::MetricsRegistry *registry)
+{
+    if (!registry) {
+        metrics_.store(nullptr, std::memory_order_release);
+        return;
+    }
+    auto m = std::make_unique<Metrics>();
+    const char *durationHelp =
+        "Submit-to-resolution request latency (us)";
+    const char *tierHelp =
+        "Requests resolved per tier (mem / disk / compute / error)";
+    for (obs::Tier t : {obs::Tier::Mem, obs::Tier::Disk,
+                        obs::Tier::Compute, obs::Tier::Error}) {
+        int i = static_cast<int>(t);
+        std::string label =
+            std::string("tier=\"") + obs::tierName(t) + "\"";
+        m->tier[i] = registry->counter("sps_requests_tier_total",
+                                       label, tierHelp);
+        m->durationTier[i] = registry->histogram(
+            "sps_request_duration_us", label, durationHelp);
+    }
+    // Registered (and therefore snapshot-read) *after* the tier
+    // counters: a request increments requests_total first and its
+    // tier outcome later, so reading outcomes before the total keeps
+    // sum(tiers) <= requests_total in every concurrent snapshot.
+    m->requests = registry->counter(
+        "sps_requests_total", "",
+        "Evaluation requests submitted to the service");
+    m->queueWait = registry->histogram(
+        "sps_queue_wait_us", "",
+        "Submit-to-dispatch queue wait (us)");
+    m->simDuration = registry->histogram(
+        "sps_sim_duration_us", "",
+        "Simulation wall time of computed requests (us)");
+    registry->addCollector([this, registry] {
+        ServiceCounters c = counters();
+        auto pub = [&](const char *name, uint64_t v,
+                       const char *help = "") {
+            registry->gauge(name, "", help)
+                ->set(static_cast<int64_t>(v));
+        };
+        pub("sps_service_submitted", c.submitted,
+            "Distinct requests queued (post-dedup)");
+        pub("sps_service_mem_hits", c.memHits);
+        pub("sps_service_inflight_dedup", c.inflightDedup);
+        pub("sps_service_disk_hits", c.diskHits);
+        pub("sps_service_sims", c.computed);
+    });
+    metricsStorage_ = std::move(m);
+    metrics_.store(metricsStorage_.get(), std::memory_order_release);
 }
 
 ServiceCounters

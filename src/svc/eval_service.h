@@ -42,6 +42,7 @@
 #include "common/csv.h"
 #include "core/eval_engine.h"
 #include "core/experiments.h"
+#include "obs/span.h"
 #include "sim/processor.h"
 #include "store/result_store.h"
 
@@ -136,6 +137,18 @@ class EvalService
      */
     std::shared_future<sim::SimResult> submit(const EvalPoint &pt);
 
+    /**
+     * submit() carrying a request span: the service records the
+     * queue-wait, build, store-read, simulation, and write-back
+     * stages onto it and stamps the tier that served the request
+     * (mem for both completed-result and in-flight dedup hits).
+     * The span must stay alive until the returned future is ready;
+     * the service never finish()es it -- the caller does, after
+     * delivery. A null span is identical to plain submit().
+     */
+    std::shared_future<sim::SimResult>
+    submit(const EvalPoint &pt, std::shared_ptr<obs::RequestSpan> span);
+
     /** submit() and wait. */
     sim::SimResult eval(const EvalPoint &pt);
 
@@ -162,11 +175,41 @@ class EvalService
     store::ResultStore *store() const { return store_; }
     core::EvalEngine &engine() const { return *engine_; }
 
+    /**
+     * Publish this service's telemetry into `registry`:
+     * sps_requests_total, per-tier sps_requests_tier_total counters
+     * and sps_request_duration_us histograms (tier = mem / disk /
+     * compute / error), sps_queue_wait_us, sps_sim_duration_us, plus
+     * a collector exporting ServiceCounters as gauges. Conservation:
+     * every submit() increments requests_total and resolves to
+     * exactly one tier, so at quiescence requests_total equals the
+     * sum of the tier counters and of the per-tier histogram counts.
+     * Attach once, at wiring time; the registry must outlive the
+     * service. nullptr detaches.
+     */
+    void attachMetrics(obs::MetricsRegistry *registry);
+
   private:
     struct Job
     {
         EvalPoint pt;
         std::promise<sim::SimResult> promise;
+        /** Request span to record stages on (may be null). */
+        std::shared_ptr<obs::RequestSpan> span;
+        /** When submit() queued the job (monotonic microseconds). */
+        uint64_t enqueueUs = 0;
+    };
+
+    /** Pre-resolved metric handles, indexed by obs::Tier where
+     *  per-tier. Published via an atomic pointer so the hot path is
+     *  one acquire load plus relaxed counter bumps. */
+    struct Metrics
+    {
+        obs::Counter *requests = nullptr;
+        obs::Counter *tier[5] = {};
+        obs::Histogram *durationTier[5] = {};
+        obs::Histogram *queueWait = nullptr;
+        obs::Histogram *simDuration = nullptr;
     };
 
     void dispatchLoop();
@@ -190,6 +233,9 @@ class EvalService
     std::atomic<uint64_t> inflightDedup_{0};
     std::atomic<uint64_t> diskHits_{0};
     std::atomic<uint64_t> computed_{0};
+
+    std::unique_ptr<Metrics> metricsStorage_;
+    std::atomic<Metrics *> metrics_{nullptr};
 
     std::thread dispatcher_;
 };

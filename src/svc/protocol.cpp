@@ -23,6 +23,8 @@ knownKind(uint32_t kind)
     case FrameKind::Error:
     case FrameKind::StatsRequest:
     case FrameKind::StatsReply:
+    case FrameKind::MetricsRequest:
+    case FrameKind::MetricsReply:
         return true;
     }
     return false;
@@ -320,6 +322,75 @@ decodeErrorString(const std::vector<uint8_t> &bytes, std::string *out)
 {
     store::ByteReader r(bytes);
     return r.str(out) && r.done();
+}
+
+void
+encodeMetricsSnapshot(const obs::MetricsSnapshot &snap,
+                      store::ByteWriter *w)
+{
+    w->u64(snap.metrics.size());
+    for (const auto &m : snap.metrics) {
+        w->str(m.name);
+        w->str(m.labels);
+        w->str(m.help);
+        w->u32(static_cast<uint32_t>(m.kind));
+        if (m.kind == obs::MetricKind::Histogram) {
+            w->u64(m.buckets.size());
+            for (uint64_t b : m.buckets)
+                w->u64(b);
+            w->u64(m.count);
+            w->u64(m.sum);
+        } else {
+            w->i64(m.value);
+        }
+    }
+}
+
+bool
+decodeMetricsSnapshot(const std::vector<uint8_t> &bytes,
+                      obs::MetricsSnapshot *out)
+{
+    store::ByteReader r(bytes);
+    uint64_t n = 0;
+    if (!r.u64(&n) || n > bytes.size())
+        return false;
+    obs::MetricsSnapshot snap;
+    snap.metrics.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        obs::MetricSample m;
+        uint32_t kind = 0;
+        if (!r.str(&m.name) || !r.str(&m.labels) || !r.str(&m.help) ||
+            !r.u32(&kind))
+            return false;
+        switch (static_cast<obs::MetricKind>(kind)) {
+        case obs::MetricKind::Counter:
+        case obs::MetricKind::Gauge:
+            m.kind = static_cast<obs::MetricKind>(kind);
+            if (!r.i64(&m.value))
+                return false;
+            break;
+        case obs::MetricKind::Histogram: {
+            m.kind = obs::MetricKind::Histogram;
+            uint64_t n_buckets = 0;
+            if (!r.u64(&n_buckets) || n_buckets > bytes.size())
+                return false;
+            m.buckets.resize(static_cast<size_t>(n_buckets));
+            for (auto &b : m.buckets)
+                if (!r.u64(&b))
+                    return false;
+            if (!r.u64(&m.count) || !r.u64(&m.sum))
+                return false;
+            break;
+        }
+        default:
+            return false; // unknown metric kind
+        }
+        snap.metrics.push_back(std::move(m));
+    }
+    if (!r.done())
+        return false;
+    out->metrics = std::move(snap.metrics);
+    return true;
 }
 
 #ifndef _WIN32

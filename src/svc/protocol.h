@@ -11,8 +11,9 @@
  * decoded into a wrong result.
  *
  * Conversation shape (client-initiated, ordered per connection):
- *   EvalRequest  -> EvalResult | Error
- *   StatsRequest -> StatsReply | Error
+ *   EvalRequest    -> EvalResult | Error
+ *   StatsRequest   -> StatsReply | Error
+ *   MetricsRequest -> MetricsReply | Error
  * Responses come back in request order, so a client may pipeline any
  * number of requests before reading the first response; the server
  * evaluates pipelined requests concurrently through the shared
@@ -35,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/codec.h"
 #include "svc/eval_service.h"
 
@@ -48,8 +50,13 @@ inline constexpr uint32_t kProtocolMagic = 0x50535053;
  * History:
  *  1 = initial format (EvalRequest with optional SimConfig override,
  *      EvalResult as store-codec SimResult, Error, stats rows).
+ *  2 = adds MetricsRequest/MetricsReply (encoded obs::MetricsSnapshot).
+ *      Bumped because an unknown frame kind is Malformed -- a v2
+ *      client's MetricsRequest would otherwise kill its connection to
+ *      a v1 server mid-conversation instead of failing the version
+ *      check up front.
  */
-inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /** Frame header size: magic, version, kind, reserved, payload
  *  length (u64), checksum (u64) -- the same 32-byte shape as a store
@@ -63,11 +70,13 @@ inline constexpr size_t kFrameHeaderBytes = 32;
 inline constexpr uint64_t kMaxFramePayloadBytes = uint64_t(1) << 30;
 
 enum class FrameKind : uint32_t {
-    EvalRequest = 1,  ///< payload: encodeEvalRequest
-    EvalResult = 2,   ///< payload: store::encodeSimResult
-    Error = 3,        ///< payload: one string (the error message)
-    StatsRequest = 4, ///< payload: empty
-    StatsReply = 5,   ///< payload: encodeStatsRows
+    EvalRequest = 1,    ///< payload: encodeEvalRequest
+    EvalResult = 2,     ///< payload: store::encodeSimResult
+    Error = 3,          ///< payload: one string (the error message)
+    StatsRequest = 4,   ///< payload: empty
+    StatsReply = 5,     ///< payload: encodeStatsRows
+    MetricsRequest = 6, ///< payload: empty
+    MetricsReply = 7,   ///< payload: encodeMetricsSnapshot
 };
 
 /** One decoded frame. */
@@ -112,6 +121,19 @@ void encodeErrorString(const std::string &message,
                        store::ByteWriter *w);
 bool decodeErrorString(const std::vector<uint8_t> &bytes,
                        std::string *out);
+
+/**
+ * A full obs::MetricsSnapshot -- every sample with its name, labels,
+ * help, kind, and (for histograms) the raw per-bucket counts plus
+ * count/sum. The *structured* snapshot crosses the wire, not rendered
+ * text: the client renders Prometheus/JSON locally with the same
+ * obs::render* functions the daemon uses for --metrics-out, and tests
+ * assert on the numbers directly.
+ */
+void encodeMetricsSnapshot(const obs::MetricsSnapshot &snap,
+                           store::ByteWriter *w);
+bool decodeMetricsSnapshot(const std::vector<uint8_t> &bytes,
+                           obs::MetricsSnapshot *out);
 
 #ifndef _WIN32
 

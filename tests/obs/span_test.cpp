@@ -1,0 +1,184 @@
+// Tests for per-request spans: stage recording, the finish/retire
+// lifecycle, the bounded recorder ring, the slow-request describe()
+// line, and the Chrome-trace export (request track + one track per
+// stage, timestamps rebased to the earliest span).
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "trace/tracer.h"
+
+namespace sps::obs {
+namespace {
+
+TEST(RequestSpanTest, TierNamesAreStable)
+{
+    // The wire, the Prometheus labels, and the slow-request log all
+    // carry these strings; they are part of the observable contract.
+    EXPECT_STREQ(tierName(Tier::Unknown), "unknown");
+    EXPECT_STREQ(tierName(Tier::Mem), "mem");
+    EXPECT_STREQ(tierName(Tier::Disk), "disk");
+    EXPECT_STREQ(tierName(Tier::Compute), "compute");
+    EXPECT_STREQ(tierName(Tier::Error), "error");
+}
+
+TEST(RequestSpanTest, StagesAndStageUs)
+{
+    RequestSpan span(7, "DEPTH/8x5");
+    EXPECT_EQ(span.id(), 7u);
+    EXPECT_EQ(span.label(), "DEPTH/8x5");
+    EXPECT_EQ(span.tier(), Tier::Unknown);
+    EXPECT_EQ(span.stageUs("queue"), 0u);
+
+    uint64_t t0 = span.beginUs();
+    span.stage("queue", t0, t0 + 100);
+    span.stage("sim", t0 + 100, t0 + 600);
+    span.setTier(Tier::Compute);
+
+    ASSERT_EQ(span.stages().size(), 2u);
+    EXPECT_EQ(span.stageUs("queue"), 100u);
+    EXPECT_EQ(span.stageUs("sim"), 500u);
+    EXPECT_EQ(span.stageUs("deliver"), 0u);
+    EXPECT_EQ(span.tier(), Tier::Compute);
+}
+
+TEST(RequestSpanTest, FinishIsIdempotentAndRetires)
+{
+    SpanRecorder rec(8);
+    auto span = std::make_shared<RequestSpan>(1, "CONV/16x5");
+    span->finish(&rec);
+    uint64_t total = span->totalUs();
+    span->finish(&rec); // second finish must not retire again
+    EXPECT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec.retiredCount(), 1u);
+    EXPECT_EQ(rec.droppedCount(), 0u);
+    // After finish the total is frozen.
+    EXPECT_EQ(span->totalUs(), total);
+    EXPECT_GE(span->endUs(), span->beginUs());
+
+    auto retired = rec.spans();
+    ASSERT_EQ(retired.size(), 1u);
+    EXPECT_EQ(retired[0]->id(), 1u);
+    EXPECT_EQ(retired[0]->label(), "CONV/16x5");
+}
+
+TEST(RequestSpanTest, DescribeCarriesTierAndStages)
+{
+    RequestSpan span(42, "FFT/8x2");
+    uint64_t t0 = span.beginUs();
+    span.stage("queue", t0, t0 + 10);
+    span.stage("sim", t0 + 10, t0 + 30);
+    span.setTier(Tier::Disk);
+    span.finish(nullptr);
+
+    std::string line = span.describe();
+    EXPECT_NE(line.find("id=42"), std::string::npos) << line;
+    EXPECT_NE(line.find("label=FFT/8x2"), std::string::npos) << line;
+    EXPECT_NE(line.find("tier=disk"), std::string::npos) << line;
+    EXPECT_NE(line.find("total_us="), std::string::npos) << line;
+    EXPECT_NE(line.find("queue_us=10"), std::string::npos) << line;
+    EXPECT_NE(line.find("sim_us=20"), std::string::npos) << line;
+}
+
+TEST(SpanRecorderTest, RingDropsOldestBeyondCapacity)
+{
+    SpanRecorder rec(2);
+    for (uint64_t id = 1; id <= 5; ++id)
+        RequestSpan(id, "p").finish(&rec);
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.retiredCount(), 5u);
+    EXPECT_EQ(rec.droppedCount(), 3u);
+    auto spans = rec.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0]->id(), 4u);
+    EXPECT_EQ(spans[1]->id(), 5u);
+}
+
+TEST(SpanRecorderTest, ZeroCapacityStillRetainsOne)
+{
+    SpanRecorder rec(0);
+    RequestSpan(1, "p").finish(&rec);
+    RequestSpan(2, "p").finish(&rec);
+    EXPECT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec.spans()[0]->id(), 2u);
+}
+
+TEST(SpanRecorderTest, ToTracerExportsRequestAndStageTracks)
+{
+    SpanRecorder rec(8);
+
+    RequestSpan a(1, "DEPTH/8x5");
+    uint64_t base = a.beginUs();
+    a.stage("queue", base, base + 5);
+    a.stage("sim", base + 5, base + 50);
+    a.setTier(Tier::Compute);
+    a.finish(&rec);
+
+    RequestSpan b(2, "DEPTH/8x5");
+    b.stage("queue", b.beginUs(), b.beginUs() + 3);
+    b.setTier(Tier::Mem);
+    b.finish(&rec);
+
+    trace::Tracer tracer;
+    rec.toTracer(&tracer);
+
+    auto tracks = tracer.trackNames();
+    ASSERT_EQ(tracks.count(0), 1u);
+    EXPECT_EQ(tracks[0], "request");
+    // Stage tracks in first-seen order above the request track.
+    ASSERT_EQ(tracks.count(1), 1u);
+    EXPECT_EQ(tracks[1], "queue");
+    ASSERT_EQ(tracks.count(2), 1u);
+    EXPECT_EQ(tracks[2], "sim");
+
+    size_t async_begin = 0, async_end = 0, stage_events = 0;
+    int64_t min_ts = INT64_MAX;
+    for (const auto &ev : tracer.events()) {
+        min_ts = std::min(min_ts, ev.ts);
+        if (ev.phase == 'b')
+            ++async_begin;
+        else if (ev.phase == 'e')
+            ++async_end;
+        else if (ev.phase == 'X') {
+            ++stage_events;
+            EXPECT_GE(ev.tid, 1);
+        }
+    }
+    // One async pair per request, one complete event per stage, and
+    // every timestamp rebased so the trace starts at zero.
+    EXPECT_EQ(async_begin, 2u);
+    EXPECT_EQ(async_end, 2u);
+    EXPECT_EQ(stage_events, 3u);
+    EXPECT_EQ(min_ts, 0);
+}
+
+TEST(SpanRecorderTest, ToTracerOnEmptyRecorderIsANoop)
+{
+    SpanRecorder rec(4);
+    trace::Tracer tracer;
+    rec.toTracer(&tracer);
+    EXPECT_EQ(tracer.size(), 0u);
+    rec.toTracer(nullptr); // must not crash either
+}
+
+TEST(StageTimerTest, RecordsScopedInterval)
+{
+    RequestSpan span(1, "p");
+    {
+        StageTimer timer(&span, "store_get");
+    }
+    ASSERT_EQ(span.stages().size(), 1u);
+    EXPECT_STREQ(span.stages()[0].name, "store_get");
+    EXPECT_GE(span.stages()[0].endUs, span.stages()[0].beginUs);
+}
+
+TEST(StageTimerTest, NullSpanIsANoop)
+{
+    StageTimer timer(nullptr, "sim"); // must not crash or record
+}
+
+} // namespace
+} // namespace sps::obs

@@ -32,7 +32,8 @@ TEST(EvalProtocolTest, FrameRoundTripEveryKind)
     for (FrameKind kind :
          {FrameKind::EvalRequest, FrameKind::EvalResult,
           FrameKind::Error, FrameKind::StatsRequest,
-          FrameKind::StatsReply}) {
+          FrameKind::StatsReply, FrameKind::MetricsRequest,
+          FrameKind::MetricsReply}) {
         std::vector<uint8_t> payload{1, 2, 3, 0xff, 0};
         std::vector<uint8_t> bytes = frameBytes(kind, payload);
         EXPECT_EQ(bytes.size(), kFrameHeaderBytes + payload.size());
@@ -232,6 +233,96 @@ TEST(EvalProtocolTest, ErrorStringRoundTrip)
     std::string back;
     ASSERT_TRUE(decodeErrorString(w.bytes(), &back));
     EXPECT_EQ(back, "unknown app: BOGUS");
+}
+
+obs::MetricsSnapshot
+sampleSnapshot()
+{
+    // One of each kind, with labels, help, and a populated histogram
+    // -- the shape a live daemon scrape actually carries.
+    obs::MetricsRegistry reg;
+    reg.counter("sps_requests_total", "", "requests")->inc(42);
+    reg.gauge("sps_queue_depth", "app=\"DEPTH\"", "depth")->set(-3);
+    obs::Histogram *h =
+        reg.histogram("sps_request_duration_us", "tier=\"compute\"");
+    for (uint64_t v : {1ull, 7ull, 7ull, 900ull, 1000000ull})
+        h->observe(v);
+    return reg.snapshot();
+}
+
+TEST(EvalProtocolTest, MetricsSnapshotRoundTrip)
+{
+    obs::MetricsSnapshot snap = sampleSnapshot();
+    store::ByteWriter w;
+    encodeMetricsSnapshot(snap, &w);
+    obs::MetricsSnapshot back;
+    ASSERT_TRUE(decodeMetricsSnapshot(w.bytes(), &back));
+
+    ASSERT_EQ(back.metrics.size(), snap.metrics.size());
+    for (size_t i = 0; i < snap.metrics.size(); ++i) {
+        const obs::MetricSample &a = snap.metrics[i];
+        const obs::MetricSample &b = back.metrics[i];
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.labels, a.labels);
+        EXPECT_EQ(b.help, a.help);
+        EXPECT_EQ(b.kind, a.kind);
+        EXPECT_EQ(b.value, a.value);
+        EXPECT_EQ(b.buckets, a.buckets);
+        EXPECT_EQ(b.count, a.count);
+        EXPECT_EQ(b.sum, a.sum);
+    }
+    // The decoded snapshot renders identically to the original, so a
+    // remote scrape and a --metrics-out dump of the same instant would
+    // be byte-equal.
+    EXPECT_EQ(obs::renderPrometheus(back), obs::renderPrometheus(snap));
+    EXPECT_EQ(obs::renderJson(back), obs::renderJson(snap));
+}
+
+TEST(EvalProtocolTest, EmptyMetricsSnapshotRoundTrips)
+{
+    store::ByteWriter w;
+    encodeMetricsSnapshot(obs::MetricsSnapshot{}, &w);
+    obs::MetricsSnapshot back;
+    back.metrics.emplace_back(); // must be cleared by the decoder
+    ASSERT_TRUE(decodeMetricsSnapshot(w.bytes(), &back));
+    EXPECT_TRUE(back.metrics.empty());
+}
+
+TEST(EvalProtocolTest, MetricsSnapshotEveryTruncationRejected)
+{
+    store::ByteWriter w;
+    encodeMetricsSnapshot(sampleSnapshot(), &w);
+    const std::vector<uint8_t> &bytes = w.bytes();
+    for (size_t n = 0; n < bytes.size(); ++n) {
+        obs::MetricsSnapshot out;
+        EXPECT_FALSE(decodeMetricsSnapshot(
+            std::vector<uint8_t>(bytes.begin(), bytes.begin() + n),
+            &out))
+            << "snapshot truncated to " << n << " bytes decoded";
+    }
+    obs::MetricsSnapshot out;
+    std::vector<uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_FALSE(decodeMetricsSnapshot(padded, &out));
+}
+
+TEST(EvalProtocolTest, MetricsSnapshotUnknownKindRejected)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("sps_a");
+    store::ByteWriter w;
+    encodeMetricsSnapshot(reg.snapshot(), &w);
+    std::vector<uint8_t> bytes = w.bytes();
+    // Layout: u64 metric count, then str name (u64 len + bytes), str
+    // labels, str help, u32 kind. For a single label-less, help-less
+    // counter named "sps_a" the kind field sits at a fixed offset.
+    size_t kind_at = 8 + (8 + 5) + 8 + 8;
+    ASSERT_LT(kind_at + 4, bytes.size());
+    ASSERT_EQ(bytes[kind_at],
+              static_cast<uint8_t>(obs::MetricKind::Counter));
+    bytes[kind_at] = 99;
+    obs::MetricsSnapshot out;
+    EXPECT_FALSE(decodeMetricsSnapshot(bytes, &out));
 }
 
 #ifndef _WIN32
